@@ -1,0 +1,55 @@
+// Command fdbgen generates the paper's synthetic Orders/Packages/Items
+// dataset (Section 6) at a given scale factor and writes it as CSV files.
+//
+// Usage:
+//
+//	fdbgen -scale 4 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdbgen: ")
+	scale := flag.Int("scale", 1, "scale factor s (join grows as ~256·s⁴ tuples)")
+	seed := flag.Int64("seed", 0, "random seed (0 = fixed default)")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	ds := workload.Generate(workload.Config{Scale: *scale, Seed: *seed})
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, rel *relation.Relation) {
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rel.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d tuples\n", path, rel.Cardinality())
+	}
+	write("Orders", ds.Orders)
+	write("Packages", ds.Packages)
+	write("Items", ds.Items)
+
+	rep, err := ds.Sizes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scale %d: |R1| = %d tuples (flat), factorisation = %d singletons (gap %.1f×)\n",
+		rep.Scale, rep.JoinTuples, rep.FactSingletons,
+		float64(rep.JoinTuples)/float64(rep.FactSingletons))
+}

@@ -1,0 +1,79 @@
+// Sqlshell demonstrates the SQL front-end: a batch of statements over an
+// in-memory database, each evaluated by the factorised engine and
+// cross-checked against the relational baseline.
+//
+// Run with: go run ./examples/sqlshell
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/rdb"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds := workload.Generate(workload.Config{Scale: 1})
+	db := fdb.Database(ds.DB())
+	e := fdb.NewEngine()
+
+	statements := []string{
+		`SELECT customer, SUM(price) AS revenue
+		   FROM Orders, Packages, Items
+		  WHERE package = package2 AND item = item2
+		  GROUP BY customer ORDER BY revenue DESC LIMIT 5`,
+		`SELECT package, COUNT(*) AS n, MIN(price) AS cheapest, AVG(price) AS mean
+		   FROM Orders, Packages, Items
+		  WHERE package = package2 AND item = item2
+		  GROUP BY package HAVING n > 10 ORDER BY package LIMIT 5`,
+		`SELECT date, MAX(price) AS dearest
+		   FROM Orders, Packages, Items
+		  WHERE package = package2 AND item = item2 AND price >= 5
+		  GROUP BY date ORDER BY dearest DESC, date LIMIT 5`,
+		`SELECT customer, date FROM Orders ORDER BY customer, date DESC LIMIT 8`,
+	}
+
+	for _, stmt := range statements {
+		fmt.Printf("sql> %s\n", stmt)
+		q, err := fdb.ParseSQL(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := e.Run(q, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := res.Relation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rel)
+
+		// Cross-check (without LIMIT: ties make prefixes ambiguous).
+		qq := *q
+		qq.Limit = 0
+		full, err := e.Run(&qq, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := full.Relation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := rdb.New().Run(&qq, rdb.DB(db))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if relation.EqualAsSets(got, want) {
+			fmt.Println("check: OK (matches relational baseline)")
+		} else {
+			fmt.Printf("check: MISMATCH (FDB %d rows, RDB %d rows)\n",
+				got.Cardinality(), want.Cardinality())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,177 @@
+// Package fdb is a Go implementation of FDB, the main-memory query engine
+// for factorised databases, extended with aggregates (count, sum, min,
+// max, avg), GROUP BY, ORDER BY and LIMIT as described in
+//
+//	N. Bakibayev, T. Kočiský, D. Olteanu, J. Závodný.
+//	"Aggregation and Ordering in Factorised Databases", PVLDB 6(14), 2013.
+//
+// A factorised database represents a relation as an algebraic expression
+// over unions, products and singletons whose nesting structure is given
+// by an f-tree. Factorisations can be exponentially more succinct than
+// the relations they represent; FDB evaluates queries directly on the
+// factorised form, using partial aggregation (the γ operator of the
+// paper) and partial restructuring (the χ swap operator), and enumerates
+// results — grouped, ordered, limited — with constant delay.
+//
+// # Quick start
+//
+//	db := fdb.Database{"Orders": orders, "Pizzas": pizzas, "Items": items}
+//	q, _ := fdb.ParseSQL(`SELECT customer, SUM(price) AS revenue
+//	                       FROM Orders, Pizzas, Items
+//	                       WHERE pizza = pizza2 AND item = item2
+//	                       GROUP BY customer ORDER BY revenue DESC`)
+//	res, _ := fdb.NewEngine().Run(q, db)
+//	rel, _ := res.Relation()
+//
+// For read-optimised workloads, materialise a view once as a
+// factorisation and run many queries against it with Engine.RunOnView;
+// the view is never modified.
+//
+// The packages under internal/ implement the paper's substrates: values
+// and relations, f-trees with the path constraint and fractional-edge-
+// cover size bounds (solved by a built-in simplex LP), factorised
+// representations with the Section 3.2 aggregation algorithms and
+// constant-delay enumerators, the f-plan operators, the greedy and
+// exhaustive (Dijkstra) optimisers of Section 5, a relational baseline
+// engine (the paper's "RDB") with lazy and eager (Yan–Larson)
+// aggregation, the Section 6 workload generator, and a SQL front-end.
+package fdb
+
+import (
+	"io"
+
+	"github.com/factordb/fdb/internal/engine"
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/sql"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// Value is a typed scalar value (int64, float64, string, bool, or a small
+// vector used by composite aggregates).
+type Value = values.Value
+
+// NewInt returns an integer Value.
+func NewInt(v int64) Value { return values.NewInt(v) }
+
+// NewFloat returns a floating-point Value.
+func NewFloat(v float64) Value { return values.NewFloat(v) }
+
+// NewString returns a string Value.
+func NewString(v string) Value { return values.NewString(v) }
+
+// NewBool returns a boolean Value.
+func NewBool(v bool) Value { return values.NewBool(v) }
+
+// Tuple is one row of a relation.
+type Tuple = relation.Tuple
+
+// Relation is an in-memory relation: a named list of tuples over
+// attributes.
+type Relation = relation.Relation
+
+// NewRelation creates a relation, validating attribute uniqueness and
+// tuple arity.
+func NewRelation(name string, attrs []string, tuples []Tuple) (*Relation, error) {
+	return relation.New(name, attrs, tuples)
+}
+
+// ReadCSV reads a relation from CSV with a header row; fields parse as
+// int, then float, then string.
+var ReadCSV = relation.ReadCSV
+
+// Query is the logical query: joins expressed as equality selections over
+// a product of relations, filters, aggregation with GROUP BY, ORDER BY
+// and LIMIT (Section 2 of the paper).
+type Query = query.Query
+
+// Aggregate is one aggregation in a query's SELECT list.
+type Aggregate = query.Aggregate
+
+// Equality is an attribute equality (join condition).
+type Equality = query.Equality
+
+// Filter is a comparison with a constant.
+type Filter = query.Filter
+
+// OrderItem is one ORDER BY entry.
+type OrderItem = query.OrderItem
+
+// Aggregation functions for Aggregate.Fn.
+const (
+	Count = query.Count
+	Sum   = query.Sum
+	Min   = query.Min
+	Max   = query.Max
+	Avg   = query.Avg
+)
+
+// ParseSQL parses a SELECT statement of the supported subset into a
+// Query.
+var ParseSQL = sql.Parse
+
+// Database is a catalogue of named flat relations.
+type Database = engine.DB
+
+// Engine is the FDB query engine. The zero value disables partial
+// aggregation; use NewEngine for the paper's default configuration.
+type Engine = engine.Engine
+
+// NewEngine returns an engine with eager partial aggregation enabled and
+// the greedy optimiser (the paper's configuration).
+func NewEngine() *Engine { return engine.New() }
+
+// Result is an evaluated query; enumerate it with ForEach, or materialise
+// it with Relation. Its FRel field is the factorised output ("FDB f/o").
+type Result = engine.Result
+
+// Factorisation is a factorised relation: an f-tree plus a representation
+// over it. Obtain one with Factorise or from Result.FRel, and query it
+// with Engine.RunOnView.
+type Factorisation = fops.FRel
+
+// FTree is a factorisation tree: the schema and nesting structure of a
+// factorisation (Definition 2 of the paper).
+type FTree = ftree.Forest
+
+// NewFTree returns an empty f-tree forest. Add base relations as linear
+// paths with AddRelationPath, or build richer shapes via the internal
+// ftree package types exposed on Forest.
+func NewFTree() *FTree { return ftree.New() }
+
+// Factorise represents a relation as a factorisation over the given
+// f-tree, verifying the tree's independence assumptions against the data.
+// A linear-path f-tree (NewFTree + AddRelationPath) is always valid.
+func Factorise(rel *Relation, tree *FTree) (*Factorisation, error) {
+	return fops.FromRelation(rel, tree)
+}
+
+// MaterialiseView runs a join query and returns its factorised result for
+// reuse as a read-optimised view. It is shorthand for Run + Result.FRel.
+func MaterialiseView(e *Engine, q *Query, db Database) (*Factorisation, error) {
+	res, err := e.Run(q, db)
+	if err != nil {
+		return nil, err
+	}
+	return res.FRel, nil
+}
+
+// WriteView serialises a factorised view to w in a compact binary format,
+// so materialised views can be stored and reloaded without
+// re-factorising.
+func WriteView(w io.Writer, v *Factorisation) error {
+	return frep.WriteTo(w, v.Tree, v.Roots)
+}
+
+// ReadView deserialises a factorised view written by WriteView,
+// validating the f-tree and representation invariants.
+func ReadView(r io.Reader) (*Factorisation, error) {
+	tree, roots, err := frep.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Factorisation{Tree: tree, Roots: roots}, nil
+}

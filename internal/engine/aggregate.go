@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/plan"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// aggOutput computes one aggregate output value from the evaluated field
+// values of a row.
+type aggOutput struct {
+	fn     query.AggFn
+	f1, f2 int // field indices; f2 used by avg (count)
+}
+
+func (a aggOutput) value(fieldVals []values.Value) values.Value {
+	switch a.fn {
+	case query.Avg:
+		s, c := fieldVals[a.f1], fieldVals[a.f2]
+		if c.Kind() == values.Int && c.Int() == 0 {
+			return values.NullValue()
+		}
+		if s.IsNull() {
+			return values.NullValue()
+		}
+		return values.Div(s, c)
+	default:
+		return fieldVals[a.f1]
+	}
+}
+
+// buildAggOutputs maps query aggregates onto positions in the field list.
+func buildAggOutputs(aggs []query.Aggregate, fields []ftree.AggField) ([]aggOutput, error) {
+	idx := func(f ftree.AggField) int {
+		for i, g := range fields {
+			if g == f {
+				return i
+			}
+		}
+		return -1
+	}
+	out := make([]aggOutput, len(aggs))
+	for i, a := range aggs {
+		var o aggOutput
+		o.fn = a.Fn
+		switch a.Fn {
+		case query.Count:
+			o.f1 = idx(ftree.AggField{Fn: ftree.Count})
+		case query.Sum:
+			o.f1 = idx(ftree.AggField{Fn: ftree.Sum, Arg: a.Arg})
+		case query.Min:
+			o.f1 = idx(ftree.AggField{Fn: ftree.Min, Arg: a.Arg})
+		case query.Max:
+			o.f1 = idx(ftree.AggField{Fn: ftree.Max, Arg: a.Arg})
+		case query.Avg:
+			o.f1 = idx(ftree.AggField{Fn: ftree.Sum, Arg: a.Arg})
+			o.f2 = idx(ftree.AggField{Fn: ftree.Count})
+		}
+		if o.f1 < 0 || (a.Fn == query.Avg && o.f2 < 0) {
+			return nil, fmt.Errorf("engine: aggregate %s not computed by the plan", a)
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// havingFilter applies the HAVING conditions to an assembled output row.
+type havingFilter struct {
+	conds []query.Filter
+	cols  []int
+}
+
+func newHavingFilter(q *query.Query) (*havingFilter, error) {
+	if len(q.Having) == 0 {
+		return nil, nil
+	}
+	outs := q.OutputAttrs()
+	h := &havingFilter{conds: q.Having}
+	for _, c := range q.Having {
+		found := -1
+		for j, o := range outs {
+			if o == c.Attr {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("engine: HAVING references unknown output %q", c.Attr)
+		}
+		h.cols = append(h.cols, found)
+	}
+	return h, nil
+}
+
+func (h *havingFilter) keep(row relation.Tuple) bool {
+	if h == nil {
+		return true
+	}
+	for i, c := range h.conds {
+		if !c.Op.Holds(row[h.cols[i]], c.Const) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachGrouped streams aggregate results using the on-the-fly
+// combination of partial aggregates at enumeration time (Example 1,
+// scenario 3): no final restructuring or aggregation is materialised.
+func (r *Result) forEachGrouped(fn func(relation.Tuple) bool) error {
+	return r.forEachGroupedOpts(fn, true, true)
+}
+
+func (r *Result) forEachGroupedOpts(fn func(relation.Tuple) bool, applyOrder, applyLimit bool) error {
+	q := r.Query
+	fields := plan.RequiredFields(q.Aggregates)
+	// Group slots: order-by attributes first (all within GroupBy on this
+	// path), then remaining group attributes in tree DFS order.
+	var specs []frep.OrderSpec
+	seen := map[string]bool{}
+	if applyOrder {
+		for _, o := range q.OrderBy {
+			specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
+			seen[o.Attr] = true
+		}
+	}
+	inG := map[string]bool{}
+	for _, g := range q.GroupBy {
+		inG[g] = true
+	}
+	for _, n := range r.FRel.Tree.Nodes() {
+		if n.IsAgg() {
+			continue
+		}
+		for _, a := range n.Attrs {
+			if inG[a] && !seen[a] {
+				specs = append(specs, frep.OrderSpec{Attr: a})
+				seen[a] = true
+			}
+		}
+	}
+	ge, err := frep.NewGroupEnumerator(r.FRel.Tree, r.FRel.Roots, specs, fields)
+	if err != nil {
+		return err
+	}
+	schema := ge.Schema()
+	nGroupCols := len(schema) - len(fields)
+	groupIdx, err := columnIndices(schema[:nGroupCols], q.GroupBy)
+	if err != nil {
+		return err
+	}
+	aggOuts, err := buildAggOutputs(q.Aggregates, fields)
+	if err != nil {
+		return err
+	}
+	having, err := newHavingFilter(q)
+	if err != nil {
+		return err
+	}
+	out := make(relation.Tuple, len(q.GroupBy)+len(aggOuts))
+	limit := q.Limit
+	if !applyLimit {
+		limit = 0
+	}
+	emitted := 0
+	for {
+		ok, err := ge.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row := ge.Tuple()
+		for i, j := range groupIdx {
+			out[i] = row[j]
+		}
+		fieldVals := row[nGroupCols:]
+		for i, ao := range aggOuts {
+			out[len(groupIdx)+i] = ao.value(fieldVals)
+		}
+		if !having.keep(out) {
+			continue
+		}
+		if !fn(out) {
+			return nil
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			return nil
+		}
+	}
+}
+
+// forEachSorted is the fallback for ordering by an aggregate when the
+// group-by attributes span several branches of the f-tree (no single
+// aggregate subtree exists): the grouped output is materialised and
+// sorted flat, as a relational engine would.
+func (r *Result) forEachSorted(fn func(relation.Tuple) bool) error {
+	q := r.Query
+	var rows []relation.Tuple
+	if err := r.forEachGroupedOpts(func(t relation.Tuple) bool {
+		rows = append(rows, t.Clone())
+		return true
+	}, false, false); err != nil {
+		return err
+	}
+	rel, err := relation.New("sorted", q.OutputAttrs(), rows)
+	if err != nil {
+		return err
+	}
+	keys := make([]relation.OrderKey, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		keys[i] = relation.OrderKey{Attr: o.Attr, Desc: o.Desc}
+	}
+	if err := rel.Sort(keys...); err != nil {
+		return err
+	}
+	limit := q.Limit
+	for i, t := range rel.Tuples {
+		if limit > 0 && i >= limit {
+			return nil
+		}
+		if !fn(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// forEachMaterialised materialises the final aggregate into a single
+// attribute (required to order by an aggregate output), restructures for
+// the order, and enumerates. The ordered aggregate's field is placed
+// first in the node's field list so the sorted vector order coincides
+// with the requested order.
+func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
+	q := r.Query
+	if len(q.GroupBy) == 0 {
+		// Global aggregate: a single row; ordering is irrelevant.
+		return r.forEachGrouped(fn)
+	}
+	// Field order: ordered aggregate outputs first.
+	ordered := map[string]bool{}
+	inG := map[string]bool{}
+	for _, g := range q.GroupBy {
+		inG[g] = true
+	}
+	for _, o := range q.OrderBy {
+		if !inG[o.Attr] {
+			ordered[o.Attr] = true
+		}
+	}
+	var aggsSorted []query.Aggregate
+	for _, a := range q.Aggregates {
+		if ordered[a.OutName()] {
+			aggsSorted = append(aggsSorted, a)
+		}
+	}
+	for _, a := range q.Aggregates {
+		if !ordered[a.OutName()] {
+			aggsSorted = append(aggsSorted, a)
+		}
+	}
+	if len(aggsSorted) > 0 && ordered[aggsSorted[0].OutName()] && aggsSorted[0].Fn == query.Avg && len(q.Aggregates) > 1 {
+		return fmt.Errorf("engine: ORDER BY avg(…) is only supported as the sole aggregate")
+	}
+	fields := plan.RequiredFields(aggsSorted)
+
+	// Locate the single maximal non-group subtree; when the group-by
+	// attributes span several branches no such subtree exists and we fall
+	// back to a flat sort of the grouped output.
+	u, err := r.singleNonGroupSubtree(inG)
+	if err != nil {
+		return r.forEachSorted(fn)
+	}
+	if !(u.IsLeaf() && u.IsAgg() && fieldsEqual(u.Agg.Fields, fields)) {
+		if err := r.FRel.GammaNode(u, fields); err != nil {
+			return err
+		}
+		if u2, err2 := r.singleNonGroupSubtree(inG); err2 == nil {
+			u = u2
+		} else {
+			return err2
+		}
+	}
+	// Name the node: a single non-avg aggregate gets its output alias; an
+	// avg-only aggregate is finalised to its scalar; otherwise the node
+	// keeps its label and outputs address label.field columns.
+	aggNodeName := attrOf(u)
+	avgOnly := len(q.Aggregates) == 1 && q.Aggregates[0].Fn == query.Avg
+	if avgOnly {
+		alias := q.Aggregates[0].OutName()
+		if err := r.FRel.ComputeScalar(aggNodeName, alias, func(v values.Value) values.Value {
+			return values.Div(v.VecAt(0), v.VecAt(1))
+		}); err != nil {
+			return err
+		}
+		aggNodeName = alias
+	} else if len(q.Aggregates) == 1 {
+		alias := q.Aggregates[0].OutName()
+		if err := r.FRel.Rename(aggNodeName, alias); err != nil {
+			return err
+		}
+		aggNodeName = alias
+	}
+
+	// Restructure for the order: group attributes by name, aggregate
+	// outputs via the aggregate node's name.
+	var orderAttrs []string
+	var specs []frep.OrderSpec
+	for _, o := range q.OrderBy {
+		attr := o.Attr
+		if !inG[attr] {
+			attr = aggNodeName
+		}
+		orderAttrs = append(orderAttrs, attr)
+		specs = append(specs, frep.OrderSpec{Attr: attr, Desc: o.Desc})
+	}
+	for i := 0; ; i++ {
+		if i > 1000 {
+			return fmt.Errorf("engine: order restructuring did not converge")
+		}
+		v := r.FRel.Tree.OrderViolation(orderAttrs)
+		if v == nil {
+			break
+		}
+		if err := r.FRel.SwapNode(v); err != nil {
+			return err
+		}
+	}
+
+	en, err := frep.NewEnumerator(r.FRel.Tree, r.FRel.Roots, specs)
+	if err != nil {
+		return err
+	}
+	// Output columns: group attributes by name; aggregates by alias (or
+	// label.field / scalar columns).
+	schema := en.Schema()
+	groupIdx, err := columnIndices(schema, q.GroupBy)
+	if err != nil {
+		return err
+	}
+	node := r.FRel.Tree.ResolveAttr(aggNodeName)
+	if node == nil {
+		return fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
+	}
+	aggCols, avgPairs, err := aggregateColumns(q, node, schema, avgOnly)
+	if err != nil {
+		return err
+	}
+	having, err := newHavingFilter(q)
+	if err != nil {
+		return err
+	}
+	out := make(relation.Tuple, len(groupIdx)+len(aggCols))
+	limit := q.Limit
+	emitted := 0
+	for en.Next() {
+		t := en.Tuple()
+		for i, j := range groupIdx {
+			out[i] = t[j]
+		}
+		for i, j := range aggCols {
+			if p := avgPairs[i]; p >= 0 {
+				cnt := t[p]
+				if cnt.Kind() == values.Int && cnt.Int() == 0 {
+					out[len(groupIdx)+i] = values.NullValue()
+				} else {
+					out[len(groupIdx)+i] = values.Div(t[j], cnt)
+				}
+			} else {
+				out[len(groupIdx)+i] = t[j]
+			}
+		}
+		if !having.keep(out) {
+			continue
+		}
+		if !fn(out) {
+			return nil
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			return nil
+		}
+	}
+	return nil
+}
+
+// singleNonGroupSubtree finds the unique maximal subtree containing no
+// group-by attribute.
+func (r *Result) singleNonGroupSubtree(inG map[string]bool) (*ftree.Node, error) {
+	hasG := func(n *ftree.Node) bool {
+		found := false
+		n.Walk(func(m *ftree.Node) {
+			if m.IsAgg() {
+				return
+			}
+			for _, a := range m.Attrs {
+				if inG[a] {
+					found = true
+				}
+			}
+		})
+		return found
+	}
+	var cands []*ftree.Node
+	var walk func(n *ftree.Node)
+	walk = func(n *ftree.Node) {
+		if !hasG(n) {
+			cands = append(cands, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, root := range r.FRel.Tree.Roots {
+		walk(root)
+	}
+	if len(cands) != 1 {
+		return nil, fmt.Errorf("engine: ordering by an aggregate needs a single aggregate subtree; found %d (restructure the group-by attributes into a chain)", len(cands))
+	}
+	return cands[0], nil
+}
+
+// aggregateColumns resolves each query aggregate to a column of the
+// enumeration schema; avgPairs[i] holds the count column for avg outputs
+// computed from (sum,count) vectors, or -1.
+func aggregateColumns(q *query.Query, node *ftree.Node, schema []string, avgScalar bool) ([]int, []int, error) {
+	colOf := func(name string) int {
+		for j, s := range schema {
+			if s == name {
+				return j
+			}
+		}
+		return -1
+	}
+	fieldCol := func(f ftree.AggField) int {
+		if node.IsAgg() {
+			cols := frep.NodeColumns(node)
+			for i, nf := range node.Agg.Fields {
+				if nf == f {
+					return colOf(cols[i])
+				}
+			}
+			return -1
+		}
+		return colOf(node.Label())
+	}
+	aggCols := make([]int, len(q.Aggregates))
+	avgPairs := make([]int, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		avgPairs[i] = -1
+		switch {
+		case avgScalar || !node.IsAgg():
+			aggCols[i] = colOf(node.Label())
+		case a.Fn == query.Avg:
+			aggCols[i] = fieldCol(ftree.AggField{Fn: ftree.Sum, Arg: a.Arg})
+			avgPairs[i] = fieldCol(ftree.AggField{Fn: ftree.Count})
+		case a.Fn == query.Count:
+			aggCols[i] = fieldCol(ftree.AggField{Fn: ftree.Count})
+		case a.Fn == query.Sum:
+			aggCols[i] = fieldCol(ftree.AggField{Fn: ftree.Sum, Arg: a.Arg})
+		case a.Fn == query.Min:
+			aggCols[i] = fieldCol(ftree.AggField{Fn: ftree.Min, Arg: a.Arg})
+		case a.Fn == query.Max:
+			aggCols[i] = fieldCol(ftree.AggField{Fn: ftree.Max, Arg: a.Arg})
+		}
+		if aggCols[i] < 0 {
+			return nil, nil, fmt.Errorf("engine: cannot locate output column for %s", a)
+		}
+		if a.Fn == query.Avg && !avgScalar && avgPairs[i] < 0 {
+			return nil, nil, fmt.Errorf("engine: cannot locate count column for %s", a)
+		}
+	}
+	return aggCols, avgPairs, nil
+}
+
+func fieldsEqual(a, b []ftree.AggField) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// attrOf mirrors plan.attrOf for engine-internal node addressing.
+func attrOf(n *ftree.Node) string {
+	if n.IsAgg() {
+		if n.Alias != "" {
+			return n.Alias
+		}
+		return n.Agg.Label()
+	}
+	return n.Attrs[0]
+}

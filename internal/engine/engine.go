@@ -1,0 +1,359 @@
+// Package engine implements the FDB query engine: it compiles queries
+// with aggregates, group-by, order-by and limit into f-plans (package
+// plan), executes them over factorised data (packages fops/frep), and
+// enumerates results with constant delay — flat output ("FDB") or
+// factorised output ("FDB f/o") per the paper's experimental setup.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/plan"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+// DB is a catalogue of named flat relations.
+type DB map[string]*relation.Relation
+
+// Engine evaluates queries over flat relations or factorised views.
+type Engine struct {
+	// PartialAgg enables eager partial aggregation (on by default via
+	// New); disabling it is the lazy-aggregation ablation.
+	PartialAgg bool
+	// Exhaustive uses the Dijkstra planner instead of the greedy
+	// heuristic.
+	Exhaustive bool
+	// Materialise forces the final aggregate to be materialised as a
+	// single attribute even when on-the-fly combination at enumeration
+	// time (Example 1, scenario 3) would avoid it.
+	Materialise bool
+}
+
+// New returns an engine with the paper's default configuration.
+func New() *Engine { return &Engine{PartialAgg: true} }
+
+// Result is an evaluated query: the factorised output plus everything
+// needed to enumerate flat tuples in the requested order.
+type Result struct {
+	Query *query.Query
+	// FRel is the factorised result after plan execution ("FDB f/o"
+	// output). For aggregation queries it contains the group-by
+	// attributes and (possibly several) partial-aggregate leaves.
+	FRel *fops.FRel
+	// Plan is the executed f-plan.
+	Plan *plan.Plan
+
+	eng *Engine
+}
+
+// Run evaluates the query against flat base relations: each input is
+// factorised as a linear path, the product forms the initial forest, and
+// the f-plan performs selections, aggregation and restructuring.
+//
+// The attribute order inside each relation's path changes which
+// factorisations the plan passes through (a join attribute buried at the
+// bottom of a path forces replication), so Run explores a small set of
+// candidate orders per relation — the original order plus one rotation
+// per join attribute — and keeps the combination whose plan has the
+// lowest size-bound cost (the paper's cost metric, Section 5).
+func (e *Engine) Run(q *query.Query, db DB) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rels := make([]*relation.Relation, len(q.Relations))
+	var cat []ftree.CatalogRelation
+	seen := map[string]string{}
+	for i, name := range q.Relations {
+		rel, ok := db[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
+		for _, a := range rel.Attrs {
+			if prev, dup := seen[a]; dup {
+				return nil, fmt.Errorf("engine: attribute %q appears in both %s and %s; rename one side", a, prev, name)
+			}
+			seen[a] = name
+		}
+		rels[i] = rel
+		cat = append(cat, ftree.CatalogRelation{Name: name, Attrs: rel.Attrs, Size: rel.Cardinality()})
+	}
+
+	orders, err := e.choosePathOrders(q, rels, cat)
+	if err != nil {
+		return nil, err
+	}
+	f := ftree.New()
+	var roots []*frep.Union
+	for i, rel := range rels {
+		f.NewRelationPath(orders[i]...)
+		sub := ftree.New()
+		sub.NewRelationPath(orders[i]...)
+		rs, err := frep.BuildUnchecked(rel, sub)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, rs[0])
+	}
+	fr := &fops.FRel{Tree: f, Roots: roots}
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+	return e.execute(q, fr, cat)
+}
+
+// choosePathOrders plans the query over every combination of candidate
+// path orders (capped) and returns the attribute orders of the cheapest
+// plan.
+func (e *Engine) choosePathOrders(q *query.Query, rels []*relation.Relation, cat []ftree.CatalogRelation) ([][]string, error) {
+	joinAttr := map[string]bool{}
+	for _, eq := range q.Equalities {
+		joinAttr[eq.A] = true
+		joinAttr[eq.B] = true
+	}
+	cands := make([][][]string, len(rels))
+	combos := 1
+	for i, rel := range rels {
+		cands[i] = pathCandidates(rel.Attrs, joinAttr)
+		combos *= len(cands[i])
+	}
+	const maxCombos = 64
+	if combos > maxCombos {
+		// Too many: keep only the first candidate (join attribute first)
+		// per relation.
+		for i := range cands {
+			cands[i] = cands[i][:1]
+		}
+		combos = 1
+	}
+	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg}
+	var best [][]string
+	bestCost := 0.0
+	idx := make([]int, len(rels))
+	for {
+		f := ftree.New()
+		orders := make([][]string, len(rels))
+		for i := range rels {
+			orders[i] = cands[i][idx[i]]
+			f.NewRelationPath(orders[i]...)
+		}
+		if fp, err := pl.Plan(f, q); err == nil {
+			if best == nil || fp.Cost < bestCost {
+				best = orders
+				bestCost = fp.Cost
+			}
+		}
+		// Next combination.
+		k := 0
+		for k < len(idx) {
+			idx[k]++
+			if idx[k] < len(cands[k]) {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == len(idx) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("engine: no executable plan found for %s", q)
+	}
+	return best, nil
+}
+
+// pathCandidates returns candidate linear-path orders for one relation:
+// for each join attribute, a rotation with it first (rest in original
+// order), then the original order. Duplicates are removed.
+func pathCandidates(attrs []string, joinAttr map[string]bool) [][]string {
+	var out [][]string
+	seen := map[string]bool{}
+	add := func(order []string) {
+		key := ""
+		for _, a := range order {
+			key += a + "|"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, order)
+		}
+	}
+	for _, j := range attrs {
+		if !joinAttr[j] {
+			continue
+		}
+		order := make([]string, 0, len(attrs))
+		order = append(order, j)
+		for _, a := range attrs {
+			if a != j {
+				order = append(order, a)
+			}
+		}
+		add(order)
+	}
+	add(append([]string{}, attrs...))
+	return out
+}
+
+// RunOnView evaluates a query (no joins) against a materialised
+// factorised view. The view itself is never modified: operators build new
+// structure and share untouched subtrees, so repeated queries against one
+// view are cheap. cat supplies relation sizes for the cost model and may
+// be nil.
+func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Equalities) > 0 {
+		return nil, fmt.Errorf("engine: RunOnView does not support equality selections; materialise them into the view")
+	}
+	tree, _ := view.Tree.Clone()
+	fr := &fops.FRel{Tree: tree, Roots: append([]*frep.Union{}, view.Roots...)}
+	return e.execute(q, fr, cat)
+}
+
+func (e *Engine) execute(q *query.Query, fr *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
+	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive}
+	fplan, err := pl.Plan(fr.Tree, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := fplan.Execute(fr); err != nil {
+		return nil, err
+	}
+	return &Result{Query: q, FRel: fr, Plan: fplan, eng: e}, nil
+}
+
+// orderOnAggregate reports whether some order item references an
+// aggregate output rather than a group-by attribute.
+func orderOnAggregate(q *query.Query) bool {
+	inG := map[string]bool{}
+	for _, g := range q.GroupBy {
+		inG[g] = true
+	}
+	for _, o := range q.OrderBy {
+		if !inG[o.Attr] {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach streams the query's output tuples in the requested order,
+// applying HAVING and LIMIT. fn returns false to stop early. The output
+// schema is Query.OutputAttrs().
+func (r *Result) ForEach(fn func(relation.Tuple) bool) error {
+	if !r.Query.IsAggregate() {
+		return r.forEachSPJ(fn)
+	}
+	if orderOnAggregate(r.Query) || r.eng.Materialise {
+		return r.forEachMaterialised(fn)
+	}
+	return r.forEachGrouped(fn)
+}
+
+// Relation materialises the output as a relation (in enumeration order).
+func (r *Result) Relation() (*relation.Relation, error) {
+	var rows []relation.Tuple
+	err := r.ForEach(func(t relation.Tuple) bool {
+		rows = append(rows, t.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return relation.New("result", r.Query.OutputAttrs(), rows)
+}
+
+// Count streams the output and returns the number of tuples (after HAVING
+// and LIMIT); used by benchmarks to force full enumeration.
+func (r *Result) Count() (int, error) {
+	n := 0
+	err := r.ForEach(func(relation.Tuple) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Explain renders the executed f-plan, the resulting f-tree and the
+// representation size, for EXPLAIN-style output.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:  %s\n", r.Query)
+	if len(r.Plan.Ops) == 0 {
+		b.WriteString("f-plan: (no operators — the view already supports the query)\n")
+	} else {
+		fmt.Fprintf(&b, "f-plan: %s\n", r.Plan)
+	}
+	fmt.Fprintf(&b, "cost:   %.0f (size-bound metric)\n", r.Plan.Cost)
+	fmt.Fprintf(&b, "result f-tree:\n%s", indent(r.FRel.Tree.String(), "  "))
+	fmt.Fprintf(&b, "result size: %d singletons\n", r.FRel.Singletons())
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func (r *Result) forEachSPJ(fn func(relation.Tuple) bool) error {
+	var specs []frep.OrderSpec
+	for _, o := range r.Query.OrderBy {
+		specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
+	}
+	en, err := frep.NewEnumerator(r.FRel.Tree, r.FRel.Roots, specs)
+	if err != nil {
+		return err
+	}
+	outs := r.Query.OutputAttrs()
+	if len(outs) == 0 {
+		outs = en.Schema()
+	}
+	idx, err := columnIndices(en.Schema(), outs)
+	if err != nil {
+		return err
+	}
+	limit := r.Query.Limit
+	emitted := 0
+	out := make(relation.Tuple, len(idx))
+	for en.Next() {
+		t := en.Tuple()
+		for i, j := range idx {
+			out[i] = t[j]
+		}
+		if !fn(out) {
+			return nil
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			return nil
+		}
+	}
+	return nil
+}
+
+func columnIndices(schema, want []string) ([]int, error) {
+	idx := make([]int, len(want))
+	for i, w := range want {
+		idx[i] = -1
+		for j, s := range schema {
+			if s == w {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("engine: output attribute %q not in schema %v", w, schema)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb/internal/query"
+)
+
+func TestExplainOutput(t *testing.T) {
+	view, cat := pizzeriaView(t)
+	q := &query.Query{
+		Relations:  []string{"R"},
+		GroupBy:    []string{"customer"},
+		Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "revenue"}},
+	}
+	res, err := New().RunOnView(q, view, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Explain()
+	for _, frag := range []string{"f-plan:", "γ", "cost:", "result f-tree:", "customer", "singletons"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainNoOps(t *testing.T) {
+	// A query the view supports directly has an empty plan.
+	view, cat := pizzeriaView(t)
+	q := &query.Query{Relations: []string{"R"}}
+	res, err := New().RunOnView(q, view, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Explain()
+	if !strings.Contains(out, "no operators") {
+		t.Errorf("Explain should report the empty plan:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+// Package fops implements the f-plan operators of the FDB engine on
+// coupled (f-tree, factorised representation) pairs: the restructuring
+// operators swap, merge, absorb, selection with a constant, projection
+// (remove leaf) and renaming from Bakibayev et al. (PVLDB 2012), and the
+// new aggregation operator γ_F(U) of Section 3 of the paper.
+//
+// Every operator transforms the f-tree (via the plan/apply split of
+// package ftree) and the representation consistently, preserving the
+// representation invariants: values in unions stay sorted and distinct,
+// and empty unions are pruned upwards.
+package fops
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+// Paranoid enables expensive internal consistency checks inside operators
+// (for example, verifying that subtrees classified as independent during a
+// swap really are equal across contexts). Tests enable it; benchmarks run
+// with it off.
+var Paranoid = false
+
+// FRel is a factorised relation: an f-tree together with a representation
+// over it (one Union per f-tree root).
+type FRel struct {
+	Tree  *ftree.Forest
+	Roots []*frep.Union
+}
+
+// FromRelation factorises a relation over the f-tree, verifying the
+// decomposition (frep.Build).
+func FromRelation(rel *relation.Relation, f *ftree.Forest) (*FRel, error) {
+	roots, err := frep.Build(rel, f)
+	if err != nil {
+		return nil, err
+	}
+	return &FRel{Tree: f, Roots: roots}, nil
+}
+
+// FromRelationUnchecked factorises without verifying the decomposition;
+// use only for f-trees known to be valid (for example linear paths).
+func FromRelationUnchecked(rel *relation.Relation, f *ftree.Forest) (*FRel, error) {
+	roots, err := frep.BuildUnchecked(rel, f)
+	if err != nil {
+		return nil, err
+	}
+	return &FRel{Tree: f, Roots: roots}, nil
+}
+
+// Clone deep-copies the factorised relation. The returned FRel's tree
+// nodes correspond to the original's via the second return value.
+func (fr *FRel) Clone() (*FRel, map[*ftree.Node]*ftree.Node) {
+	t, corr := fr.Tree.Clone()
+	return &FRel{Tree: t, Roots: frep.CloneAll(fr.Roots)}, corr
+}
+
+// IsEmpty reports whether the represented relation is empty (some root
+// union has no values).
+func (fr *FRel) IsEmpty() bool {
+	for _, r := range fr.Roots {
+		if r.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// MakeEmpty canonicalises an empty representation: every root union
+// becomes empty.
+func (fr *FRel) MakeEmpty() {
+	for i := range fr.Roots {
+		fr.Roots[i] = &frep.Union{}
+	}
+}
+
+// Check verifies the representation invariants against the f-tree;
+// intended for tests and Paranoid mode.
+func (fr *FRel) Check() error {
+	if err := fr.Tree.Validate(); err != nil {
+		return err
+	}
+	return frep.CheckInvariantsAll(fr.Tree, fr.Roots)
+}
+
+// Flatten materialises the represented relation (plain values; aggregate
+// nodes contribute their stored values).
+func (fr *FRel) Flatten() (*relation.Relation, error) {
+	return frep.Flatten(fr.Tree, fr.Roots)
+}
+
+// Singletons returns the representation size in singletons.
+func (fr *FRel) Singletons() int { return frep.SingletonsAll(fr.Roots) }
+
+// pathFromRoot returns the index of n's root tree and the child-index
+// path from that root down to n (empty when n is a root).
+func (fr *FRel) pathFromRoot(n *ftree.Node) (int, []int, error) {
+	var rev []int
+	top := n
+	for top.Parent != nil {
+		rev = append(rev, top.Parent.ChildIndex(top))
+		top = top.Parent
+	}
+	ri := fr.Tree.RootIndex(top)
+	if ri < 0 {
+		return 0, nil, fmt.Errorf("fops: node %s not in this forest", n.Label())
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return ri, path, nil
+}
+
+// rebuildAt applies fn to every occurrence of the node identified by
+// (rootIdx, path), pruning values whose transformed subtree became empty.
+// fn receives an occurrence union and returns its replacement (which may
+// be empty to delete the context).
+func (fr *FRel) rebuildAt(rootIdx int, path []int, fn func(*frep.Union) *frep.Union) {
+	fr.Roots[rootIdx] = rebuild(fr.Roots[rootIdx], path, fn)
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+}
+
+func rebuild(u *frep.Union, path []int, fn func(*frep.Union) *frep.Union) *frep.Union {
+	if len(path) == 0 {
+		return fn(u)
+	}
+	p := path[0]
+	out := &frep.Union{}
+	if u.Kids != nil {
+		out.Kids = [][]*frep.Union{}
+	}
+	for i := range u.Vals {
+		row := u.Kids[i]
+		nk := rebuild(row[p], path[1:], fn)
+		if nk.IsEmpty() {
+			continue // prune this value
+		}
+		newRow := make([]*frep.Union, len(row))
+		copy(newRow, row)
+		newRow[p] = nk
+		out.Vals = append(out.Vals, u.Vals[i])
+		out.Kids = append(out.Kids, newRow)
+	}
+	return out
+}

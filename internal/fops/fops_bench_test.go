@@ -1,0 +1,128 @@
+package fops
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func benchFRel(b *testing.B, n int) *FRel {
+	b.Helper()
+	wasParanoid := Paranoid
+	Paranoid = false
+	b.Cleanup(func() { Paranoid = wasParanoid })
+	rng := rand.New(rand.NewSource(11))
+	ts := make([]relation.Tuple, n)
+	for i := range ts {
+		ts[i] = relation.Tuple{
+			values.NewInt(int64(rng.Intn(n/16 + 1))),
+			values.NewInt(int64(rng.Intn(64))),
+			values.NewInt(int64(rng.Intn(1024))),
+		}
+	}
+	rel := relation.MustNew("R", []string{"a", "b", "c"}, ts).Dedup()
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	fr, err := FromRelationUnchecked(rel, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fr
+}
+
+// BenchmarkSwap measures the χ restructuring operator (the cost of
+// re-sorting/regrouping factorised data) per singleton.
+func BenchmarkSwap(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			base := benchFRel(b, n)
+			sing := base.Singletons()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fr, _ := base.Clone()
+				b.StartTimer()
+				if err := fr.Swap("b"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(sing), "ns/singleton")
+		})
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			base := benchFRel(b, n)
+			fields := []ftree.AggField{{Fn: ftree.Sum, Arg: "c"}, {Fn: ftree.Count}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fr, _ := base.Clone()
+				b.StartTimer()
+				if err := fr.Gamma("b", fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelectConst(b *testing.B) {
+	base := benchFRel(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fr, _ := base.Clone()
+		b.StartTimer()
+		if err := fr.SelectConst("c", LT, values.NewInt(512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	mk := func(name, a1, a2 string, n int) *relation.Relation {
+		ts := make([]relation.Tuple, n)
+		for i := range ts {
+			ts[i] = relation.Tuple{
+				values.NewInt(int64(rng.Intn(n / 4))),
+				values.NewInt(int64(rng.Intn(64))),
+			}
+		}
+		return relation.MustNew(name, []string{a1, a2}, ts).Dedup()
+	}
+	r := mk("R", "x", "y", 20000)
+	s := mk("S", "x2", "z", 20000)
+	wasParanoid := Paranoid
+	Paranoid = false
+	b.Cleanup(func() { Paranoid = wasParanoid })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fr1 := mustRel(b, r)
+		fr2 := mustRel(b, s)
+		fr := Product(fr1, fr2)
+		b.StartTimer()
+		if err := fr.Merge("x", "x2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustRel(b *testing.B, rel *relation.Relation) *FRel {
+	b.Helper()
+	f := ftree.New()
+	f.NewRelationPath(rel.Attrs...)
+	fr, err := FromRelationUnchecked(rel, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fr
+}

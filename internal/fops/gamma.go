@@ -1,0 +1,132 @@
+package fops
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// Gamma applies the aggregation operator γ_F(U) of Section 3: the subtree
+// rooted at the node carrying attr is replaced — in the f-tree by a new
+// aggregate node F(U), and in the representation by a singleton holding
+// the value of F on each occurrence's represented relation, computed by
+// the linear-time algorithms of Section 3.2. fields may hold several
+// aggregation functions (composite aggregates, Section 3.2.4); their
+// values are stored as a vector.
+func (fr *FRel) Gamma(attr string, fields []ftree.AggField) error {
+	n := fr.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: γ: unknown attribute %q", attr)
+	}
+	return fr.GammaNode(n, fields)
+}
+
+// GammaNode is Gamma addressing the subtree root node directly.
+func (fr *FRel) GammaNode(u *ftree.Node, fields []ftree.AggField) error {
+	plan, err := ftree.PlanAgg(fr.Tree, u, fields)
+	if err != nil {
+		return err
+	}
+	ev, err := frep.NewEvaluator(u, fields)
+	if err != nil {
+		return err
+	}
+	ri, path, err := fr.pathFromRoot(u)
+	if err != nil {
+		return err
+	}
+	wasEmpty := fr.IsEmpty()
+	var evalErr error
+	fr.rebuildAt(ri, path, func(sub *frep.Union) *frep.Union {
+		if evalErr != nil {
+			return &frep.Union{}
+		}
+		vals, err := ev.Eval(sub)
+		if err != nil {
+			evalErr = err
+			return &frep.Union{}
+		}
+		var v values.Value
+		if len(vals) == 1 {
+			v = vals[0]
+		} else {
+			v = values.NewVec(vals)
+		}
+		return &frep.Union{Vals: []values.Value{v}}
+	})
+	if evalErr != nil {
+		return evalErr
+	}
+	fr.Tree.ApplyAgg(plan)
+	if wasEmpty {
+		fr.MakeEmpty()
+	}
+	return nil
+}
+
+// CanGamma reports whether γ_fields over the subtree rooted at u composes
+// with the aggregates already present inside it (Proposition 2): it
+// attempts to compile the evaluator.
+func CanGamma(u *ftree.Node, fields []ftree.AggField) error {
+	_, err := frep.NewEvaluator(u, fields)
+	return err
+}
+
+// ComputeScalar converts a leaf aggregate node into an atomic node named
+// newName whose values are fn applied to the stored aggregates, re-sorted
+// and deduplicated. It is used to finalise derived aggregates — for
+// example avg, stored as the composite (sum, count) vector, becomes the
+// scalar quotient so that the result can be ordered and enumerated by it.
+// The converted node loses its aggregate interpretation and must not be
+// aggregated over again.
+func (fr *FRel) ComputeScalar(attr, newName string, fn func(values.Value) values.Value) error {
+	n := fr.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: compute: unknown attribute %q", attr)
+	}
+	if !n.IsAgg() {
+		return fmt.Errorf("fops: compute: %q is not an aggregate node", attr)
+	}
+	if !n.IsLeaf() {
+		return fmt.Errorf("fops: compute: aggregate node %q must be a leaf", attr)
+	}
+	ri, path, err := fr.pathFromRoot(n)
+	if err != nil {
+		return err
+	}
+	fr.rebuildAt(ri, path, func(u *frep.Union) *frep.Union {
+		mapped := make([]values.Value, len(u.Vals))
+		for i, v := range u.Vals {
+			mapped[i] = fn(v)
+		}
+		sort.Slice(mapped, func(a, b int) bool { return values.Less(mapped[a], mapped[b]) })
+		out := &frep.Union{}
+		for _, v := range mapped {
+			if len(out.Vals) == 0 || values.Compare(out.Vals[len(out.Vals)-1], v) != 0 {
+				out.Vals = append(out.Vals, v)
+			}
+		}
+		return out
+	})
+	n.Agg = nil
+	n.Alias = ""
+	n.Attrs = []string{newName}
+	return nil
+}
+
+// Product combines two factorised relations into one representing their
+// Cartesian product: the forests are concatenated (with b's dependency
+// tokens shifted to stay disjoint from a's) and the root unions appended.
+// The inputs are consumed.
+func Product(a, b *FRel) *FRel {
+	b.Tree.ShiftTokens(a.Tree.TokenBound())
+	a.Tree.Concat(b.Tree)
+	a.Roots = append(a.Roots, b.Roots...)
+	if a.IsEmpty() {
+		a.MakeEmpty()
+	}
+	return a
+}

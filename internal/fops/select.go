@@ -1,0 +1,348 @@
+package fops
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// CmpOp is a comparison operator for selections with constants.
+type CmpOp uint8
+
+// Supported comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Holds reports whether "a op b" holds under the total value order.
+func (op CmpOp) Holds(a, b values.Value) bool {
+	c := values.Compare(a, b)
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// SelectConst applies the selection σ_{attr op c} in one traversal of the
+// representation, filtering the attribute's unions and pruning emptied
+// contexts.
+func (fr *FRel) SelectConst(attr string, op CmpOp, c values.Value) error {
+	n := fr.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: select: unknown attribute %q", attr)
+	}
+	ri, path, err := fr.pathFromRoot(n)
+	if err != nil {
+		return err
+	}
+	fr.rebuildAt(ri, path, func(u *frep.Union) *frep.Union {
+		out := &frep.Union{}
+		if u.Kids != nil {
+			out.Kids = [][]*frep.Union{}
+		}
+		for i, v := range u.Vals {
+			if !op.Holds(v, c) {
+				continue
+			}
+			out.Vals = append(out.Vals, v)
+			if u.Kids != nil {
+				out.Kids = append(out.Kids, u.Kids[i])
+			}
+		}
+		return out
+	})
+	return nil
+}
+
+// Merge implements the equality selection attrA = attrB when the two
+// attributes' nodes are siblings (children of the same node, or both
+// roots): the sorted value lists are intersected, the two nodes' children
+// are concatenated, and the two classes become one (the paper's merge
+// operator).
+func (fr *FRel) Merge(attrA, attrB string) error {
+	x := fr.Tree.ResolveAttr(attrA)
+	y := fr.Tree.ResolveAttr(attrB)
+	if x == nil || y == nil {
+		return fmt.Errorf("fops: merge: unknown attribute %q or %q", attrA, attrB)
+	}
+	if x == y {
+		return nil // already equal
+	}
+	plan, err := ftree.PlanMerge(fr.Tree, x, y)
+	if err != nil {
+		return err
+	}
+	mergeData := func(row []*frep.Union) ([]*frep.Union, bool) {
+		ux, uy := row[plan.XIdx], row[plan.YIdx]
+		merged := intersectUnions(ux, uy)
+		if merged.IsEmpty() {
+			return nil, false
+		}
+		out := make([]*frep.Union, 0, len(row)-1)
+		for k, u := range row {
+			switch k {
+			case plan.XIdx:
+				out = append(out, merged)
+			case plan.YIdx:
+				// dropped
+			default:
+				out = append(out, u)
+			}
+		}
+		return out, true
+	}
+	if plan.Parent == nil {
+		row, ok := mergeData(fr.Roots)
+		if !ok {
+			fr.Tree.ApplyMerge(plan)
+			fr.Roots = fr.Roots[:len(fr.Roots)-1]
+			fr.MakeEmpty()
+			return nil
+		}
+		fr.Roots = row
+	} else {
+		ri, path, err := fr.pathFromRoot(plan.Parent)
+		if err != nil {
+			return err
+		}
+		fr.rebuildAt(ri, path, func(u *frep.Union) *frep.Union {
+			out := &frep.Union{Kids: [][]*frep.Union{}}
+			for i, v := range u.Vals {
+				row, ok := mergeData(u.Kids[i])
+				if !ok {
+					continue
+				}
+				out.Vals = append(out.Vals, v)
+				out.Kids = append(out.Kids, row)
+			}
+			return out
+		})
+	}
+	fr.Tree.ApplyMerge(plan)
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+	return nil
+}
+
+// intersectUnions intersects two sorted unions; for each common value the
+// children of both sides are concatenated (x's children first), matching
+// the merged node's child order.
+func intersectUnions(x, y *frep.Union) *frep.Union {
+	out := &frep.Union{}
+	hasKids := x.Kids != nil || y.Kids != nil
+	if hasKids {
+		out.Kids = [][]*frep.Union{}
+	}
+	i, j := 0, 0
+	for i < len(x.Vals) && j < len(y.Vals) {
+		c := values.Compare(x.Vals[i], y.Vals[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out.Vals = append(out.Vals, x.Vals[i])
+			if hasKids {
+				row := make([]*frep.Union, 0, len(x.KidsAt(i))+len(y.KidsAt(j)))
+				row = append(row, x.KidsAt(i)...)
+				row = append(row, y.KidsAt(j)...)
+				out.Kids = append(out.Kids, row)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Absorb implements the equality selection attrAnc = attrDesc when
+// attrDesc's node is a strict descendant of attrAnc's node: within each
+// ancestor value's context the descendant union is restricted to that
+// value, the descendant node's class is absorbed into the ancestor's, and
+// its children are hoisted to its parent (the paper's absorb operator).
+func (fr *FRel) Absorb(attrAnc, attrDesc string) error {
+	a := fr.Tree.ResolveAttr(attrAnc)
+	d := fr.Tree.ResolveAttr(attrDesc)
+	if a == nil || d == nil {
+		return fmt.Errorf("fops: absorb: unknown attribute %q or %q", attrAnc, attrDesc)
+	}
+	if a == d {
+		return nil
+	}
+	plan, err := ftree.PlanAbsorb(a, d)
+	if err != nil {
+		return err
+	}
+	ri, path, err := fr.pathFromRoot(a)
+	if err != nil {
+		return err
+	}
+	dLeaf := d.IsLeaf()
+	fr.rebuildAt(ri, path, func(ua *frep.Union) *frep.Union {
+		out := &frep.Union{Kids: [][]*frep.Union{}}
+		for i, v := range ua.Vals {
+			row, ok := absorbRow(ua.Kids[i], plan.Path, v, dLeaf)
+			if !ok {
+				continue
+			}
+			out.Vals = append(out.Vals, v)
+			out.Kids = append(out.Kids, row)
+		}
+		return out
+	})
+	fr.Tree.ApplyAbsorb(plan)
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+	return nil
+}
+
+// absorbRow restricts the descendant (reached through path) to value v and
+// splices its children into the containing row. ok=false when the value is
+// absent (context pruned).
+func absorbRow(row []*frep.Union, path []int, v values.Value, dLeaf bool) ([]*frep.Union, bool) {
+	p := path[0]
+	if len(path) == 1 {
+		du := row[p]
+		pos := sort.Search(len(du.Vals), func(k int) bool {
+			return values.Compare(du.Vals[k], v) >= 0
+		})
+		if pos >= len(du.Vals) || values.Compare(du.Vals[pos], v) != 0 {
+			return nil, false
+		}
+		out := make([]*frep.Union, 0, len(row)-1+len(du.KidsAt(pos)))
+		out = append(out, row[:p]...)
+		if !dLeaf {
+			out = append(out, du.Kids[pos]...)
+		}
+		out = append(out, row[p+1:]...)
+		return out, true
+	}
+	mid := row[p]
+	nm := &frep.Union{Kids: [][]*frep.Union{}}
+	for j, w := range mid.Vals {
+		r2, ok := absorbRow(mid.Kids[j], path[1:], v, dLeaf)
+		if !ok {
+			continue
+		}
+		nm.Vals = append(nm.Vals, w)
+		nm.Kids = append(nm.Kids, r2)
+	}
+	if nm.IsEmpty() {
+		return nil, false
+	}
+	out := make([]*frep.Union, len(row))
+	copy(out, row)
+	out[p] = nm
+	return out, true
+}
+
+// RemoveLeaf implements projection away of a leaf node: the node's unions
+// disappear from their containing rows. Set semantics — no duplicates
+// arise because the remaining factors of each product are untouched. Use
+// the aggregation operator instead when multiplicities matter.
+func (fr *FRel) RemoveLeaf(attr string) error {
+	n := fr.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: remove: unknown attribute %q", attr)
+	}
+	plan, err := ftree.PlanRemoveLeaf(fr.Tree, n)
+	if err != nil {
+		return err
+	}
+	wasEmpty := fr.IsEmpty()
+	if n.Parent == nil && len(fr.Roots) == 1 && wasEmpty {
+		// Removing the last attribute of ∅ would leave the nullary ⟨⟩,
+		// which represents one tuple, not zero. Refuse.
+		return fmt.Errorf("fops: remove: cannot project away the last attribute of an empty relation")
+	}
+	if n.Parent == nil {
+		fr.Roots = append(fr.Roots[:plan.Idx], fr.Roots[plan.Idx+1:]...)
+	} else {
+		ri, path, err := fr.pathFromRoot(n.Parent)
+		if err != nil {
+			return err
+		}
+		fr.rebuildAt(ri, path, func(u *frep.Union) *frep.Union {
+			out := &frep.Union{Vals: u.Vals}
+			if u.Kids != nil {
+				out.Kids = make([][]*frep.Union, len(u.Kids))
+				for i, row := range u.Kids {
+					nr := make([]*frep.Union, 0, len(row)-1)
+					nr = append(nr, row[:plan.Idx]...)
+					nr = append(nr, row[plan.Idx+1:]...)
+					out.Kids[i] = nr
+				}
+			}
+			return out
+		})
+	}
+	fr.Tree.ApplyRemoveLeaf(plan)
+	if wasEmpty {
+		fr.MakeEmpty()
+	}
+	return nil
+}
+
+// Rename renames an attribute: for an atomic attribute the class member is
+// renamed; for an aggregate node (referenced by its label or current
+// alias) the alias is set. Constant time — names live in the f-tree.
+func (fr *FRel) Rename(attr, to string) error {
+	n := fr.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: rename: unknown attribute %q", attr)
+	}
+	if n.IsAgg() {
+		n.Alias = to
+		return nil
+	}
+	for i, a := range n.Attrs {
+		if a == attr {
+			n.Attrs[i] = to
+			return nil
+		}
+	}
+	return fmt.Errorf("fops: rename: attribute %q not found in class %s", attr, n.Label())
+}

@@ -1,0 +1,199 @@
+package fops
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// Swap applies the restructuring operator χ_{A,B} (Section 4.2): node B
+// (carrying attr) is exchanged with its parent A. On the data side every
+// occurrence
+//
+//	⋃_a ⟨A:a⟩ × E_a × ⋃_b (⟨B:b⟩ × F_b × G_ab)
+//
+// is regrouped into
+//
+//	⋃_b ⟨B:b⟩ × F_b × ⋃_a (⟨A:a⟩ × E_a × G_ab)
+//
+// where F_b are the children of B independent of A (they move up with B)
+// and G_ab the dependent ones (they stay below A). The cost is linear in
+// the size of the restructured fragment.
+func (fr *FRel) Swap(attr string) error {
+	b := fr.Tree.ResolveAttr(attr)
+	if b == nil {
+		return fmt.Errorf("fops: swap: unknown attribute %q", attr)
+	}
+	return fr.SwapNode(b)
+}
+
+// SwapNode is Swap addressing the f-tree node directly.
+func (fr *FRel) SwapNode(b *ftree.Node) error {
+	plan, err := ftree.PlanSwap(b)
+	if err != nil {
+		return err
+	}
+	a := plan.A
+	ri, path, err := fr.pathFromRoot(a)
+	if err != nil {
+		return err
+	}
+	// Positions of A's children other than B, in order (they follow A in
+	// the output rows, preceding the dependent children of B — matching
+	// ftree.ApplySwap's child order: A.Children = aOther ++ dep).
+	var aOther []int
+	for i := range a.Children {
+		if i != plan.BIdx {
+			aOther = append(aOther, i)
+		}
+	}
+	fr.rebuildAt(ri, path, func(ua *frep.Union) *frep.Union {
+		return swapUnion(ua, plan, aOther)
+	})
+	fr.Tree.ApplySwap(plan)
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+	return nil
+}
+
+func swapUnion(ua *frep.Union, plan *ftree.SwapPlan, aOther []int) *frep.Union {
+	// Gather all (a, b) pairs as packed indices (aIdx<<32 | bIdx): the
+	// sort then moves 8-byte words and each comparison looks the b-value
+	// up through a small per-a table.
+	bUnions := make([]*frep.Union, len(ua.Vals))
+	total := 0
+	for i := range ua.Vals {
+		bUnions[i] = ua.Kids[i][plan.BIdx]
+		total += bUnions[i].Len()
+	}
+	allInt := true
+	for i := range ua.Vals {
+		for _, v := range bUnions[i].Vals {
+			if v.Kind() != values.Int {
+				allInt = false
+				break
+			}
+		}
+		if !allInt {
+			break
+		}
+	}
+	entries := make([]int64, 0, total)
+	for i := range ua.Vals {
+		for j := range bUnions[i].Vals {
+			entries = append(entries, int64(i)<<32|int64(j))
+		}
+	}
+	valOf := func(e int64) values.Value {
+		return bUnions[e>>32].Vals[int32(e)]
+	}
+	// Group by b, breaking ties by the a-position so each group keeps
+	// the ascending a-order (the packed aIdx sits in the high bits).
+	if allInt {
+		// Fast path: sort (int key, packed position) pairs without
+		// touching Value structs in the comparator.
+		type keyed struct{ k, e int64 }
+		ks := make([]keyed, len(entries))
+		for i, e := range entries {
+			ks[i] = keyed{k: valOf(e).Int(), e: e}
+		}
+		slices.SortFunc(ks, func(x, y keyed) int {
+			switch {
+			case x.k < y.k:
+				return -1
+			case x.k > y.k:
+				return 1
+			case x.e < y.e:
+				return -1
+			case x.e > y.e:
+				return 1
+			default:
+				return 0
+			}
+		})
+		for i, kv := range ks {
+			entries[i] = kv.e
+		}
+	} else {
+		slices.SortFunc(entries, func(x, y int64) int {
+			if c := values.Compare(valOf(x), valOf(y)); c != 0 {
+				return c
+			}
+			return int(x>>32) - int(y>>32)
+		})
+	}
+
+	out := &frep.Union{}
+	aRowLen := len(aOther) + len(plan.DepIdx)
+	for start := 0; start < len(entries); {
+		end := start + 1
+		firstVal := valOf(entries[start])
+		for end < len(entries) && values.Compare(valOf(entries[end]), firstVal) == 0 {
+			end++
+		}
+		run := entries[start:end]
+		first := swapEntry{aIdx: int32(run[0] >> 32), bIdx: int32(run[0])}
+		firstRow := bUnions[first.aIdx].KidsAt(int(first.bIdx))
+		// Independent children move up with B, taken from the first
+		// occurrence (they are equal across occurrences by the
+		// dependency analysis).
+		indep := make([]*frep.Union, 0, len(plan.IndepIdx))
+		for _, k := range plan.IndepIdx {
+			indep = append(indep, firstRow[k])
+		}
+		if Paranoid {
+			for _, e := range run[1:] {
+				bRow := bUnions[int32(e>>32)].KidsAt(int(int32(e)))
+				for gi, k := range plan.IndepIdx {
+					if !frep.Equal(indep[gi], bRow[k]) {
+						panic(fmt.Sprintf("fops: swap: subtree classified independent differs across contexts for value %v", firstVal))
+					}
+				}
+			}
+		}
+		// The new A-union below this b: for each occurrence, the E_a
+		// parts followed by the G_ab parts. All rows of the run share one
+		// backing array to keep allocation counts low.
+		na := &frep.Union{Vals: make([]values.Value, 0, len(run))}
+		if aRowLen > 0 {
+			na.Kids = make([][]*frep.Union, 0, len(run))
+		}
+		var block []*frep.Union
+		if aRowLen > 0 {
+			block = make([]*frep.Union, 0, aRowLen*len(run))
+		}
+		for _, e := range run {
+			aIdx, bIdx := int32(e>>32), int32(e)
+			na.Vals = append(na.Vals, ua.Vals[aIdx])
+			if aRowLen > 0 {
+				row := ua.Kids[aIdx]
+				bRow := bUnions[aIdx].KidsAt(int(bIdx))
+				off := len(block)
+				for _, k := range aOther {
+					block = append(block, row[k])
+				}
+				for _, k := range plan.DepIdx {
+					block = append(block, bRow[k])
+				}
+				na.Kids = append(na.Kids, block[off:len(block):len(block)])
+			}
+		}
+		newRow := make([]*frep.Union, 0, 1+len(indep))
+		newRow = append(newRow, na)
+		newRow = append(newRow, indep...)
+		out.Vals = append(out.Vals, firstVal)
+		out.Kids = append(out.Kids, newRow)
+		start = end
+	}
+	return out
+}
+
+// swapEntry unpacks one gathered (a, b) position pair.
+type swapEntry struct {
+	aIdx int32
+	bIdx int32
+}

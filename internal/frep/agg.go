@@ -1,0 +1,432 @@
+package frep
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// This file implements the recursive aggregation algorithms of
+// Section 3.2: count, sum_A, min_A and max_A over a factorised
+// representation, with the Section 3.1 interpretation of previously
+// computed aggregate attributes (⟨count(X):c⟩ counts as c tuples, etc.),
+// evaluated jointly for composite aggregation functions (Section 3.2.4) so
+// shared counts are computed once.
+
+type actionKind uint8
+
+const (
+	actAbsent   actionKind = iota // field's attribute not in this subtree
+	actHere                       // atomic node carrying the argument
+	actAggField                   // aggregate node storing the field
+	actDescend                    // argument lives under one child
+)
+
+type fieldAction struct {
+	kind actionKind
+	idx  int // field index within the agg node (actAggField) or child index (actDescend)
+}
+
+type nodePlan struct {
+	// countFieldIdx: -1 for atomic nodes (multiplicity 1 per value),
+	// otherwise the index of the Count field within the aggregate node;
+	// -2 if the aggregate node has no Count field (its multiplicity is
+	// unknowable and poisons counting).
+	countFieldIdx int
+	actions       []fieldAction
+}
+
+// Evaluator computes a fixed list of aggregation functions over
+// representations of a fixed f-tree subtree. Compile once, evaluate many
+// times (the γ operator calls Eval for every occurrence of the subtree).
+// An Evaluator reuses internal per-depth scratch frames and is therefore
+// not safe for concurrent use.
+type Evaluator struct {
+	root      *ftree.Node
+	fields    []ftree.AggField
+	needCount bool
+	plans     map[*ftree.Node]*nodePlan
+	frames    []evalFrame
+	rootRes   result
+}
+
+// evalFrame holds reusable child-result storage for one recursion depth.
+type evalFrame struct {
+	kids []result
+}
+
+func (ev *Evaluator) frame(depth, nKids int) *evalFrame {
+	for len(ev.frames) <= depth {
+		ev.frames = append(ev.frames, evalFrame{})
+	}
+	f := &ev.frames[depth]
+	for len(f.kids) < nKids {
+		f.kids = append(f.kids, result{vals: make([]values.Value, len(ev.fields))})
+	}
+	return f
+}
+
+// NewEvaluator compiles an evaluator for the given fields over the subtree
+// rooted at n. It fails if the composition rules of Proposition 2 are
+// violated — for example counting over a subtree containing a min
+// aggregate, or summing an attribute covered by a count-only aggregate.
+func NewEvaluator(n *ftree.Node, fields []ftree.AggField) (*Evaluator, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("frep: evaluator needs at least one field")
+	}
+	ev := &Evaluator{
+		root:   n,
+		fields: fields,
+		plans:  map[*ftree.Node]*nodePlan{},
+	}
+	for _, fl := range fields {
+		if fl.Fn == ftree.Count {
+			ev.needCount = true
+		}
+		if fl.Fn == ftree.Sum {
+			ev.needCount = true
+		}
+	}
+	if err := ev.compile(n); err != nil {
+		return nil, err
+	}
+	// Locate each non-count field's carrier and verify the composition
+	// rules along the way.
+	for fi, fl := range fields {
+		if fl.Fn == ftree.Count {
+			continue
+		}
+		carrier := findCarrier(n, fl.Arg)
+		if carrier == nil {
+			return nil, fmt.Errorf("frep: attribute %q not in subtree %s", fl.Arg, n.Label())
+		}
+		if carrier.IsAgg() && idxOfField(carrier.Agg.Fields, fl) < 0 {
+			return nil, fmt.Errorf("frep: cannot compute %s over aggregate %s covering %q (Proposition 2)",
+				fl, carrier.Label(), fl.Arg)
+		}
+		_ = fi
+	}
+	if ev.needCount {
+		// Every aggregate node whose multiplicity matters must carry a
+		// count field. A node lacking one is acceptable only if it is the
+		// exact carrier of every count-consuming field: a requested Count
+		// needs every node's multiplicity, and a sum_A needs the
+		// multiplicity of every node except A's carrier itself.
+		hasCountField := false
+		for _, fl := range ev.fields {
+			if fl.Fn == ftree.Count {
+				hasCountField = true
+			}
+		}
+		var bad *ftree.Node
+		n.Walk(func(m *ftree.Node) {
+			if bad != nil || !m.IsAgg() {
+				return
+			}
+			if idxOfCount(m.Agg.Fields) >= 0 {
+				return
+			}
+			if hasCountField {
+				bad = m
+				return
+			}
+			for _, fl := range ev.fields {
+				if fl.Fn == ftree.Sum && idxOfField(m.Agg.Fields, fl) < 0 {
+					bad = m
+					return
+				}
+			}
+		})
+		if bad != nil {
+			return nil, fmt.Errorf("frep: cannot count multiplicities of aggregate %s (no count field; Proposition 2)", bad.Label())
+		}
+	}
+	return ev, nil
+}
+
+func idxOfField(fields []ftree.AggField, fl ftree.AggField) int {
+	for i, f := range fields {
+		if f == fl {
+			return i
+		}
+	}
+	return -1
+}
+
+func idxOfCount(fields []ftree.AggField) int {
+	for i, f := range fields {
+		if f.Fn == ftree.Count {
+			return i
+		}
+	}
+	return -1
+}
+
+// findCarrier returns the node in the subtree that carries attribute a:
+// an atomic node whose class contains it or an aggregate node covering it.
+func findCarrier(n *ftree.Node, a string) *ftree.Node {
+	var found *ftree.Node
+	n.Walk(func(m *ftree.Node) {
+		if found != nil {
+			return
+		}
+		if m.IsAgg() {
+			if m.Agg.Covers(a) {
+				found = m
+			}
+		} else if m.HasAttr(a) {
+			found = m
+		}
+	})
+	return found
+}
+
+func (ev *Evaluator) compile(n *ftree.Node) error {
+	p := &nodePlan{countFieldIdx: -1, actions: make([]fieldAction, len(ev.fields))}
+	if n.IsAgg() {
+		p.countFieldIdx = idxOfCount(n.Agg.Fields)
+		if p.countFieldIdx < 0 {
+			p.countFieldIdx = -2
+		}
+	}
+	for fi, fl := range ev.fields {
+		act := fieldAction{kind: actAbsent}
+		switch {
+		case fl.Fn == ftree.Count:
+			// Count has no carrier; it is assembled from multiplicities.
+		case n.IsAgg():
+			if i := idxOfField(n.Agg.Fields, fl); i >= 0 {
+				act = fieldAction{kind: actAggField, idx: i}
+			} else if n.Agg.Covers(fl.Arg) {
+				return fmt.Errorf("frep: cannot compute %s over aggregate %s (Proposition 2)", fl, n.Label())
+			}
+		case n.HasAttr(fl.Arg):
+			act = fieldAction{kind: actHere}
+		}
+		if act.kind == actAbsent && fl.Fn != ftree.Count {
+			for ci, c := range n.Children {
+				if findCarrier(c, fl.Arg) != nil {
+					act = fieldAction{kind: actDescend, idx: ci}
+					break
+				}
+			}
+		}
+		p.actions[fi] = act
+	}
+	ev.plans[n] = p
+	for _, c := range n.Children {
+		if err := ev.compile(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// result carries the running aggregates for one subtree representation.
+// count is -1 ("poisoned") when a multiplicity was unknowable; using a
+// poisoned count in an output is an internal error caught by Eval.
+type result struct {
+	count int64
+	vals  []values.Value
+}
+
+// Eval computes the evaluator's fields over the representation u of its
+// subtree. For an empty representation, count fields evaluate to 0 and
+// other fields to Null.
+func (ev *Evaluator) Eval(u *Union) ([]values.Value, error) {
+	out := make([]values.Value, len(ev.fields))
+	if err := ev.EvalInto(u, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalInto is Eval writing into a caller-provided slice of length
+// len(fields), avoiding the output allocation on hot paths.
+func (ev *Evaluator) EvalInto(u *Union, out []values.Value) error {
+	if ev.rootRes.vals == nil {
+		ev.rootRes.vals = make([]values.Value, len(ev.fields))
+	}
+	res := ev.rootRes
+	ev.eval(ev.root, u, 0, &res)
+	for i, fl := range ev.fields {
+		if fl.Fn == ftree.Count {
+			if res.count < 0 {
+				return fmt.Errorf("frep: poisoned count for %s (invalid aggregate composition)", fl)
+			}
+			out[i] = values.NewInt(res.count)
+		} else {
+			if isPoison(res.vals[i]) {
+				return fmt.Errorf("frep: poisoned value for %s (invalid aggregate composition)", fl)
+			}
+			out[i] = res.vals[i]
+		}
+	}
+	return nil
+}
+
+// EvalValue is Eval for single-field evaluators, returning the scalar.
+func (ev *Evaluator) EvalValue(u *Union) (values.Value, error) {
+	vs, err := ev.Eval(u)
+	if err != nil {
+		return values.Value{}, err
+	}
+	return vs[0], nil
+}
+
+// eval accumulates the aggregates for u into res, which the caller must
+// have reset (count 0, vals Null). Child results live in per-depth scratch
+// frames so steady-state evaluation does not allocate.
+func (ev *Evaluator) eval(n *ftree.Node, u *Union, depth int, res *result) {
+	p := ev.plans[n]
+	res.count = 0
+	for i := range res.vals {
+		res.vals[i] = values.Value{}
+	}
+	nc := len(n.Children)
+	var kidRes []result
+	if nc > 0 {
+		kidRes = ev.frame(depth, nc).kids[:nc]
+	}
+	for i := range u.Vals {
+		// Evaluate children once per value.
+		mult := int64(1)
+		for j := 0; j < nc; j++ {
+			ev.eval(n.Children[j], u.Kids[i][j], depth+1, &kidRes[j])
+			if kidRes[j].count < 0 || mult < 0 {
+				mult = -1
+			} else {
+				mult *= kidRes[j].count
+			}
+		}
+		// Multiplicity of this value itself.
+		self := int64(1)
+		switch {
+		case p.countFieldIdx == -2:
+			self = -1
+		case p.countFieldIdx >= 0:
+			fv := fieldValue(u.Vals[i], p.countFieldIdx, len(n.Agg.Fields))
+			self = fv.Int()
+		}
+		cnt := int64(-1)
+		if self >= 0 && mult >= 0 {
+			cnt = self * mult
+		}
+		if res.count >= 0 && cnt >= 0 {
+			res.count += cnt
+		} else {
+			res.count = -1
+		}
+		for fi, act := range p.actions {
+			fl := ev.fields[fi]
+			switch act.kind {
+			case actAbsent:
+				// Count fields are assembled from res.count; nothing here.
+			case actHere, actAggField:
+				var v values.Value
+				if act.kind == actHere {
+					v = u.Vals[i]
+				} else {
+					v = fieldValue(u.Vals[i], act.idx, len(n.Agg.Fields))
+				}
+				switch fl.Fn {
+				case ftree.Sum:
+					if isPoison(res.vals[fi]) {
+						break
+					}
+					if mult < 0 {
+						res.vals[fi] = poisonVal()
+					} else {
+						res.vals[fi] = values.Add(res.vals[fi], values.MulInt(v, mult))
+					}
+				case ftree.Min:
+					res.vals[fi] = values.Min(res.vals[fi], v)
+				case ftree.Max:
+					res.vals[fi] = values.Max(res.vals[fi], v)
+				}
+			case actDescend:
+				sub := kidRes[act.idx].vals[fi]
+				switch fl.Fn {
+				case ftree.Sum:
+					if isPoison(res.vals[fi]) {
+						break
+					}
+					// Multiply by the counts of the sibling factors and
+					// this node's own multiplicity.
+					sibMult := self
+					for j := 0; j < nc; j++ {
+						if j == act.idx {
+							continue
+						}
+						if kidRes[j].count < 0 || sibMult < 0 {
+							sibMult = -1
+							break
+						}
+						sibMult *= kidRes[j].count
+					}
+					if sibMult < 0 || isPoison(sub) {
+						res.vals[fi] = poisonVal()
+					} else if !sub.IsNull() {
+						res.vals[fi] = values.Add(res.vals[fi], values.MulInt(sub, sibMult))
+					}
+				case ftree.Min:
+					res.vals[fi] = values.Min(res.vals[fi], sub)
+				case ftree.Max:
+					res.vals[fi] = values.Max(res.vals[fi], sub)
+				}
+			}
+		}
+	}
+}
+
+// fieldValue extracts the idx-th component of an aggregate node's stored
+// value: scalar when the node has a single field, vector otherwise.
+func fieldValue(v values.Value, idx, nFields int) values.Value {
+	if nFields == 1 {
+		return v
+	}
+	return v.VecAt(idx)
+}
+
+// poison sentinel for sum results whose multiplicities were unknowable.
+func poisonVal() values.Value { return values.NewString("\x00poisoned") }
+
+func isPoison(v values.Value) bool {
+	if v.Kind() != values.String {
+		return false
+	}
+	s := v.Str()
+	return len(s) > 0 && s[0] == 0 && s == "\x00poisoned"
+}
+
+// Count returns the cardinality of the representation u over subtree n
+// under the aggregate-attribute interpretation of Section 3.1 (the paper's
+// count algorithm).
+func Count(n *ftree.Node, u *Union) (int64, error) {
+	ev, err := NewEvaluator(n, []ftree.AggField{{Fn: ftree.Count}})
+	if err != nil {
+		return 0, err
+	}
+	v, err := ev.EvalValue(u)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int(), nil
+}
+
+// CountAll multiplies Count over the roots of a forest representation.
+func CountAll(f *ftree.Forest, roots []*Union) (int64, error) {
+	total := int64(1)
+	for i, r := range f.Roots {
+		c, err := Count(r, roots[i])
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+		if total == 0 {
+			return 0, nil
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,361 @@
+package frep
+
+// Binary serialisation of factorised representations, so that
+// materialised views can be stored and reloaded without re-factorising
+// (the read-optimised scenario of the paper's Section 1). The format is
+// a simple length-prefixed pre-order encoding:
+//
+//	union   := varint(len) value* kidsFlag rows*
+//	value   := kind payload
+//	rows    := per value, one union per f-tree child
+//
+// The f-tree itself is encoded structurally (labels, aggregate fields,
+// dependency tokens, children).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+const codecMagic = "FDBV1\n"
+
+// WriteTo serialises the forest representation (f-tree plus unions) to w.
+func WriteTo(w io.Writer, f *ftree.Forest, roots []*Union) error {
+	if len(roots) != len(f.Roots) {
+		return fmt.Errorf("frep: codec: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	e := &encoder{w: bw}
+	e.uvarint(uint64(len(f.Roots)))
+	for i, r := range f.Roots {
+		e.node(r)
+		e.union(r, roots[i])
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserialises a forest representation written by WriteTo.
+func ReadFrom(r io.Reader) (*ftree.Forest, []*Union, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, nil, fmt.Errorf("frep: codec: bad magic %q", magic)
+	}
+	d := &decoder{r: br}
+	n := d.uvarint()
+	if n > 1<<20 {
+		return nil, nil, fmt.Errorf("frep: codec: implausible root count %d", n)
+	}
+	f := ftree.New()
+	var roots []*Union
+	maxTok := -1
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		nd := d.node(nil, &maxTok)
+		f.Roots = append(f.Roots, nd)
+		roots = append(roots, d.union(nd))
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	// Restore the token counter above every token seen.
+	for f.TokenBound() <= maxTok {
+		f.NewToken()
+	}
+	if err := f.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: decoded f-tree invalid: %w", err)
+	}
+	if err := CheckInvariantsAll(f, roots); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: decoded representation invalid: %w", err)
+	}
+	return f, roots, nil
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) node(n *ftree.Node) {
+	if n.IsAgg() {
+		e.byte(1)
+		e.uvarint(uint64(len(n.Agg.Fields)))
+		for _, fl := range n.Agg.Fields {
+			e.byte(byte(fl.Fn))
+			e.str(fl.Arg)
+		}
+		e.uvarint(uint64(len(n.Agg.Over)))
+		for _, a := range n.Agg.Over {
+			e.str(a)
+		}
+		e.str(n.Alias)
+	} else {
+		e.byte(0)
+		e.uvarint(uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			e.str(a)
+		}
+	}
+	toks := n.Deps.Sorted()
+	e.uvarint(uint64(len(toks)))
+	for _, t := range toks {
+		e.uvarint(uint64(t))
+	}
+	e.uvarint(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		e.node(c)
+	}
+}
+
+func (e *encoder) value(v values.Value) {
+	switch v.Kind() {
+	case values.Null:
+		e.byte(0)
+	case values.Bool:
+		e.byte(1)
+		if v.Bool() {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case values.Int:
+		e.byte(2)
+		e.varint(v.Int())
+	case values.Float:
+		e.byte(3)
+		e.uvarint(math.Float64bits(v.Float()))
+	case values.String:
+		e.byte(4)
+		e.str(v.Str())
+	case values.Vec:
+		e.byte(5)
+		e.uvarint(uint64(v.VecLen()))
+		for i := 0; i < v.VecLen(); i++ {
+			e.value(v.VecAt(i))
+		}
+	}
+}
+
+func (e *encoder) union(n *ftree.Node, u *Union) {
+	e.uvarint(uint64(len(u.Vals)))
+	for _, v := range u.Vals {
+		e.value(v)
+	}
+	for i := range u.Vals {
+		for j, c := range n.Children {
+			e.union(c, u.Kids[i][j])
+			_ = j
+		}
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.fail(fmt.Errorf("frep: codec: %w", err))
+	}
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.fail(fmt.Errorf("frep: codec: %w", err))
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		d.fail(fmt.Errorf("frep: codec: implausible string length %d", n))
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.fail(fmt.Errorf("frep: codec: %w", err))
+		return ""
+	}
+	return string(buf)
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.fail(fmt.Errorf("frep: codec: %w", err))
+	}
+	return b
+}
+
+func (d *decoder) node(parent *ftree.Node, maxTok *int) *ftree.Node {
+	n := &ftree.Node{Parent: parent}
+	switch d.byte() {
+	case 1:
+		nf := d.uvarint()
+		if nf > 64 {
+			d.fail(fmt.Errorf("frep: codec: implausible field count %d", nf))
+			return n
+		}
+		agg := &ftree.Agg{}
+		for i := uint64(0); i < nf && d.err == nil; i++ {
+			fn := ftree.Fn(d.byte())
+			arg := d.str()
+			agg.Fields = append(agg.Fields, ftree.AggField{Fn: fn, Arg: arg})
+		}
+		no := d.uvarint()
+		for i := uint64(0); i < no && d.err == nil; i++ {
+			agg.Over = append(agg.Over, d.str())
+		}
+		n.Agg = agg
+		n.Alias = d.str()
+	default:
+		na := d.uvarint()
+		if na > 1<<16 {
+			d.fail(fmt.Errorf("frep: codec: implausible class size %d", na))
+			return n
+		}
+		for i := uint64(0); i < na && d.err == nil; i++ {
+			n.Attrs = append(n.Attrs, d.str())
+		}
+	}
+	nt := d.uvarint()
+	n.Deps = ftree.NewTokenSet()
+	for i := uint64(0); i < nt && d.err == nil; i++ {
+		tok := int(d.uvarint())
+		n.Deps.Add(tok)
+		if tok > *maxTok {
+			*maxTok = tok
+		}
+	}
+	nc := d.uvarint()
+	if nc > 1<<16 {
+		d.fail(fmt.Errorf("frep: codec: implausible child count %d", nc))
+		return n
+	}
+	for i := uint64(0); i < nc && d.err == nil; i++ {
+		n.Children = append(n.Children, d.node(n, maxTok))
+	}
+	return n
+}
+
+func (d *decoder) value() values.Value {
+	switch d.byte() {
+	case 0:
+		return values.NullValue()
+	case 1:
+		return values.NewBool(d.byte() != 0)
+	case 2:
+		return values.NewInt(d.varint())
+	case 3:
+		return values.NewFloat(math.Float64frombits(d.uvarint()))
+	case 4:
+		return values.NewString(d.str())
+	case 5:
+		n := d.uvarint()
+		if n > 1<<16 {
+			d.fail(fmt.Errorf("frep: codec: implausible vector length %d", n))
+			return values.NullValue()
+		}
+		vec := make([]values.Value, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			vec = append(vec, d.value())
+		}
+		return values.NewVec(vec)
+	default:
+		d.fail(fmt.Errorf("frep: codec: unknown value kind"))
+		return values.NullValue()
+	}
+}
+
+func (d *decoder) union(n *ftree.Node) *Union {
+	nv := d.uvarint()
+	if d.err != nil {
+		return &Union{}
+	}
+	if nv > 1<<30 {
+		d.fail(fmt.Errorf("frep: codec: implausible union size %d", nv))
+		return &Union{}
+	}
+	u := &Union{Vals: make([]values.Value, 0, nv)}
+	for i := uint64(0); i < nv && d.err == nil; i++ {
+		u.Vals = append(u.Vals, d.value())
+	}
+	if len(n.Children) > 0 {
+		u.Kids = make([][]*Union, 0, nv)
+		for i := uint64(0); i < nv && d.err == nil; i++ {
+			row := make([]*Union, len(n.Children))
+			for j, c := range n.Children {
+				row[j] = d.union(c)
+			}
+			u.Kids = append(u.Kids, row)
+		}
+	}
+	return u
+}

@@ -1,0 +1,160 @@
+package frep
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func TestCodecRoundTripPizzeria(t *testing.T) {
+	_, f, roots := buildPizzeria(t)
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, f, roots); err != nil {
+		t.Fatal(err)
+	}
+	f2, roots2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CanonicalKey() != f2.CanonicalKey() {
+		t.Errorf("f-tree changed:\n%s\nvs\n%s", f, f2)
+	}
+	for i := range roots {
+		if !Equal(roots[i], roots2[i]) {
+			t.Errorf("representation changed at root %d", i)
+		}
+	}
+}
+
+func TestCodecRoundTripWithAggNodes(t *testing.T) {
+	// Include aggregate nodes (vector values, aliases) in the round trip.
+	f := ftree.New()
+	tok := f.NewToken()
+	cust := &ftree.Node{Attrs: []string{"customer"}, Deps: ftree.NewTokenSet(tok)}
+	agg := &ftree.Node{
+		Agg: &ftree.Agg{
+			Fields: []ftree.AggField{{Fn: ftree.Sum, Arg: "price"}, {Fn: ftree.Count}},
+			Over:   []string{"item", "price"},
+		},
+		Alias:  "revenue",
+		Deps:   ftree.NewTokenSet(tok),
+		Parent: cust,
+	}
+	cust.Children = []*ftree.Node{agg}
+	f.Roots = []*ftree.Node{cust}
+	vec := func(s, c int64) *Union {
+		return &Union{Vals: []values.Value{values.NewVec([]values.Value{values.NewInt(s), values.NewInt(c)})}}
+	}
+	rep := &Union{
+		Vals: []values.Value{
+			values.NewString("Lucia"), values.NewString("Mario"),
+		},
+		Kids: [][]*Union{{vec(9, 3)}, {vec(22, 7)}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, f, []*Union{rep}); err != nil {
+		t.Fatal(err)
+	}
+	f2, roots2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := f2.Roots[0].Children[0]
+	if !n2.IsAgg() || n2.Alias != "revenue" || len(n2.Agg.Fields) != 2 {
+		t.Errorf("aggregate node lost: %+v", n2)
+	}
+	if !Equal(rep, roots2[0]) {
+		t.Error("representation changed")
+	}
+}
+
+func TestCodecValueKinds(t *testing.T) {
+	f := ftree.New()
+	f.NewRelationPath("x")
+	u := &Union{Vals: []values.Value{
+		values.NullValue(),
+		values.NewBool(false),
+		values.NewBool(true),
+		values.NewInt(-42),
+		values.NewFloat(2.5),
+		values.NewString("héllo\x00world"),
+	}}
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, f, []*Union{u}); err != nil {
+		t.Fatal(err)
+	}
+	_, roots, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(u, roots[0]) {
+		t.Errorf("values changed: %v vs %v", u.Vals, roots[0].Vals)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, _, err := ReadFrom(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := ReadFrom(strings.NewReader("NOTFD\n rest")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated stream.
+	_, f, roots := buildPizzeria(t)
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, f, roots); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{7, buf.Len() / 2, buf.Len() - 1} {
+		if _, _, err := ReadFrom(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncated stream (%d bytes) should fail", cut)
+		}
+	}
+	// Arity mismatch.
+	if err := WriteTo(&buf, f, roots[:0]); err == nil {
+		t.Error("root count mismatch should fail")
+	}
+}
+
+func TestCodecRandomRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		ts := make([]relation.Tuple, n)
+		for i := range ts {
+			ts[i] = relation.Tuple{
+				values.NewInt(int64(rng.Intn(5))),
+				values.NewFloat(float64(rng.Intn(9)) / 2),
+				values.NewString(string(rune('a' + rng.Intn(4)))),
+			}
+		}
+		rel := relation.MustNew("R", []string{"x", "y", "z"}, ts).Dedup()
+		f := ftree.New()
+		f.NewRelationPath("x", "y", "z")
+		roots, err := Build(rel, f)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, f, roots); err != nil {
+			return false
+		}
+		f2, roots2, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if f.CanonicalKey() != f2.CanonicalKey() {
+			return false
+		}
+		return Equal(roots[0], roots2[0])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

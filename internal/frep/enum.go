@@ -1,0 +1,526 @@
+package frep
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// OrderSpec names an attribute to enumerate by, with direction. Attr may
+// be any name resolvable by ftree.ResolveAttr (atomic attribute, aggregate
+// alias or aggregate label).
+type OrderSpec struct {
+	Attr string
+	Desc bool
+}
+
+// slot is one loop of the enumeration odometer: the current union of one
+// f-tree node and the current position within it.
+type slot struct {
+	node       *ftree.Node
+	parentSlot int // index of the parent node's slot, or -1 for roots
+	rootIdx    int // index into the roots slice when parentSlot == -1
+	childIdx   int // position among the parent's children
+	desc       bool
+	u          *Union
+	pos        int
+}
+
+// Enumerator enumerates the tuples of a factorised representation with
+// delay independent of the data size (linear in the schema size), per
+// Section 4. With a nil order it enumerates in the representation's
+// document order; with an order list it enumerates in lexicographic order
+// by those attributes, provided the f-tree supports it (Theorem 2).
+type Enumerator struct {
+	forest  *ftree.Forest
+	roots   []*Union
+	slots   []slot
+	cols    []colRef
+	schema  []string
+	tuple   relation.Tuple
+	started bool
+	done    bool
+}
+
+// colRef locates one output column: the slot producing it and, for
+// multi-field aggregate nodes, the vector component.
+type colRef struct {
+	slotIdx  int
+	fieldIdx int // -1: the value itself; ≥0: vector component
+}
+
+// NewEnumerator creates an enumerator over the representation. order may
+// be nil for document order. It fails if the order is not supported by the
+// f-tree (restructure first — see fops and the engine) or references
+// unknown attributes.
+func NewEnumerator(f *ftree.Forest, roots []*Union, order []OrderSpec) (*Enumerator, error) {
+	if len(roots) != len(f.Roots) {
+		return nil, fmt.Errorf("frep: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
+	}
+	e := &Enumerator{forest: f, roots: roots}
+
+	// Decide the slot (loop nesting) order: order attributes first, then
+	// the remaining nodes in DFS pre-order. Ancestors always precede
+	// descendants (guaranteed by Theorem 2's condition).
+	slotIdx := map[*ftree.Node]int{}
+	addSlot := func(n *ftree.Node, desc bool) {
+		if _, ok := slotIdx[n]; ok {
+			return
+		}
+		slotIdx[n] = len(e.slots)
+		e.slots = append(e.slots, slot{node: n, desc: desc, parentSlot: -1})
+	}
+	if len(order) > 0 {
+		attrs := make([]string, len(order))
+		for i, o := range order {
+			attrs[i] = o.Attr
+		}
+		if !f.SupportsOrder(attrs) {
+			return nil, fmt.Errorf("frep: f-tree does not support constant-delay enumeration in order %v (Theorem 2)", attrs)
+		}
+		for _, o := range order {
+			n := f.ResolveAttr(o.Attr)
+			if n == nil {
+				return nil, fmt.Errorf("frep: unknown order attribute %q", o.Attr)
+			}
+			addSlot(n, o.Desc)
+		}
+	}
+	for _, n := range f.Nodes() {
+		addSlot(n, false)
+	}
+	// Wire parent/child links and root indices.
+	rootIdx := map[*ftree.Node]int{}
+	for i, r := range f.Roots {
+		rootIdx[r] = i
+	}
+	for i := range e.slots {
+		n := e.slots[i].node
+		if n.Parent == nil {
+			e.slots[i].rootIdx = rootIdx[n]
+		} else {
+			p := slotIdx[n.Parent]
+			if p >= i {
+				return nil, fmt.Errorf("frep: internal: slot for %s precedes its parent", n.Label())
+			}
+			e.slots[i].parentSlot = p
+			e.slots[i].childIdx = n.Parent.ChildIndex(n)
+		}
+	}
+	// Output columns in DFS order (same as FlatSchema).
+	for _, n := range f.Nodes() {
+		si := slotIdx[n]
+		if n.IsAgg() && len(n.Agg.Fields) > 1 {
+			for fi := range n.Agg.Fields {
+				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: fi})
+			}
+		} else {
+			for range NodeColumns(n) {
+				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: -1})
+			}
+		}
+	}
+	e.schema = FlatSchema(f)
+	e.tuple = make(relation.Tuple, len(e.cols))
+	return e, nil
+}
+
+// Schema returns the output column names (FlatSchema of the forest).
+func (e *Enumerator) Schema() []string { return e.schema }
+
+// Next advances to the next tuple, returning false when exhausted. The
+// first call positions at the first tuple.
+func (e *Enumerator) Next() bool {
+	if e.done {
+		return false
+	}
+	if !e.started {
+		e.started = true
+		for i := range e.slots {
+			if !e.resetSlot(i) {
+				e.done = true
+				return false
+			}
+		}
+		e.fill()
+		return true
+	}
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		s := &e.slots[i]
+		if s.desc {
+			if s.pos > 0 {
+				s.pos--
+			} else {
+				continue
+			}
+		} else {
+			if s.pos+1 < len(s.u.Vals) {
+				s.pos++
+			} else {
+				continue
+			}
+		}
+		for j := i + 1; j < len(e.slots); j++ {
+			if !e.resetSlot(j) {
+				// Unions below the top level are never empty, and the
+				// top level was checked at start; resetting mid-stream
+				// cannot fail.
+				e.done = true
+				return false
+			}
+		}
+		e.fill()
+		return true
+	}
+	e.done = true
+	return false
+}
+
+// resetSlot re-resolves slot i's union from its parent state and rewinds
+// its position. It returns false if the union is empty.
+func (e *Enumerator) resetSlot(i int) bool {
+	s := &e.slots[i]
+	if s.parentSlot < 0 {
+		s.u = e.roots[s.rootIdx]
+	} else {
+		p := &e.slots[s.parentSlot]
+		s.u = p.u.Kids[p.pos][s.childIdx]
+	}
+	if len(s.u.Vals) == 0 {
+		return false
+	}
+	if s.desc {
+		s.pos = len(s.u.Vals) - 1
+	} else {
+		s.pos = 0
+	}
+	return true
+}
+
+func (e *Enumerator) fill() {
+	for ci, c := range e.cols {
+		s := &e.slots[c.slotIdx]
+		v := s.u.Vals[s.pos]
+		if c.fieldIdx >= 0 {
+			v = v.VecAt(c.fieldIdx)
+		}
+		e.tuple[ci] = v
+	}
+}
+
+// Tuple returns the current tuple. The returned slice is reused by Next;
+// clone it to retain.
+func (e *Enumerator) Tuple() relation.Tuple { return e.tuple }
+
+// GroupEnumerator enumerates one tuple per group over the group-by
+// attributes G, computing the aggregation fields over the remaining
+// attributes on the fly (Example 1, scenario 3): the f-tree must support
+// grouping by G (Theorem 1), all non-group subtrees hang below group nodes
+// and are aggregated per group combination without materialising a
+// restructured factorisation.
+type GroupEnumerator struct {
+	inner   *Enumerator // over the group slots only
+	fields  []ftree.AggField
+	schema  []string
+	tuple   relation.Tuple
+	nGroup  int
+	parts   []aggPart
+	carrier []int // per field: index of the part carrying its argument, or -1
+}
+
+// aggPart is one maximal non-group subtree to aggregate: located below a
+// group slot (or at a root), with a compiled evaluator.
+type aggPart struct {
+	parentSlot int // slot index in inner enumerator; -1 for root parts
+	rootIdx    int
+	childIdx   int
+	ev         *Evaluator
+	// fieldIdx[i] maps GroupEnumerator field i to the part evaluator's
+	// field index, or -1 when the argument is not in this part.
+	fieldIdx []int
+	// countIdx is the index of the count field in the part's evaluator,
+	// or -1 when this part's multiplicity is not needed.
+	countIdx int
+	// last evaluated values and count for the current context.
+	vals  []values.Value
+	count int64
+}
+
+// NewGroupEnumerator builds a grouped enumerator: group attributes g (with
+// optional order specs applied to them), aggregation fields over
+// everything else.
+func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields []ftree.AggField) (*GroupEnumerator, error) {
+	gAttrs := make([]string, len(g))
+	for i, o := range g {
+		gAttrs[i] = o.Attr
+	}
+	if len(g) > 0 && !f.SupportsGrouping(gAttrs) {
+		return nil, fmt.Errorf("frep: f-tree does not support constant-delay grouping by %v (Theorem 1)", gAttrs)
+	}
+	// Build a reduced forest view: we reuse Enumerator over the full
+	// forest but with only group slots by constructing a sub-enumerator
+	// manually.
+	ge := &GroupEnumerator{fields: fields}
+	groupNodes := map[*ftree.Node]bool{}
+	for _, a := range gAttrs {
+		n := f.ResolveAttr(a)
+		if n == nil {
+			return nil, fmt.Errorf("frep: unknown group attribute %q", a)
+		}
+		groupNodes[n] = true
+	}
+	// Group slots in the requested order (deduplicated by node), using a
+	// hand-rolled mini enumerator: reuse Enumerator machinery by building
+	// slots directly.
+	e := &Enumerator{forest: f, roots: roots}
+	slotIdx := map[*ftree.Node]int{}
+	for _, o := range g {
+		n := f.ResolveAttr(o.Attr)
+		if _, ok := slotIdx[n]; ok {
+			continue
+		}
+		slotIdx[n] = len(e.slots)
+		e.slots = append(e.slots, slot{node: n, desc: o.Desc, parentSlot: -1})
+	}
+	rootIdx := map[*ftree.Node]int{}
+	for i, r := range f.Roots {
+		rootIdx[r] = i
+	}
+	for i := range e.slots {
+		n := e.slots[i].node
+		if n.Parent == nil {
+			e.slots[i].rootIdx = rootIdx[n]
+		} else {
+			p, ok := slotIdx[n.Parent]
+			if !ok || p >= i {
+				return nil, fmt.Errorf("frep: group attribute %s must come after its parent group attribute", n.Label())
+			}
+			e.slots[i].parentSlot = p
+			e.slots[i].childIdx = n.Parent.ChildIndex(n)
+		}
+	}
+	// Output columns: group node columns in slot order.
+	for _, s := range e.slots {
+		n := s.node
+		si := slotIdx[n]
+		if n.IsAgg() && len(n.Agg.Fields) > 1 {
+			for fi := range n.Agg.Fields {
+				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: fi})
+			}
+		} else {
+			for range NodeColumns(n) {
+				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: -1})
+			}
+		}
+		ge.schema = append(ge.schema, NodeColumns(n)...)
+	}
+	e.tuple = make(relation.Tuple, len(e.cols))
+	ge.inner = e
+	ge.nGroup = len(ge.schema)
+
+	// Aggregation parts: non-group subtrees hanging below group nodes or
+	// at roots. First collect the subtrees, then decide which need a
+	// count: a part's multiplicity matters when the query counts tuples
+	// or when a sum is carried by some other part.
+	type partLoc struct {
+		node       *ftree.Node
+		parentSlot int
+		rootIdx    int
+		childIdx   int
+	}
+	var locs []partLoc
+	for i, r := range f.Roots {
+		if !groupNodes[r] {
+			locs = append(locs, partLoc{node: r, parentSlot: -1, rootIdx: i})
+		}
+	}
+	for si := range e.slots {
+		n := e.slots[si].node
+		for ci, c := range n.Children {
+			if !groupNodes[c] {
+				locs = append(locs, partLoc{node: c, parentSlot: si, childIdx: ci})
+			}
+		}
+	}
+	// Carrier part per non-count field.
+	carrierLoc := make([]int, len(fields))
+	hasCount := false
+	for i, fl := range fields {
+		carrierLoc[i] = -1
+		if fl.Fn == ftree.Count {
+			hasCount = true
+			continue
+		}
+		for li := range locs {
+			if findCarrier(locs[li].node, fl.Arg) != nil {
+				carrierLoc[i] = li
+				break
+			}
+		}
+		if carrierLoc[i] < 0 {
+			// The argument may sit in a group node itself (aggregating a
+			// grouping attribute is degenerate but legal SQL); not
+			// supported by the on-the-fly path.
+			return nil, fmt.Errorf("frep: aggregation argument %q not found below the group-by attributes", fl.Arg)
+		}
+	}
+	needsCount := func(li int) bool {
+		if hasCount {
+			return true
+		}
+		for i, fl := range fields {
+			if fl.Fn == ftree.Sum && carrierLoc[i] != li {
+				return true
+			}
+		}
+		return false
+	}
+	locToPart := make([]int, len(locs))
+	for li, loc := range locs {
+		locToPart[li] = -1
+		var evFields []ftree.AggField
+		countIdx := -1
+		if needsCount(li) {
+			countIdx = 0
+			evFields = append(evFields, ftree.AggField{Fn: ftree.Count})
+		}
+		for i, fl := range fields {
+			if fl.Fn != ftree.Count && carrierLoc[i] == li && idxOfField(evFields, fl) < 0 {
+				evFields = append(evFields, fl)
+			}
+		}
+		if len(evFields) == 0 {
+			continue // irrelevant part: neither counted nor carrying
+		}
+		ev, err := NewEvaluator(loc.node, evFields)
+		if err != nil {
+			return nil, err
+		}
+		part := aggPart{
+			parentSlot: loc.parentSlot,
+			rootIdx:    loc.rootIdx,
+			childIdx:   loc.childIdx,
+			ev:         ev,
+			countIdx:   countIdx,
+		}
+		part.fieldIdx = make([]int, len(fields))
+		for i, fl := range fields {
+			part.fieldIdx[i] = -1
+			if fl.Fn != ftree.Count && carrierLoc[i] == li {
+				part.fieldIdx[i] = idxOfField(evFields, fl)
+			}
+		}
+		locToPart[li] = len(ge.parts)
+		ge.parts = append(ge.parts, part)
+	}
+	// Per field: which part carries the argument.
+	ge.carrier = make([]int, len(fields))
+	for i := range fields {
+		ge.carrier[i] = -1
+		if carrierLoc[i] >= 0 {
+			ge.carrier[i] = locToPart[carrierLoc[i]]
+		}
+	}
+	for _, fl := range fields {
+		ge.schema = append(ge.schema, fl.String())
+	}
+	ge.tuple = make(relation.Tuple, len(ge.schema))
+	return ge, nil
+}
+
+// Schema returns group columns followed by one column per aggregation
+// field.
+func (g *GroupEnumerator) Schema() []string { return g.schema }
+
+// Next advances to the next group, returning false when done.
+func (g *GroupEnumerator) Next() (bool, error) {
+	if len(g.inner.slots) == 0 {
+		// Single global group: emit exactly once, even for empty input
+		// (count 0, Null aggregates — engines may adjust).
+		if g.inner.done {
+			return false, nil
+		}
+		g.inner.done = true
+		if err := g.evalParts(); err != nil {
+			return false, err
+		}
+		g.fillAggs()
+		return true, nil
+	}
+	if !g.inner.Next() {
+		return false, nil
+	}
+	copy(g.tuple[:g.nGroup], g.inner.Tuple())
+	if err := g.evalParts(); err != nil {
+		return false, err
+	}
+	g.fillAggs()
+	return true, nil
+}
+
+func (g *GroupEnumerator) evalParts() error {
+	for pi := range g.parts {
+		p := &g.parts[pi]
+		var u *Union
+		if p.parentSlot < 0 {
+			u = g.inner.roots[p.rootIdx]
+		} else {
+			s := &g.inner.slots[p.parentSlot]
+			u = s.u.Kids[s.pos][p.childIdx]
+		}
+		vals, err := p.ev.Eval(u)
+		if err != nil {
+			return err
+		}
+		p.vals = vals
+		if p.countIdx >= 0 {
+			p.count = vals[p.countIdx].Int()
+		} else {
+			p.count = 1 // multiplicity not needed by any output
+		}
+	}
+	return nil
+}
+
+func (g *GroupEnumerator) fillAggs() {
+	for i, fl := range g.fields {
+		var out values.Value
+		switch fl.Fn {
+		case ftree.Count:
+			total := int64(1)
+			for pi := range g.parts {
+				total *= g.parts[pi].count
+			}
+			if len(g.parts) == 0 {
+				total = 1
+			}
+			out = values.NewInt(total)
+		case ftree.Sum:
+			p := &g.parts[g.carrier[i]]
+			v := p.vals[p.fieldIdx[i]]
+			if v.IsNull() {
+				out = values.NullValue()
+				break
+			}
+			mult := int64(1)
+			for pi := range g.parts {
+				if pi != g.carrier[i] {
+					mult *= g.parts[pi].count
+				}
+			}
+			out = values.MulInt(v, mult)
+		case ftree.Min, ftree.Max:
+			p := &g.parts[g.carrier[i]]
+			out = p.vals[p.fieldIdx[i]]
+			// If any sibling part is empty the group has no tuples; only
+			// possible at top level, where count 0 already signals it.
+		}
+		g.tuple[g.nGroup+i] = out
+	}
+}
+
+// Tuple returns the current group tuple (group values then aggregates).
+// The slice is reused; clone to retain.
+func (g *GroupEnumerator) Tuple() relation.Tuple { return g.tuple }

@@ -1,0 +1,39 @@
+package frep
+
+import (
+	"strings"
+
+	"github.com/factordb/fdb/internal/ftree"
+)
+
+// Format renders a representation in the paper's notation, e.g.
+//
+//	⟨pizza:Hawaii⟩ × (⟨date:Friday⟩ × (⟨customer:Lucia⟩ ∪ ⟨customer:Pietro⟩)) × …
+//
+// Intended for examples and debugging on small data.
+func Format(f *ftree.Forest, roots []*Union) string {
+	parts := make([]string, len(roots))
+	for i, r := range roots {
+		parts[i] = formatUnion(f.Roots[i], r)
+	}
+	return strings.Join(parts, " × ")
+}
+
+func formatUnion(n *ftree.Node, u *Union) string {
+	if u.IsEmpty() {
+		return "∅"
+	}
+	terms := make([]string, len(u.Vals))
+	for i, v := range u.Vals {
+		s := "⟨" + n.Label() + ":" + v.String() + "⟩"
+		for j, k := range u.KidsAt(i) {
+			ks := formatUnion(n.Children[j], k)
+			if k.Len() > 1 {
+				ks = "(" + ks + ")"
+			}
+			s += " × " + ks
+		}
+		terms[i] = s
+	}
+	return strings.Join(terms, " ∪ ")
+}

@@ -1,0 +1,163 @@
+package frep
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// benchRelation builds a three-attribute relation with n tuples and a
+// hierarchical value distribution that factorises well.
+func benchRelation(n int) *relation.Relation {
+	rng := rand.New(rand.NewSource(7))
+	ts := make([]relation.Tuple, n)
+	for i := range ts {
+		a := int64(rng.Intn(n/16 + 1))
+		ts[i] = relation.Tuple{
+			values.NewInt(a),
+			values.NewInt(int64(rng.Intn(32))),
+			values.NewInt(int64(rng.Intn(1024))),
+		}
+	}
+	return relation.MustNew("R", []string{"a", "b", "c"}, ts).Dedup()
+}
+
+func benchFRep(b *testing.B, n int) (*ftree.Forest, []*Union) {
+	b.Helper()
+	rel := benchRelation(n)
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	roots, err := BuildUnchecked(rel, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, roots
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		rel := benchRelation(n)
+		f := ftree.New()
+		f.NewRelationPath("a", "b", "c")
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildUnchecked(rel, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerate verifies the constant-delay claim empirically: ns/op
+// is reported per tuple and should stay flat as the data grows.
+func BenchmarkEnumerate(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		f, roots := benchFRep(b, n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				e, err := NewEnumerator(f, roots, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for e.Next() {
+					total++
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/tuple")
+		})
+	}
+}
+
+func BenchmarkEnumerateOrdered(b *testing.B) {
+	f, roots := benchFRep(b, 50000)
+	order := []OrderSpec{{Attr: "a", Desc: true}, {Attr: "b"}}
+	for i := 0; i < b.N; i++ {
+		e, err := NewEnumerator(f, roots, order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e.Next() {
+		}
+	}
+}
+
+// BenchmarkCount measures the Section 3.2 count algorithm per singleton.
+func BenchmarkCount(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		f, roots := benchFRep(b, n)
+		sing := SingletonsAll(roots)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Count(f.Roots[0], roots[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(sing), "ns/singleton")
+		})
+	}
+}
+
+func BenchmarkEvaluatorSumMin(b *testing.B) {
+	f, roots := benchFRep(b, 50000)
+	ev, err := NewEvaluator(f.Roots[0], []ftree.AggField{
+		{Fn: ftree.Count},
+		{Fn: ftree.Sum, Arg: "c"},
+		{Fn: ftree.Min, Arg: "c"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]values.Value, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvalInto(roots[0], out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupEnumerator(b *testing.B) {
+	f, roots := benchFRep(b, 50000)
+	for i := 0; i < b.N; i++ {
+		ge, err := NewGroupEnumerator(f, roots, []OrderSpec{{Attr: "a"}},
+			[]ftree.AggField{{Fn: ftree.Count}, {Fn: ftree.Sum, Arg: "c"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ok, err := ge.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkCodec(b *testing.B) {
+	f, roots := benchFRep(b, 50000)
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink countingWriter
+			if err := WriteTo(&sink, f, roots); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sink))
+		}
+	})
+}
+
+type countingWriter int
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}

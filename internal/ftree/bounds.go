@@ -1,0 +1,106 @@
+package ftree
+
+import (
+	"math"
+
+	"github.com/factordb/fdb/internal/lp"
+)
+
+// CatalogRelation describes one base relation for cost estimation: its
+// schema and cardinality.
+type CatalogRelation struct {
+	Name  string
+	Attrs []string
+	Size  int
+}
+
+// SizeBound returns an asymptotic upper bound on the number of singletons
+// of a factorisation over this f-tree of the result of the natural join of
+// the catalogue relations — the cost metric of Section 5 (following
+// Olteanu & Závodný, ICDT 2012).
+//
+// For every node t, the number of singletons contributed by t is bounded
+// by Π_R |R|^{x_R} where x is an optimal fractional edge cover of the
+// attribute classes on the root-to-t path, each relation covering the
+// classes it shares an attribute with; the total bound is the sum over
+// nodes. Aggregate nodes carry one value per ancestor context and are
+// bounded by their parent's path. Classes containing no catalogue
+// attribute (for example synthetic outputs) are skipped.
+func (f *Forest) SizeBound(cat []CatalogRelation) float64 {
+	total := 0.0
+	for _, r := range f.Roots {
+		total += sizeBoundWalk(r, nil, cat)
+	}
+	return total
+}
+
+func sizeBoundWalk(n *Node, pathAbove []*Node, cat []CatalogRelation) float64 {
+	path := pathAbove
+	if !n.IsAgg() {
+		path = append(append([]*Node{}, pathAbove...), n)
+	}
+	total := pathBound(path, cat)
+	for _, c := range n.Children {
+		total += sizeBoundWalk(c, path, cat)
+	}
+	return total
+}
+
+// pathBound computes Π_R |R|^{x_R} for an optimal fractional cover of the
+// given path classes.
+func pathBound(path []*Node, cat []CatalogRelation) float64 {
+	// Vertices: classes on the path that intersect some relation schema.
+	type classInfo struct{ node *Node }
+	var classes []classInfo
+	classIdx := map[*Node]int{}
+	schemaHits := func(rel CatalogRelation, n *Node) bool {
+		for _, a := range rel.Attrs {
+			if n.HasAttr(a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range path {
+		covered := false
+		for _, rel := range cat {
+			if schemaHits(rel, n) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			classIdx[n] = len(classes)
+			classes = append(classes, classInfo{n})
+		}
+	}
+	if len(classes) == 0 {
+		return 1
+	}
+	h := lp.Hypergraph{NumVertices: len(classes)}
+	for _, rel := range cat {
+		var edge []int
+		for _, ci := range classes {
+			if schemaHits(rel, ci.node) {
+				edge = append(edge, classIdx[ci.node])
+			}
+		}
+		if len(edge) == 0 {
+			continue
+		}
+		size := rel.Size
+		if size < 1 {
+			size = 1
+		}
+		h.Edges = append(h.Edges, edge)
+		h.Weights = append(h.Weights, math.Log(float64(size)))
+	}
+	val, _, err := lp.FractionalEdgeCover(h)
+	if err != nil {
+		// Should not happen (every class intersects some relation); be
+		// conservative and return a huge bound so the optimiser avoids
+		// this shape.
+		return math.Inf(1)
+	}
+	return math.Exp(val)
+}

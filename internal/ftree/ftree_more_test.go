@@ -1,0 +1,154 @@
+package ftree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShiftTokensAndConcat(t *testing.T) {
+	a := New()
+	a.NewRelationPath("x", "y")
+	b := New()
+	b.NewRelationPath("z", "w")
+	// Shift b's tokens past a's, then concat.
+	b.ShiftTokens(a.TokenBound())
+	a.Concat(b)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Roots) != 2 {
+		t.Fatalf("want 2 roots, got %d", len(a.Roots))
+	}
+	// Tokens must not collide: x/y and z/w independent.
+	x := a.AttrNode("x")
+	z := a.AttrNode("z")
+	if x.Deps.Intersects(z.Deps) {
+		t.Error("tokens collide after ShiftTokens")
+	}
+	// Minting a fresh token must not collide with either side.
+	tok := a.NewToken()
+	for _, n := range a.Nodes() {
+		if _, ok := n.Deps[tok]; ok {
+			t.Error("fresh token collides")
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishesShapes(t *testing.T) {
+	line := New()
+	line.NewRelationPath("a", "b", "c")
+
+	star := New()
+	tok := star.NewToken()
+	root := &Node{Attrs: []string{"a"}, Deps: NewTokenSet(tok)}
+	b := &Node{Attrs: []string{"b"}, Deps: NewTokenSet(tok), Parent: root}
+	c := &Node{Attrs: []string{"c"}, Deps: NewTokenSet(tok), Parent: root}
+	root.Children = []*Node{b, c}
+	star.Roots = []*Node{root}
+
+	if line.CanonicalKey() == star.CanonicalKey() {
+		t.Error("different shapes must have different canonical keys")
+	}
+}
+
+func TestResolveAttrAggLabel(t *testing.T) {
+	f := New()
+	tok := f.NewToken()
+	n := &Node{
+		Agg:  &Agg{Fields: []AggField{{Fn: Sum, Arg: "p"}}, Over: []string{"p", "q"}},
+		Deps: NewTokenSet(tok),
+	}
+	f.Roots = []*Node{n}
+	if f.ResolveAttr("sum_p(p,q)") != n {
+		t.Error("aggregate label should resolve")
+	}
+	n.Alias = "rev"
+	if f.ResolveAttr("rev") != n {
+		t.Error("alias should resolve")
+	}
+	// SupportsOrder through an alias.
+	if !f.SupportsOrder([]string{"rev"}) {
+		t.Error("ordering by a root aggregate alias should be supported")
+	}
+}
+
+func TestSubtreeHelpers(t *testing.T) {
+	f := New()
+	f.NewRelationPath("a", "b", "c")
+	root := f.Roots[0]
+	if got := len(root.SubtreeNodes()); got != 3 {
+		t.Errorf("subtree nodes = %d", got)
+	}
+	attrs := root.SubtreeAttrs()
+	if len(attrs) != 3 || attrs[0] != "a" {
+		t.Errorf("subtree attrs = %v", attrs)
+	}
+	leaf := root.Children[0].Children[0]
+	if !root.IsAncestorOf(leaf) || leaf.IsAncestorOf(root) {
+		t.Error("ancestor relation wrong")
+	}
+	if root.ChildIndex(leaf) != -1 {
+		t.Error("non-child should have index -1")
+	}
+	if !leaf.IsLeaf() || leaf.IsRoot() || !root.IsRoot() {
+		t.Error("leaf/root predicates wrong")
+	}
+}
+
+func TestAggFieldAndFnStrings(t *testing.T) {
+	if (AggField{Fn: Count}).String() != "count" {
+		t.Error("count field label")
+	}
+	if (AggField{Fn: Sum, Arg: "x"}).String() != "sum_x" {
+		t.Error("sum field label")
+	}
+	for _, fn := range []Fn{Count, Sum, Min, Max} {
+		if fn.String() == "" {
+			t.Error("empty Fn label")
+		}
+	}
+	if !strings.Contains(Fn(77).String(), "77") {
+		t.Error("unknown Fn should include its number")
+	}
+}
+
+func TestValidateRejectsBadParentPointer(t *testing.T) {
+	f := New()
+	f.NewRelationPath("a", "b")
+	f.Roots[0].Children[0].Parent = nil // corrupt
+	if err := f.Validate(); err == nil {
+		t.Error("corrupt parent pointer should fail validation")
+	}
+}
+
+func TestSizeBoundEmptyCatalog(t *testing.T) {
+	f := New()
+	f.NewRelationPath("a", "b")
+	// No catalogue: every node bounds to 1.
+	if got := f.SizeBound(nil); got != 2 {
+		t.Errorf("bound = %v, want 2 (one per node)", got)
+	}
+}
+
+func TestSizeBoundTriangle(t *testing.T) {
+	// Triangle query R(a,b), S(b,c), T(c,a), all size N: a path tree
+	// a→b→c has bound N + N + N^{3/2} (ρ* of the triangle is 3/2).
+	f := New()
+	r, s, u := f.NewToken(), f.NewToken(), f.NewToken()
+	a := &Node{Attrs: []string{"a"}, Deps: NewTokenSet(r, u)}
+	b := &Node{Attrs: []string{"b"}, Deps: NewTokenSet(r, s), Parent: a}
+	c := &Node{Attrs: []string{"c"}, Deps: NewTokenSet(s, u), Parent: b}
+	a.Children = []*Node{b}
+	b.Children = []*Node{c}
+	f.Roots = []*Node{a}
+	cat := []CatalogRelation{
+		{Name: "R", Attrs: []string{"a", "b"}, Size: 100},
+		{Name: "S", Attrs: []string{"b", "c"}, Size: 100},
+		{Name: "T", Attrs: []string{"c", "a"}, Size: 100},
+	}
+	got := f.SizeBound(cat)
+	want := 100.0 + 100.0 + 1000.0 // N + N + N^1.5
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("triangle bound = %v, want ≈%v", got, want)
+	}
+}

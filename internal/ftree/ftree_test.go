@@ -1,0 +1,603 @@
+package ftree
+
+import (
+	"strings"
+	"testing"
+)
+
+// pizzeriaT1 builds the paper's f-tree T1 (Figure 2):
+//
+//	pizza
+//	├─ date
+//	│   └─ customer
+//	└─ item
+//	    └─ price
+//
+// with dependency tokens for Orders(customer,date,pizza)=o,
+// Pizzas(pizza,item)=p, Items(item,price)=i.
+func pizzeriaT1() (*Forest, map[string]*Node) {
+	f := New()
+	o, p, i := f.NewToken(), f.NewToken(), f.NewToken()
+	pizza := &Node{Attrs: []string{"pizza"}, Deps: NewTokenSet(o, p)}
+	date := &Node{Attrs: []string{"date"}, Deps: NewTokenSet(o), Parent: pizza}
+	customer := &Node{Attrs: []string{"customer"}, Deps: NewTokenSet(o), Parent: date}
+	item := &Node{Attrs: []string{"item"}, Deps: NewTokenSet(p, i), Parent: pizza}
+	price := &Node{Attrs: []string{"price"}, Deps: NewTokenSet(i), Parent: item}
+	pizza.Children = []*Node{date, item}
+	date.Children = []*Node{customer}
+	item.Children = []*Node{price}
+	f.Roots = []*Node{pizza}
+	m := map[string]*Node{
+		"pizza": pizza, "date": date, "customer": customer, "item": item, "price": price,
+	}
+	return f, m
+}
+
+func TestValidateT1(t *testing.T) {
+	f, _ := pizzeriaT1()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("T1 should validate: %v", err)
+	}
+}
+
+func TestValidatePathConstraintViolation(t *testing.T) {
+	// date and customer as siblings share the Orders token → violation.
+	f := New()
+	o := f.NewToken()
+	root := &Node{Attrs: []string{"pizza"}, Deps: NewTokenSet(o)}
+	d := &Node{Attrs: []string{"date"}, Deps: NewTokenSet(o), Parent: root}
+	c := &Node{Attrs: []string{"customer"}, Deps: NewTokenSet(o), Parent: root}
+	root.Children = []*Node{d, c}
+	f.Roots = []*Node{root}
+	if err := f.Validate(); err == nil {
+		t.Fatal("sibling dependent nodes should violate the path constraint")
+	}
+}
+
+func TestValidateDuplicateAttr(t *testing.T) {
+	f := New()
+	f.NewRelationPath("a", "b")
+	f.NewRelationPath("b", "c")
+	if err := f.Validate(); err == nil {
+		t.Fatal("duplicate attribute should fail validation")
+	}
+}
+
+func TestNewRelationPath(t *testing.T) {
+	f := New()
+	r := f.NewRelationPath("a", "b", "c")
+	if r.Label() != "a" || len(r.Children) != 1 || r.Children[0].Label() != "b" {
+		t.Fatalf("unexpected path structure:\n%s", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All nodes share the relation token → all mutually dependent.
+	n := f.Nodes()
+	if len(n) != 3 {
+		t.Fatalf("want 3 nodes, got %d", len(n))
+	}
+	if !n[0].Deps.Intersects(n[2].Deps) {
+		t.Error("path nodes should share the relation token")
+	}
+}
+
+func TestAttrNodeAndResolve(t *testing.T) {
+	f, m := pizzeriaT1()
+	if f.AttrNode("customer") != m["customer"] {
+		t.Error("AttrNode(customer) wrong")
+	}
+	if f.AttrNode("missing") != nil {
+		t.Error("AttrNode(missing) should be nil")
+	}
+	if f.ResolveAttr("price") != m["price"] {
+		t.Error("ResolveAttr(price) wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f, m := pizzeriaT1()
+	g, corr := f.Clone()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if corr[m["pizza"]] == m["pizza"] {
+		t.Fatal("clone should create new nodes")
+	}
+	// Mutate the clone; original unchanged.
+	corr[m["date"]].Attrs[0] = "DATE"
+	if m["date"].Attrs[0] != "date" {
+		t.Error("clone shares attr storage with original")
+	}
+	corr[m["pizza"]].Deps.Add(99)
+	if _, ok := m["pizza"].Deps[99]; ok {
+		t.Error("clone shares token sets with original")
+	}
+	if f.CanonicalKey() == g.CanonicalKey() {
+		t.Log("keys equal before mutation effects on labels — expected only if labels unchanged")
+	}
+}
+
+func TestCanonicalKeyIgnoresChildOrder(t *testing.T) {
+	f, m := pizzeriaT1()
+	k1 := f.CanonicalKey()
+	// Reverse children of pizza.
+	m["pizza"].Children[0], m["pizza"].Children[1] = m["pizza"].Children[1], m["pizza"].Children[0]
+	if f.CanonicalKey() != k1 {
+		t.Error("canonical key should be invariant under child reordering")
+	}
+}
+
+func TestSwapDependentChildrenStay(t *testing.T) {
+	// Swap date above pizza in T1. customer depends on pizza (shared
+	// Orders token), so it must remain below pizza (the paper's T_AB):
+	//
+	//	date
+	//	└─ pizza
+	//	    ├─ customer
+	//	    └─ item ─ price
+	f, m := pizzeriaT1()
+	plan, err := PlanSwap(m["date"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.DepIdx) != 1 || len(plan.IndepIdx) != 0 {
+		t.Fatalf("customer should be classified dependent on pizza; plan=%+v", plan)
+	}
+	f.ApplySwap(plan)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after swap: %v\n%s", err, f)
+	}
+	if f.Roots[0] != m["date"] {
+		t.Fatalf("date should be root, got %s", f.Roots[0].Label())
+	}
+	if m["pizza"].Parent != m["date"] {
+		t.Error("pizza should hang below date")
+	}
+	if m["customer"].Parent != m["pizza"] {
+		t.Error("customer should have moved under pizza (T_AB)")
+	}
+}
+
+func TestSwapIndependentChildrenMoveUp(t *testing.T) {
+	// Orders split into Menu(pizza,date) and Guests(date,customer):
+	// customer is independent of pizza given date, so swapping date up
+	// takes customer along (the paper's Example 11 shape).
+	f := New()
+	menu, guests := f.NewToken(), f.NewToken()
+	pizza := &Node{Attrs: []string{"pizza"}, Deps: NewTokenSet(menu)}
+	date := &Node{Attrs: []string{"date"}, Deps: NewTokenSet(menu, guests), Parent: pizza}
+	customer := &Node{Attrs: []string{"customer"}, Deps: NewTokenSet(guests), Parent: date}
+	pizza.Children = []*Node{date}
+	date.Children = []*Node{customer}
+	f.Roots = []*Node{pizza}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanSwap(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.IndepIdx) != 1 || len(plan.DepIdx) != 0 {
+		t.Fatalf("customer should be independent of pizza; plan=%+v", plan)
+	}
+	f.ApplySwap(plan)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after swap: %v\n%s", err, f)
+	}
+	if f.Roots[0] != date || customer.Parent != date || pizza.Parent != date {
+		t.Fatalf("want date root with children {pizza, customer}:\n%s", f)
+	}
+}
+
+func TestSwapRootFails(t *testing.T) {
+	f, m := pizzeriaT1()
+	_ = f
+	if _, err := PlanSwap(m["pizza"]); err == nil {
+		t.Error("swapping a root should fail")
+	}
+}
+
+func TestMergeSiblingRoots(t *testing.T) {
+	// Two relation paths R(a,b), S(a2,c); merge a with a2 (selection
+	// a=a2).
+	f := New()
+	r := f.NewRelationPath("a", "b")
+	s := f.NewRelationPath("a2", "c")
+	plan, err := PlanMerge(f, r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyMerge(plan)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after merge: %v\n%s", err, f)
+	}
+	if len(f.Roots) != 1 {
+		t.Fatalf("want a single root, got %d", len(f.Roots))
+	}
+	root := f.Roots[0]
+	if root.Label() != "a=a2" {
+		t.Errorf("merged class label = %s", root.Label())
+	}
+	if len(root.Children) != 2 {
+		t.Errorf("merged node should keep both children, got %d", len(root.Children))
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	f, m := pizzeriaT1()
+	if _, err := PlanMerge(f, m["date"], m["customer"]); err == nil {
+		t.Error("non-siblings should not merge")
+	}
+	if _, err := PlanMerge(f, m["date"], m["date"]); err == nil {
+		t.Error("merging a node with itself should fail")
+	}
+}
+
+func TestAbsorbDescendant(t *testing.T) {
+	// R(a,b), S(b2,c) joined as one tree a → b → b2 → c, then absorb b2
+	// into b.
+	f := New()
+	f.NewRelationPath("a", "b")
+	f.NewRelationPath("b2", "c")
+	a, b := f.Roots[0], f.Roots[0].Children[0]
+	b2 := f.Roots[1]
+	c := b2.Children[0]
+	// Hang the S path below b (as a product under b's context).
+	f.Roots = f.Roots[:1]
+	b2.Parent = b
+	b.Children = append(b.Children, b2)
+
+	plan, err := PlanAbsorb(b, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Path) != 1 || plan.Path[0] != 0 {
+		t.Fatalf("path = %v", plan.Path)
+	}
+	f.ApplyAbsorb(plan)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after absorb: %v\n%s", err, f)
+	}
+	if b.Label() != "b=b2" {
+		t.Errorf("absorbed class = %s", b.Label())
+	}
+	if c.Parent != b {
+		t.Error("c should be hoisted under b")
+	}
+	if a.Children[0] != b {
+		t.Error("tree shape disturbed")
+	}
+}
+
+func TestAbsorbErrors(t *testing.T) {
+	f, m := pizzeriaT1()
+	_ = f
+	if _, err := PlanAbsorb(m["date"], m["item"]); err == nil {
+		t.Error("absorb of a non-descendant should fail")
+	}
+}
+
+func TestRemoveLeafDependencyUpdate(t *testing.T) {
+	// R1(a,b), R2(a,c) over tree b → a → c (a joins both). Removing leaf
+	// … first restructure so a is a leaf: swap c above a: b → c → a.
+	f := New()
+	r1 := f.NewToken()
+	r2 := f.NewToken()
+	b := &Node{Attrs: []string{"b"}, Deps: NewTokenSet(r1)}
+	a := &Node{Attrs: []string{"a"}, Deps: NewTokenSet(r1, r2), Parent: b}
+	c := &Node{Attrs: []string{"c"}, Deps: NewTokenSet(r2), Parent: a}
+	b.Children = []*Node{a}
+	a.Children = []*Node{c}
+	f.Roots = []*Node{b}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanSwap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplySwap(plan) // b → c → a
+	if a.Parent != c || !a.IsLeaf() {
+		t.Fatalf("a should now be a leaf below c:\n%s", f)
+	}
+
+	rm, err := PlanRemoveLeaf(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyRemoveLeaf(rm)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after remove: %v\n%s", err, f)
+	}
+	// b and c were both dependent on a; projecting a away makes them
+	// mutually dependent.
+	if !b.Deps.Intersects(c.Deps) {
+		t.Error("b and c should be mutually dependent after removing the join attribute")
+	}
+}
+
+func TestRemoveLeafErrors(t *testing.T) {
+	f, m := pizzeriaT1()
+	if _, err := PlanRemoveLeaf(f, m["item"]); err == nil {
+		t.Error("removing a non-leaf should fail")
+	}
+}
+
+func TestAggReplacesSubtree(t *testing.T) {
+	// γ_{sum_price}(item subtree) on T1 yields T2 (Figure 2).
+	f, m := pizzeriaT1()
+	plan, err := PlanAgg(f, m["item"], []AggField{{Fn: Sum, Arg: "price"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyAgg(plan)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("after γ: %v\n%s", err, f)
+	}
+	nn := plan.NewNode
+	if nn == nil || !nn.IsAgg() {
+		t.Fatal("aggregate node missing")
+	}
+	if got := nn.Agg.Label(); got != "sum_price(item,price)" {
+		t.Errorf("aggregate label = %s", got)
+	}
+	if nn.Parent != m["pizza"] {
+		t.Error("aggregate node should replace the item subtree under pizza")
+	}
+	// The new attribute depends on pizza (Example 5): pizza depended on
+	// item via the Pizzas token, so they must now share a token.
+	if !nn.Deps.Intersects(m["pizza"].Deps) {
+		t.Error("sum_price(item,price) should depend on pizza")
+	}
+	// date/customer should not depend on the aggregate.
+	if nn.Deps.Intersects(m["customer"].Deps) {
+		t.Error("aggregate should not depend on customer")
+	}
+}
+
+func TestAggValidation(t *testing.T) {
+	f, m := pizzeriaT1()
+	if _, err := PlanAgg(f, m["item"], nil); err == nil {
+		t.Error("empty fields should fail")
+	}
+	if _, err := PlanAgg(f, m["item"], []AggField{{Fn: Sum, Arg: "customer"}}); err == nil {
+		t.Error("sum over attribute outside the subtree should fail")
+	}
+	if _, err := PlanAgg(f, m["item"], []AggField{{Fn: Sum}}); err == nil {
+		t.Error("sum without argument should fail")
+	}
+}
+
+func TestAggWholeTreeThenLabel(t *testing.T) {
+	f, m := pizzeriaT1()
+	plan, err := PlanAgg(f, m["pizza"], []AggField{{Fn: Count}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyAgg(plan)
+	if len(f.Roots) != 1 || !f.Roots[0].IsAgg() {
+		t.Fatalf("whole tree should be one aggregate node:\n%s", f)
+	}
+	want := "count(customer,date,item,pizza,price)"
+	if got := f.Roots[0].Label(); got != want {
+		t.Errorf("label = %s, want %s", got, want)
+	}
+	f.Roots[0].Alias = "n"
+	if f.Roots[0].Label() != "n" {
+		t.Error("alias should override the label")
+	}
+	if f.ResolveAttr("n") != f.Roots[0] {
+		t.Error("ResolveAttr should find aliased aggregate nodes")
+	}
+}
+
+func TestSupportsOrderExample9(t *testing.T) {
+	f, _ := pizzeriaT1()
+	supported := [][]string{
+		{"pizza"},
+		{"pizza", "date"},
+		{"pizza", "date", "customer"},
+		{"pizza", "item"},
+		{"pizza", "item", "price"},
+		{"pizza", "date", "item"},
+		{"pizza", "item", "date"},
+	}
+	for _, o := range supported {
+		if !f.SupportsOrder(o) {
+			t.Errorf("order %v should be supported by T1", o)
+		}
+	}
+	unsupported := [][]string{
+		{"pizza", "customer", "date"},
+		{"customer", "pizza"},
+		{"date"},
+		{"customer"},
+		{"pizza", "price"},
+	}
+	for _, o := range unsupported {
+		if f.SupportsOrder(o) {
+			t.Errorf("order %v should NOT be supported by T1", o)
+		}
+	}
+	if f.SupportsOrder([]string{"bogus"}) {
+		t.Error("unknown attribute should not be supported")
+	}
+}
+
+func TestSupportsGroupingExample10(t *testing.T) {
+	f, _ := pizzeriaT1()
+	// All orders of Example 9 plus their permutations are supported for
+	// grouping.
+	supported := [][]string{
+		{"pizza"},
+		{"date", "pizza"},
+		{"customer", "date", "pizza"},
+		{"item", "pizza"},
+		{"date", "item", "pizza"},
+		{"customer", "pizza", "date"},
+	}
+	for _, g := range supported {
+		if !f.SupportsGrouping(g) {
+			t.Errorf("grouping %v should be supported by T1", g)
+		}
+	}
+	unsupported := [][]string{
+		{"date"},
+		{"customer", "pizza"},
+		{"price", "pizza"},
+	}
+	for _, g := range unsupported {
+		if f.SupportsGrouping(g) {
+			t.Errorf("grouping %v should NOT be supported by T1", g)
+		}
+	}
+}
+
+func TestGroupingViolationLoopTerminates(t *testing.T) {
+	f, m := pizzeriaT1()
+	g := []string{"customer", "pizza"}
+	for i := 0; ; i++ {
+		if i > 50 {
+			t.Fatalf("restructuring loop did not terminate:\n%s", f)
+		}
+		v := f.GroupingViolation(g)
+		if v == nil {
+			break
+		}
+		plan, err := PlanSwap(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ApplySwap(plan)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid forest mid-restructuring: %v\n%s", err, f)
+		}
+	}
+	if !f.SupportsGrouping(g) {
+		t.Fatalf("grouping still unsupported:\n%s", f)
+	}
+	// customer must now be a root (Example 2: pushing customer up past
+	// date and pizza).
+	if !m["customer"].IsRoot() {
+		t.Errorf("customer should be a root:\n%s", f)
+	}
+	// The right branch (item → price) should be intact.
+	if m["price"].Parent != m["item"] {
+		t.Error("item→price branch should be preserved")
+	}
+}
+
+func TestOrderViolationLoopTerminates(t *testing.T) {
+	f, _ := pizzeriaT1()
+	o := []string{"customer", "pizza", "item", "price"}
+	for i := 0; ; i++ {
+		if i > 50 {
+			t.Fatalf("restructuring loop did not terminate:\n%s", f)
+		}
+		v := f.OrderViolation(o)
+		if v == nil {
+			break
+		}
+		plan, err := PlanSwap(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ApplySwap(plan)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid forest mid-restructuring: %v\n%s", err, f)
+		}
+	}
+	if !f.SupportsOrder(o) {
+		t.Fatalf("order still unsupported:\n%s", f)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f, _ := pizzeriaT1()
+	s := f.String()
+	for _, want := range []string{"pizza", "date", "customer", "item", "price"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSizeBoundLinearPath(t *testing.T) {
+	f := New()
+	f.NewRelationPath("a", "b", "c")
+	cat := []CatalogRelation{{Name: "R", Attrs: []string{"a", "b", "c"}, Size: 100}}
+	got := f.SizeBound(cat)
+	if got < 299 || got > 301 {
+		t.Errorf("bound = %v, want ≈300 (3 nodes × |R|)", got)
+	}
+}
+
+func TestSizeBoundPrefersJoinAttrOnTop(t *testing.T) {
+	// R(a,b) size N, S(b,c) size M. Tree b→{a,c} has bound
+	// min(N,M)+N+M, much smaller than a→b→c with N+N+N·M.
+	mk := func(shape string) *Forest {
+		f := New()
+		r, s := f.NewToken(), f.NewToken()
+		switch shape {
+		case "b-top":
+			b := &Node{Attrs: []string{"b"}, Deps: NewTokenSet(r, s)}
+			a := &Node{Attrs: []string{"a"}, Deps: NewTokenSet(r), Parent: b}
+			c := &Node{Attrs: []string{"c"}, Deps: NewTokenSet(s), Parent: b}
+			b.Children = []*Node{a, c}
+			f.Roots = []*Node{b}
+		case "a-top":
+			a := &Node{Attrs: []string{"a"}, Deps: NewTokenSet(r)}
+			b := &Node{Attrs: []string{"b"}, Deps: NewTokenSet(r, s), Parent: a}
+			c := &Node{Attrs: []string{"c"}, Deps: NewTokenSet(s), Parent: b}
+			a.Children = []*Node{b}
+			b.Children = []*Node{c}
+			f.Roots = []*Node{a}
+		}
+		return f
+	}
+	cat := []ftreeCatalog{{"R", []string{"a", "b"}, 1000}, {"S", []string{"b", "c"}, 1000}}
+	catalog := make([]CatalogRelation, len(cat))
+	for i, c := range cat {
+		catalog[i] = CatalogRelation{Name: c.name, Attrs: c.attrs, Size: c.size}
+	}
+	bTop := mk("b-top").SizeBound(catalog)
+	aTop := mk("a-top").SizeBound(catalog)
+	if !(bTop < aTop) {
+		t.Errorf("bound(b-top)=%v should be < bound(a-top)=%v", bTop, aTop)
+	}
+	// b-top ≈ 1000 + 1000 + 1000 = 3000; a-top ≈ 1000 + 1000 + 10^6.
+	if bTop > 3500 {
+		t.Errorf("bound(b-top)=%v, want ≈3000", bTop)
+	}
+	if aTop < 1e6 {
+		t.Errorf("bound(a-top)=%v, want ≥10^6", aTop)
+	}
+}
+
+type ftreeCatalog struct {
+	name  string
+	attrs []string
+	size  int
+}
+
+func TestSizeBoundAggNodesUseParentContext(t *testing.T) {
+	f, m := pizzeriaT1()
+	cat := []CatalogRelation{
+		{Name: "Orders", Attrs: []string{"customer", "date", "pizza"}, Size: 50},
+		{Name: "Pizzas", Attrs: []string{"pizza", "item"}, Size: 20},
+		{Name: "Items", Attrs: []string{"item", "price"}, Size: 10},
+	}
+	before := f.SizeBound(cat)
+	plan, err := PlanAgg(f, m["item"], []AggField{{Fn: Sum, Arg: "price"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyAgg(plan)
+	after := f.SizeBound(cat)
+	if !(after < before) {
+		t.Errorf("aggregating a subtree should not increase the bound: before=%v after=%v", before, after)
+	}
+}

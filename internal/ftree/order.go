@@ -1,0 +1,131 @@
+package ftree
+
+// This file implements the characterisations of Theorems 1 and 2: which
+// f-trees support constant-delay enumeration grouped by a set G of
+// attributes, or ordered by a list O of attributes.
+
+// ResolveAttr returns the node that carries the given attribute name:
+// either an atomic node whose class contains it, or an aggregate node
+// whose alias or label equals it. Returns nil if absent.
+func (f *Forest) ResolveAttr(attr string) *Node {
+	for _, n := range f.Nodes() {
+		if n.IsAgg() {
+			if n.Alias == attr || n.Agg.Label() == attr {
+				return n
+			}
+		} else if n.HasAttr(attr) {
+			return n
+		}
+	}
+	return nil
+}
+
+// attrNodesInOrder maps the attribute list to nodes, dropping attributes
+// that resolve to an already-seen node (two attributes in one equivalence
+// class have equal values, so the second is redundant for grouping and
+// ordering — see the remark before Theorem 1). Unknown attributes map to
+// nil entries.
+func (f *Forest) attrNodesInOrder(attrs []string) []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, a := range attrs {
+		n := f.ResolveAttr(a)
+		if n == nil {
+			out = append(out, nil)
+			continue
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// SupportsGrouping reports whether tuples can be enumerated with constant
+// delay grouped by the attributes G (Theorem 1): each G node must be a
+// root or a child of another G node.
+func (f *Forest) SupportsGrouping(g []string) bool {
+	nodes := f.attrNodesInOrder(g)
+	inG := map[*Node]bool{}
+	for _, n := range nodes {
+		if n == nil {
+			return false
+		}
+		inG[n] = true
+	}
+	for _, n := range nodes {
+		if !n.IsRoot() && !inG[n.Parent] {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportsOrder reports whether tuples can be enumerated with constant
+// delay in lexicographic order by the list O (Theorem 2): each O node must
+// be a root or a child of a node carrying an attribute appearing earlier
+// in O. Ascending/descending directions do not affect support (descending
+// just iterates sorted unions backwards).
+func (f *Forest) SupportsOrder(o []string) bool {
+	nodes := f.attrNodesInOrder(o)
+	pos := map[*Node]int{}
+	for i, n := range nodes {
+		if n == nil {
+			return false
+		}
+		pos[n] = i
+	}
+	for i, n := range nodes {
+		if n.IsRoot() {
+			continue
+		}
+		j, ok := pos[n.Parent]
+		if !ok || j >= i {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupingViolation returns a node that must be swapped up to make the
+// forest support grouping by G, following the placement strategy of the
+// greedy heuristic (step 4 in Section 5.2): process G attributes in the
+// given order; for the first attribute whose node is neither a root nor a
+// child of an already-placed G node, return its node. Returns nil when
+// grouping is supported. Repeatedly swapping the returned node with its
+// parent and re-querying terminates with a supporting forest.
+func (f *Forest) GroupingViolation(g []string) *Node {
+	nodes := f.attrNodesInOrder(g)
+	placed := map[*Node]bool{}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if n.IsRoot() || placed[n.Parent] {
+			placed[n] = true
+			continue
+		}
+		return n
+	}
+	return nil
+}
+
+// OrderViolation is the ordering analogue of GroupingViolation (step 5 in
+// Section 5.2): the parent must carry an attribute strictly earlier in O.
+func (f *Forest) OrderViolation(o []string) *Node {
+	nodes := f.attrNodesInOrder(o)
+	placed := map[*Node]bool{}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if n.IsRoot() || placed[n.Parent] {
+			placed[n] = true
+			continue
+		}
+		return n
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package lp implements a small dense simplex solver, used to compute
+// fractional edge cover numbers ρ* of query hypergraphs. Tight size
+// bounds for factorisations over f-trees are expressed in terms of ρ* of
+// the attribute sets along root-to-leaf paths (Olteanu & Závodný, ICDT
+// 2012; Grohe & Marx, SODA 2006), and the FDB optimiser uses those bounds
+// as its cost metric (Section 5 of the paper).
+//
+// The solver handles the standard maximisation form
+//
+//	maximise c·x  subject to  A·x ≤ b,  x ≥ 0,  with b ≥ 0,
+//
+// which always admits the slack basis as an initial feasible point, and
+// returns both the primal solution and the dual solution read off the
+// final tableau. Covering LPs (minimise w·x, A·x ≥ 1) are solved through
+// their packing duals.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+const eps = 1e-9
+
+// ErrUnbounded is returned when the LP's objective is unbounded above.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+// ErrInfeasible is returned by cover solvers when some vertex cannot be
+// covered by any edge.
+var ErrInfeasible = errors.New("lp: infeasible cover")
+
+// Solution holds the result of a solved LP.
+type Solution struct {
+	// Value is the optimal objective value.
+	Value float64
+	// X is the optimal primal assignment.
+	X []float64
+	// Dual is the optimal dual assignment (one entry per constraint).
+	Dual []float64
+}
+
+// Maximize solves: maximise c·x subject to A·x ≤ b, x ≥ 0, using the
+// primal simplex method with Bland's anti-cycling rule. All entries of b
+// must be non-negative (so the slack basis is feasible). A has one row per
+// constraint; rows must have len(c) entries.
+func Maximize(c []float64, a [][]float64, b []float64) (*Solution, error) {
+	n := len(c)
+	m := len(a)
+	if len(b) != m {
+		return nil, fmt.Errorf("lp: %d constraint rows but %d bounds", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < -eps {
+			return nil, fmt.Errorf("lp: negative bound b[%d]=%v not supported", i, b[i])
+		}
+	}
+
+	// Tableau: m constraint rows and one objective row over n original
+	// variables, m slacks, and the RHS column.
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		row := make([]float64, width)
+		copy(row, a[i])
+		row[n+i] = 1
+		row[width-1] = b[i]
+		t[i] = row
+	}
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		obj[j] = -c[j]
+	}
+	t[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 10000*(n+m+1) {
+			return nil, errors.New("lp: iteration limit exceeded")
+		}
+		// Entering variable: Bland's rule, the lowest index with a
+		// negative reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Leaving row: minimum ratio; ties broken by the smallest basis
+		// variable index (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][width-1] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, ErrUnbounded
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+
+	sol := &Solution{
+		Value: t[m][width-1],
+		X:     make([]float64, n),
+		Dual:  make([]float64, m),
+	}
+	for i, bv := range basis {
+		if bv < n {
+			sol.X[bv] = t[i][width-1]
+		}
+	}
+	for i := 0; i < m; i++ {
+		sol.Dual[i] = t[m][n+i]
+	}
+	return sol, nil
+}
+
+func pivot(t [][]float64, r, c int) {
+	pr := t[r]
+	pv := pr[c]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+	}
+}
+
+// Hypergraph is a hypergraph over vertices 0..NumVertices-1 with weighted
+// edges. In the query setting, vertices are attributes and each relation
+// contributes one edge over its attributes with weight log|R| (or 1 for
+// the unweighted cover number).
+type Hypergraph struct {
+	NumVertices int
+	Edges       [][]int
+	Weights     []float64 // len(Edges); nil means all weights are 1
+}
+
+// FractionalEdgeCover solves
+//
+//	minimise Σ_e w_e·x_e  subject to  ∀v: Σ_{e∋v} x_e ≥ 1,  x ≥ 0,
+//
+// by solving the packing dual (maximise Σ_v y_v subject to
+// ∀e: Σ_{v∈e} y_v ≤ w_e, y ≥ 0) and reading the cover off the dual
+// solution. It returns the optimal cover value and the per-edge weights
+// x_e. A vertex contained in no edge makes the cover infeasible.
+func FractionalEdgeCover(h Hypergraph) (float64, []float64, error) {
+	nv := h.NumVertices
+	ne := len(h.Edges)
+	if nv == 0 {
+		return 0, make([]float64, ne), nil
+	}
+	covered := make([]bool, nv)
+	for ei, e := range h.Edges {
+		for _, v := range e {
+			if v < 0 || v >= nv {
+				return 0, nil, fmt.Errorf("lp: edge %d contains vertex %d out of range [0,%d)", ei, v, nv)
+			}
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: vertex %d in no edge", ErrInfeasible, v)
+		}
+	}
+	weights := h.Weights
+	if weights == nil {
+		weights = make([]float64, ne)
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if len(weights) != ne {
+		return 0, nil, fmt.Errorf("lp: %d weights for %d edges", len(weights), ne)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return 0, nil, fmt.Errorf("lp: negative edge weight %v at %d", w, i)
+		}
+	}
+
+	// Packing dual: variables y_v, constraints per edge.
+	c := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		c[v] = 1
+	}
+	a := make([][]float64, ne)
+	for ei, e := range h.Edges {
+		row := make([]float64, nv)
+		for _, v := range e {
+			row[v] = 1
+		}
+		a[ei] = row
+	}
+	sol, err := Maximize(c, a, weights)
+	if err != nil {
+		return 0, nil, err
+	}
+	return sol.Value, sol.Dual, nil
+}
+
+// CoverFeasible reports whether x is a feasible fractional edge cover of h
+// within tolerance.
+func CoverFeasible(h Hypergraph, x []float64) bool {
+	if len(x) != len(h.Edges) {
+		return false
+	}
+	load := make([]float64, h.NumVertices)
+	for ei, e := range h.Edges {
+		if x[ei] < -eps {
+			return false
+		}
+		for _, v := range e {
+			load[v] += x[ei]
+		}
+	}
+	for _, l := range load {
+		if l < 1-1e-6 {
+			return false
+		}
+	}
+	return true
+}

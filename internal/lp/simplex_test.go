@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestMaximizeSimple(t *testing.T) {
+	// maximise 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt 36 at (2,6).
+	sol, err := Maximize(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value, 36) {
+		t.Errorf("opt = %v, want 36", sol.Value)
+	}
+	if !almost(sol.X[0], 2) || !almost(sol.X[1], 6) {
+		t.Errorf("x = %v, want (2,6)", sol.X)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	_, err := Maximize([]float64{1, 1}, [][]float64{{1, -1}}, []float64{1})
+	if err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMaximizeValidation(t *testing.T) {
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Error("negative bound should fail")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("ragged row should fail")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("bounds length mismatch should fail")
+	}
+}
+
+func TestMaximizeDegenerate(t *testing.T) {
+	// Degenerate vertex (b has zeros); Bland's rule must still terminate.
+	sol, err := Maximize(
+		[]float64{1, 1},
+		[][]float64{{1, 1}, {1, -1}, {-1, 1}},
+		[]float64{1, 0, 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value, 1) {
+		t.Errorf("opt = %v, want 1", sol.Value)
+	}
+}
+
+func TestTriangleCover(t *testing.T) {
+	// Triangle query R(a,b), S(b,c), T(c,a): ρ* = 3/2.
+	h := Hypergraph{NumVertices: 3, Edges: [][]int{{0, 1}, {1, 2}, {2, 0}}}
+	v, x, err := FractionalEdgeCover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 1.5) {
+		t.Errorf("ρ*(triangle) = %v, want 1.5", v)
+	}
+	if !CoverFeasible(h, x) {
+		t.Errorf("returned cover %v infeasible", x)
+	}
+}
+
+func TestPathCover(t *testing.T) {
+	// Path R(a,b), S(b,c): endpoints force both edges → ρ* = 2.
+	h := Hypergraph{NumVertices: 3, Edges: [][]int{{0, 1}, {1, 2}}}
+	v, x, err := FractionalEdgeCover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 2) {
+		t.Errorf("ρ*(path) = %v, want 2", v)
+	}
+	if !CoverFeasible(h, x) {
+		t.Errorf("cover %v infeasible", x)
+	}
+}
+
+func TestSingleEdgeCover(t *testing.T) {
+	h := Hypergraph{NumVertices: 4, Edges: [][]int{{0, 1, 2, 3}}}
+	v, _, err := FractionalEdgeCover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 1) {
+		t.Errorf("ρ* = %v, want 1", v)
+	}
+}
+
+func TestWeightedCover(t *testing.T) {
+	// Two edges both covering {0}; weights 3 and 5 → pick the cheaper.
+	h := Hypergraph{NumVertices: 1, Edges: [][]int{{0}, {0}}, Weights: []float64{3, 5}}
+	v, x, err := FractionalEdgeCover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(v, 3) {
+		t.Errorf("weighted ρ* = %v, want 3", v)
+	}
+	if !almost(x[0], 1) || !almost(x[1], 0) {
+		t.Errorf("cover = %v, want (1,0)", x)
+	}
+}
+
+func TestEmptyVertexSet(t *testing.T) {
+	v, x, err := FractionalEdgeCover(Hypergraph{NumVertices: 0, Edges: [][]int{{}}})
+	if err != nil || v != 0 || len(x) != 1 {
+		t.Errorf("empty vertex set: v=%v x=%v err=%v", v, x, err)
+	}
+}
+
+func TestInfeasibleCover(t *testing.T) {
+	h := Hypergraph{NumVertices: 2, Edges: [][]int{{0}}}
+	if _, _, err := FractionalEdgeCover(h); err == nil {
+		t.Error("uncovered vertex should be infeasible")
+	}
+}
+
+func TestCoverInvalidInputs(t *testing.T) {
+	if _, _, err := FractionalEdgeCover(Hypergraph{NumVertices: 1, Edges: [][]int{{5}}}); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+	if _, _, err := FractionalEdgeCover(Hypergraph{NumVertices: 1, Edges: [][]int{{0}}, Weights: []float64{1, 2}}); err == nil {
+		t.Error("weights length mismatch should fail")
+	}
+	if _, _, err := FractionalEdgeCover(Hypergraph{NumVertices: 1, Edges: [][]int{{0}}, Weights: []float64{-1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+// Property: on random hypergraphs the returned cover is feasible and its
+// value matches the packing optimum (a strong-duality optimality
+// certificate).
+func TestCoverOptimalityCertificateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 1 + rng.Intn(6)
+		ne := 1 + rng.Intn(6)
+		h := Hypergraph{NumVertices: nv}
+		covered := make([]bool, nv)
+		for e := 0; e < ne; e++ {
+			var edge []int
+			for v := 0; v < nv; v++ {
+				if rng.Intn(2) == 0 {
+					edge = append(edge, v)
+					covered[v] = true
+				}
+			}
+			if len(edge) == 0 {
+				edge = []int{rng.Intn(nv)}
+				covered[edge[0]] = true
+			}
+			h.Edges = append(h.Edges, edge)
+			h.Weights = append(h.Weights, 0.5+rng.Float64()*3)
+		}
+		// Ensure feasibility.
+		for v := 0; v < nv; v++ {
+			if !covered[v] {
+				h.Edges = append(h.Edges, []int{v})
+				h.Weights = append(h.Weights, 1)
+			}
+		}
+		val, x, err := FractionalEdgeCover(h)
+		if err != nil {
+			return false
+		}
+		if !CoverFeasible(h, x) {
+			return false
+		}
+		// Cover value must equal Σ w_e x_e of the certificate.
+		var sum float64
+		for i, w := range h.Weights {
+			sum += w * x[i]
+		}
+		return almost(val, sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func ivp(i int64) values.Value { return values.NewInt(i) }
+
+func TestExhaustiveFallsBackToGreedy(t *testing.T) {
+	f, cat := pizzeriaForest()
+	q := revenueQuery()
+	// A one-state budget forces the errSearchSpace fallback; the planner
+	// must still return a working greedy plan.
+	p := &Planner{Catalog: cat, PartialAgg: true, Exhaustive: true, MaxStates: 1}
+	pl, err := p.Plan(f, q)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	final, _, err := pl.Simulate(f, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.GroupingViolation([]string{"customer"}) != nil {
+		t.Errorf("fallback plan does not reach the goal:\n%s", final)
+	}
+}
+
+func TestExhaustiveSPJUsesGreedy(t *testing.T) {
+	// The exhaustive search handles aggregation queries; SPJ queries go
+	// through the greedy path even when Exhaustive is set.
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	cat := []ftree.CatalogRelation{{Name: "R", Attrs: []string{"a", "b", "c"}, Size: 10}}
+	q := &query.Query{
+		Relations: []string{"R"},
+		OrderBy:   []query.OrderItem{{Attr: "b"}},
+	}
+	pl, err := (&Planner{Catalog: cat, Exhaustive: true}).Plan(f, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := pl.Simulate(f, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.SupportsOrder([]string{"b"}) {
+		t.Errorf("order not supported after plan:\n%s", final)
+	}
+}
+
+func TestGreedyFilterOnly(t *testing.T) {
+	// Constant selections alone produce a pure-selection plan.
+	f := ftree.New()
+	f.NewRelationPath("a", "b")
+	cat := []ftree.CatalogRelation{{Name: "R", Attrs: []string{"a", "b"}, Size: 10}}
+	q := &query.Query{
+		Relations: []string{"R"},
+		Filters:   []query.Filter{{Attr: "b", Op: 0 /* EQ */, Const: ivp(1)}},
+	}
+	pl, err := (&Planner{Catalog: cat}).Plan(f, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Ops) != 1 {
+		t.Errorf("want exactly the selection op, got %s", pl)
+	}
+}

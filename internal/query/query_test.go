@@ -1,0 +1,93 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Query{
+		Relations:  []string{"R"},
+		GroupBy:    []string{"a"},
+		Aggregates: []Aggregate{{Fn: Sum, Arg: "b", As: "s"}},
+		OrderBy:    []OrderItem{{Attr: "s", Desc: true}},
+		Having:     []Filter{{Attr: "s", Op: fops.GT, Const: values.NewInt(1)}},
+		Limit:      10,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+
+	cases := []*Query{
+		{},
+		{Relations: []string{"R"}, GroupBy: []string{"a"}},
+		{Relations: []string{"R"}, Aggregates: []Aggregate{{Fn: Sum}}},
+		{Relations: []string{"R"}, Aggregates: []Aggregate{{Fn: Count, As: "n"}},
+			OrderBy: []OrderItem{{Attr: "zzz"}}},
+		{Relations: []string{"R"}, Aggregates: []Aggregate{{Fn: Count, As: "n"}},
+			GroupBy: []string{"g"}, Having: []Filter{{Attr: "g", Op: fops.EQ, Const: values.NewInt(1)}}},
+		{Relations: []string{"R"}, Having: []Filter{{Attr: "x", Op: fops.EQ, Const: values.NewInt(1)}}},
+		{Relations: []string{"R"}, Limit: -1},
+	}
+	for i, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: invalid query accepted: %s", i, q)
+		}
+	}
+}
+
+func TestOutputAttrs(t *testing.T) {
+	q := &Query{
+		Relations:  []string{"R"},
+		GroupBy:    []string{"a", "b"},
+		Aggregates: []Aggregate{{Fn: Sum, Arg: "c", As: "s"}, {Fn: Count}},
+	}
+	got := q.OutputAttrs()
+	want := []string{"a", "b", "s", "count(*)"}
+	if len(got) != len(want) {
+		t.Fatalf("outputs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("outputs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := &Query{
+		Relations:  []string{"Orders", "Items"},
+		Equalities: []Equality{{A: "item", B: "item2"}},
+		Filters:    []Filter{{Attr: "price", Op: fops.GT, Const: values.NewInt(5)}},
+		GroupBy:    []string{"customer"},
+		Aggregates: []Aggregate{{Fn: Sum, Arg: "price", As: "revenue"}},
+		OrderBy:    []OrderItem{{Attr: "revenue", Desc: true}},
+		Limit:      10,
+	}
+	s := q.String()
+	for _, frag := range []string{"λ10", "o_{revenue DESC}", "ϖ_{customer", "sum(price) AS revenue", "item=item2", "price>5", "Orders × Items"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAggregateNames(t *testing.T) {
+	a := Aggregate{Fn: Count}
+	if a.OutName() != "count(*)" {
+		t.Errorf("OutName = %q", a.OutName())
+	}
+	b := Aggregate{Fn: Avg, Arg: "x"}
+	if b.OutName() != "avg(x)" {
+		t.Errorf("OutName = %q", b.OutName())
+	}
+	if b.String() != "avg(x)" {
+		t.Errorf("String = %q", b.String())
+	}
+	if AggFn(99).String() == "" {
+		t.Error("unknown fn should render something")
+	}
+}

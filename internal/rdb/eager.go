@@ -1,0 +1,250 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// runEager implements Yan–Larson eager aggregation (the paper's manually
+// optimised plans): each input relation is pre-aggregated — grouped by
+// its join attributes plus its group-by attributes, computing a row count
+// and partial sums/mins/maxes for the aggregate arguments it owns — then
+// the partials are joined and combined: counts multiply across inputs,
+// sums scale by the counts of the other inputs, min/max pass through.
+func (e *Engine) runEager(q *query.Query, inputs []*relation.Relation) (*relation.Relation, error) {
+	// Apply equalities local to a single input as filters first.
+	eqs := append([]query.Equality{}, q.Equalities...)
+	for i := 0; i < len(eqs); {
+		eq := eqs[i]
+		local := false
+		for ri, r := range inputs {
+			if r.HasAttr(eq.A) && r.HasAttr(eq.B) {
+				ca, cb := r.ColIndex(eq.A), r.ColIndex(eq.B)
+				inputs[ri] = r.Select(func(t relation.Tuple) bool {
+					return values.Compare(t[ca], t[cb]) == 0
+				})
+				local = true
+				break
+			}
+		}
+		if local {
+			eqs = append(eqs[:i], eqs[i+1:]...)
+		} else {
+			i++
+		}
+	}
+
+	inG := map[string]bool{}
+	for _, g := range q.GroupBy {
+		inG[g] = true
+	}
+	joinAttr := map[string]bool{}
+	for _, eq := range eqs {
+		joinAttr[eq.A] = true
+		joinAttr[eq.B] = true
+	}
+
+	// ownedBy[k] = input index owning aggregate k's argument (-1 for
+	// count).
+	ownedBy := make([]int, len(q.Aggregates))
+	for k, a := range q.Aggregates {
+		ownedBy[k] = -1
+		if a.Arg == "" {
+			continue
+		}
+		for ri, r := range inputs {
+			if r.HasAttr(a.Arg) {
+				ownedBy[k] = ri
+				break
+			}
+		}
+		if ownedBy[k] < 0 {
+			return nil, fmt.Errorf("rdb: aggregate argument %q not found", a.Arg)
+		}
+	}
+
+	cntCol := func(i int) string { return fmt.Sprintf("__cnt%d", i) }
+	pCol := func(i, k int) string { return fmt.Sprintf("__p%d_%d", i, k) }
+
+	partials := make([]*relation.Relation, len(inputs))
+	for i, r := range inputs {
+		var keys []string
+		for _, a := range r.Attrs {
+			if inG[a] || joinAttr[a] {
+				keys = append(keys, a)
+			}
+		}
+		aggs := []query.Aggregate{{Fn: query.Count, As: cntCol(i)}}
+		for k, a := range q.Aggregates {
+			if ownedBy[k] != i {
+				continue
+			}
+			fn := a.Fn
+			if fn == query.Avg {
+				fn = query.Sum
+			}
+			if fn == query.Count {
+				continue
+			}
+			aggs = append(aggs, query.Aggregate{Fn: fn, Arg: a.Arg, As: pCol(i, k)})
+		}
+		p, err := e.aggregate(r, keys, aggs)
+		if err != nil {
+			return nil, err
+		}
+		partials[i] = p
+	}
+
+	joined, err := joinAll(partials, eqs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Final combination grouped by G.
+	gIdx := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		gIdx[i] = joined.ColIndex(g)
+		if gIdx[i] < 0 {
+			return nil, fmt.Errorf("rdb: group-by attribute %q lost in eager plan", g)
+		}
+	}
+	cIdx := make([]int, len(inputs))
+	for i := range inputs {
+		cIdx[i] = joined.ColIndex(cntCol(i))
+	}
+	pIdx := make([]int, len(q.Aggregates))
+	for k := range q.Aggregates {
+		pIdx[k] = -1
+		if ownedBy[k] >= 0 && q.Aggregates[k].Fn != query.Count {
+			pIdx[k] = joined.ColIndex(pCol(ownedBy[k], k))
+		}
+	}
+
+	type acc struct {
+		groupVals relation.Tuple
+		count     int64
+		sums      []values.Value
+		mins      []values.Value
+		maxs      []values.Value
+	}
+	update := func(g *acc, t relation.Tuple) {
+		rowCnt := int64(1)
+		for _, ci := range cIdx {
+			rowCnt *= t[ci].Int()
+		}
+		g.count += rowCnt
+		for k, a := range q.Aggregates {
+			switch a.Fn {
+			case query.Sum, query.Avg:
+				other := int64(1)
+				for i, ci := range cIdx {
+					if i != ownedBy[k] {
+						other *= t[ci].Int()
+					}
+				}
+				g.sums[k] = values.Add(g.sums[k], values.MulInt(t[pIdx[k]], other))
+			case query.Min:
+				g.mins[k] = values.Min(g.mins[k], t[pIdx[k]])
+			case query.Max:
+				g.maxs[k] = values.Max(g.maxs[k], t[pIdx[k]])
+			}
+		}
+	}
+	newAcc := func(t relation.Tuple) *acc {
+		g := &acc{
+			groupVals: make(relation.Tuple, len(gIdx)),
+			sums:      make([]values.Value, len(q.Aggregates)),
+			mins:      make([]values.Value, len(q.Aggregates)),
+			maxs:      make([]values.Value, len(q.Aggregates)),
+		}
+		for i, j := range gIdx {
+			g.groupVals[i] = t[j]
+		}
+		return g
+	}
+
+	var groups []*acc
+	if e.Grouping == GroupHash {
+		ht := map[string]*acc{}
+		var kb []byte
+		for _, t := range joined.Tuples {
+			kb = kb[:0]
+			for _, j := range gIdx {
+				kb = t[j].AppendKey(kb)
+			}
+			g := ht[string(kb)]
+			if g == nil {
+				g = newAcc(t)
+				ht[string(kb)] = g
+				groups = append(groups, g)
+			}
+			update(g, t)
+		}
+	} else {
+		sorted := make([]relation.Tuple, len(joined.Tuples))
+		copy(sorted, joined.Tuples)
+		sort.SliceStable(sorted, func(x, y int) bool {
+			for _, j := range gIdx {
+				c := values.Compare(sorted[x][j], sorted[y][j])
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		var cur *acc
+		for _, t := range sorted {
+			if cur == nil || !sameGroup(cur.groupVals, t, gIdx) {
+				cur = newAcc(t)
+				groups = append(groups, cur)
+			}
+			update(cur, t)
+		}
+	}
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, &acc{
+			groupVals: relation.Tuple{},
+			sums:      make([]values.Value, len(q.Aggregates)),
+			mins:      make([]values.Value, len(q.Aggregates)),
+			maxs:      make([]values.Value, len(q.Aggregates)),
+		})
+	}
+
+	attrs := append([]string{}, q.GroupBy...)
+	for _, a := range q.Aggregates {
+		attrs = append(attrs, a.OutName())
+	}
+	rows := make([]relation.Tuple, 0, len(groups))
+	for _, g := range groups {
+		row := make(relation.Tuple, 0, len(attrs))
+		row = append(row, g.groupVals...)
+		for k, a := range q.Aggregates {
+			switch a.Fn {
+			case query.Count:
+				row = append(row, values.NewInt(g.count))
+			case query.Sum:
+				row = append(row, g.sums[k])
+			case query.Min:
+				row = append(row, g.mins[k])
+			case query.Max:
+				row = append(row, g.maxs[k])
+			case query.Avg:
+				if g.count == 0 || g.sums[k].IsNull() {
+					row = append(row, values.NullValue())
+				} else {
+					row = append(row, values.Div(g.sums[k], values.NewInt(g.count)))
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	out, err := relation.New("agg", attrs, rows)
+	if err != nil {
+		return nil, err
+	}
+	return finish(out, q)
+}

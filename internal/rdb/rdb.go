@@ -1,0 +1,419 @@
+// Package rdb implements the relational baseline engine of Experiment 5:
+// a basic main-memory row engine with hash joins, std-sort sorting,
+// sort-based grouping ("SQLite-style") and hash-based grouping
+// ("PostgreSQL-style"), evaluating the same query model as the FDB engine
+// on flat relations.
+//
+// Two aggregation strategies are provided: lazy (aggregate after all
+// joins — the default plans of the engines the paper benchmarks) and
+// eager (Yan–Larson partial aggregation pushed below joins — the paper's
+// manually optimised "man" plans).
+package rdb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// GroupMode selects the grouping implementation.
+type GroupMode uint8
+
+// Grouping implementations.
+const (
+	// GroupSort sorts by the grouping attributes and aggregates in one
+	// scan (SQLite-style).
+	GroupSort GroupMode = iota
+	// GroupHash aggregates into a hash table (PostgreSQL-style).
+	GroupHash
+)
+
+// Engine is the relational baseline.
+type Engine struct {
+	// Grouping selects sort- or hash-based aggregation.
+	Grouping GroupMode
+	// Eager enables Yan–Larson eager partial aggregation below joins
+	// (the paper's manually optimised plans).
+	Eager bool
+}
+
+// New returns a lazy sort-grouping engine.
+func New() *Engine { return &Engine{} }
+
+// DB is a catalogue of named flat relations.
+type DB map[string]*relation.Relation
+
+// Run evaluates the query and returns the result relation in output
+// order (ordering and limit applied).
+func (e *Engine) Run(q *query.Query, db DB) (*relation.Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	inputs := make([]*relation.Relation, len(q.Relations))
+	for i, name := range q.Relations {
+		rel, ok := db[name]
+		if !ok {
+			return nil, fmt.Errorf("rdb: unknown relation %q", name)
+		}
+		inputs[i] = rel
+	}
+	// Push constant selections to the inputs.
+	inputs = pushFilters(inputs, q.Filters)
+
+	var joined *relation.Relation
+	var err error
+	if q.IsAggregate() && e.Eager {
+		return e.runEager(q, inputs)
+	}
+	joined, err = joinAll(inputs, q.Equalities)
+	if err != nil {
+		return nil, err
+	}
+	if q.IsAggregate() {
+		out, err := e.aggregate(joined, q.GroupBy, q.Aggregates)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, q)
+	}
+	// SPJ: projection with set semantics.
+	out := joined
+	if len(q.Projection) > 0 {
+		out, err = joined.Project(q.Projection...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finish(out, q)
+}
+
+// pushFilters applies each constant selection to every input relation
+// containing its attribute; filters whose attribute appears nowhere cause
+// an error at join time via validation in finish.
+func pushFilters(inputs []*relation.Relation, filters []query.Filter) []*relation.Relation {
+	out := make([]*relation.Relation, len(inputs))
+	copy(out, inputs)
+	for _, f := range filters {
+		for i, rel := range out {
+			col := rel.ColIndex(f.Attr)
+			if col < 0 {
+				continue
+			}
+			ff := f
+			cc := col
+			out[i] = rel.Select(func(t relation.Tuple) bool {
+				return ff.Op.Holds(t[cc], ff.Const)
+			})
+		}
+	}
+	return out
+}
+
+// joinAll folds the inputs with hash equi-joins driven by the equality
+// conditions; equalities within one intermediate become filters;
+// unconnected inputs are joined by cross product at the end.
+func joinAll(inputs []*relation.Relation, eqs []query.Equality) (*relation.Relation, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("rdb: no inputs")
+	}
+	rels := append([]*relation.Relation{}, inputs...)
+	pending := append([]query.Equality{}, eqs...)
+	for {
+		progress := false
+		// Apply equalities local to one relation as filters.
+		for i := 0; i < len(pending); {
+			e := pending[i]
+			local := -1
+			for ri, r := range rels {
+				if r.HasAttr(e.A) && r.HasAttr(e.B) {
+					local = ri
+					break
+				}
+			}
+			if local < 0 {
+				i++
+				continue
+			}
+			r := rels[local]
+			ca, cb := r.ColIndex(e.A), r.ColIndex(e.B)
+			rels[local] = r.Select(func(t relation.Tuple) bool {
+				return values.Compare(t[ca], t[cb]) == 0
+			})
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+		}
+		// Join two relations connected by an equality.
+		joinedOne := false
+		for i := 0; i < len(pending) && !joinedOne; i++ {
+			e := pending[i]
+			ra, rb := -1, -1
+			for ri, r := range rels {
+				if r.HasAttr(e.A) {
+					ra = ri
+				}
+				if r.HasAttr(e.B) {
+					rb = ri
+				}
+			}
+			if ra < 0 || rb < 0 {
+				return nil, fmt.Errorf("rdb: equality %s=%s references unknown attribute", e.A, e.B)
+			}
+			if ra == rb {
+				continue // handled as local filter next round
+			}
+			j := hashJoin(rels[ra], rels[rb], e.A, e.B)
+			// Replace ra, remove rb.
+			hi, lo := ra, rb
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			rels[lo] = j
+			rels = append(rels[:hi], rels[hi+1:]...)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+			joinedOne = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Cross product for whatever is left.
+	out := rels[0]
+	for _, r := range rels[1:] {
+		out = crossProduct(out, r)
+	}
+	return out, nil
+}
+
+// hashJoin joins r and s on r.a = s.b (attribute names are globally
+// unique, so both columns survive into the output).
+func hashJoin(r, s *relation.Relation, a, b string) *relation.Relation {
+	ca, cb := r.ColIndex(a), s.ColIndex(b)
+	build, probe := r, s
+	cBuild, cProbe := ca, cb
+	if len(s.Tuples) < len(r.Tuples) {
+		build, probe = s, r
+		cBuild, cProbe = cb, ca
+	}
+	ht := make(map[string][]relation.Tuple, len(build.Tuples))
+	for _, t := range build.Tuples {
+		k := t[cBuild].Key()
+		ht[k] = append(ht[k], t)
+	}
+	attrs := append(append([]string{}, r.Attrs...), s.Attrs...)
+	var out []relation.Tuple
+	for _, t := range probe.Tuples {
+		for _, m := range ht[t[cProbe].Key()] {
+			rt, st := t, m
+			if build == r {
+				rt, st = m, t
+			}
+			row := make(relation.Tuple, 0, len(attrs))
+			row = append(row, rt...)
+			row = append(row, st...)
+			out = append(out, row)
+		}
+	}
+	return &relation.Relation{Name: r.Name + "⋈" + s.Name, Attrs: attrs, Tuples: out}
+}
+
+func crossProduct(r, s *relation.Relation) *relation.Relation {
+	attrs := append(append([]string{}, r.Attrs...), s.Attrs...)
+	out := make([]relation.Tuple, 0, len(r.Tuples)*len(s.Tuples))
+	for _, a := range r.Tuples {
+		for _, b := range s.Tuples {
+			row := make(relation.Tuple, 0, len(attrs))
+			row = append(row, a...)
+			row = append(row, b...)
+			out = append(out, row)
+		}
+	}
+	return &relation.Relation{Name: r.Name + "×" + s.Name, Attrs: attrs, Tuples: out}
+}
+
+// finish applies HAVING, ORDER BY and LIMIT.
+func finish(rel *relation.Relation, q *query.Query) (*relation.Relation, error) {
+	out := rel
+	if len(q.Having) > 0 {
+		for _, h := range q.Having {
+			col := out.ColIndex(h.Attr)
+			if col < 0 {
+				return nil, fmt.Errorf("rdb: HAVING references unknown output %q", h.Attr)
+			}
+			hh := h
+			cc := col
+			out = out.Select(func(t relation.Tuple) bool {
+				return hh.Op.Holds(t[cc], hh.Const)
+			})
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]relation.OrderKey, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			keys[i] = relation.OrderKey{Attr: o.Attr, Desc: o.Desc}
+		}
+		out = out.Clone()
+		if err := out.Sort(keys...); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && q.Limit < len(out.Tuples) {
+		out = &relation.Relation{Name: out.Name, Attrs: out.Attrs, Tuples: out.Tuples[:q.Limit]}
+	}
+	return out, nil
+}
+
+// accum accumulates one group's aggregates.
+type accum struct {
+	groupVals relation.Tuple
+	count     int64
+	sums      []values.Value
+	mins      []values.Value
+	maxs      []values.Value
+}
+
+// aggregate groups rel by the attributes in groupBy and computes the
+// aggregates, using sort- or hash-based grouping per the engine mode.
+func (e *Engine) aggregate(rel *relation.Relation, groupBy []string, aggs []query.Aggregate) (*relation.Relation, error) {
+	gIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		gIdx[i] = rel.ColIndex(g)
+		if gIdx[i] < 0 {
+			return nil, fmt.Errorf("rdb: group-by attribute %q not found", g)
+		}
+	}
+	aIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		aIdx[i] = -1
+		if a.Arg != "" {
+			aIdx[i] = rel.ColIndex(a.Arg)
+			if aIdx[i] < 0 {
+				return nil, fmt.Errorf("rdb: aggregate argument %q not found", a.Arg)
+			}
+		}
+	}
+
+	var groups []*accum
+	if e.Grouping == GroupHash {
+		ht := map[string]*accum{}
+		var kb []byte
+		for _, t := range rel.Tuples {
+			kb = kb[:0]
+			for _, j := range gIdx {
+				kb = t[j].AppendKey(kb)
+			}
+			g := ht[string(kb)]
+			if g == nil {
+				g = newAccum(t, gIdx, len(aggs))
+				ht[string(kb)] = g
+				groups = append(groups, g)
+			}
+			g.update(t, aggs, aIdx)
+		}
+	} else {
+		// Sort-based grouping: sort a copy by the group attributes, then
+		// aggregate runs in one scan.
+		sorted := make([]relation.Tuple, len(rel.Tuples))
+		copy(sorted, rel.Tuples)
+		sort.SliceStable(sorted, func(x, y int) bool {
+			for _, j := range gIdx {
+				c := values.Compare(sorted[x][j], sorted[y][j])
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		var cur *accum
+		for _, t := range sorted {
+			if cur == nil || !sameGroup(cur.groupVals, t, gIdx) {
+				cur = newAccum(t, gIdx, len(aggs))
+				groups = append(groups, cur)
+			}
+			cur.update(t, aggs, aIdx)
+		}
+	}
+	if len(groupBy) == 0 && len(groups) == 0 {
+		// Global aggregate over the empty relation: one row.
+		groups = append(groups, &accum{
+			groupVals: relation.Tuple{},
+			sums:      make([]values.Value, len(aggs)),
+			mins:      make([]values.Value, len(aggs)),
+			maxs:      make([]values.Value, len(aggs)),
+		})
+	}
+
+	attrs := append([]string{}, groupBy...)
+	for _, a := range aggs {
+		attrs = append(attrs, a.OutName())
+	}
+	out := make([]relation.Tuple, 0, len(groups))
+	for _, g := range groups {
+		row := make(relation.Tuple, 0, len(attrs))
+		row = append(row, g.groupVals...)
+		for i, a := range aggs {
+			row = append(row, g.value(i, a))
+		}
+		out = append(out, row)
+	}
+	return relation.New("agg", attrs, out)
+}
+
+func newAccum(t relation.Tuple, gIdx []int, nAggs int) *accum {
+	g := &accum{
+		groupVals: make(relation.Tuple, len(gIdx)),
+		sums:      make([]values.Value, nAggs),
+		mins:      make([]values.Value, nAggs),
+		maxs:      make([]values.Value, nAggs),
+	}
+	for i, j := range gIdx {
+		g.groupVals[i] = t[j]
+	}
+	return g
+}
+
+func sameGroup(gv relation.Tuple, t relation.Tuple, gIdx []int) bool {
+	for i, j := range gIdx {
+		if values.Compare(gv[i], t[j]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *accum) update(t relation.Tuple, aggs []query.Aggregate, aIdx []int) {
+	g.count++
+	for i, a := range aggs {
+		switch a.Fn {
+		case query.Sum, query.Avg:
+			g.sums[i] = values.Add(g.sums[i], t[aIdx[i]])
+		case query.Min:
+			g.mins[i] = values.Min(g.mins[i], t[aIdx[i]])
+		case query.Max:
+			g.maxs[i] = values.Max(g.maxs[i], t[aIdx[i]])
+		}
+	}
+}
+
+func (g *accum) value(i int, a query.Aggregate) values.Value {
+	switch a.Fn {
+	case query.Count:
+		return values.NewInt(g.count)
+	case query.Sum:
+		return g.sums[i]
+	case query.Min:
+		return g.mins[i]
+	case query.Max:
+		return g.maxs[i]
+	case query.Avg:
+		if g.count == 0 || g.sums[i].IsNull() {
+			return values.NullValue()
+		}
+		return values.Div(g.sums[i], values.NewInt(g.count))
+	default:
+		return values.NullValue()
+	}
+}

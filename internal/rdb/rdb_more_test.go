@@ -1,0 +1,122 @@
+package rdb
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+func TestRunErrors(t *testing.T) {
+	db := pizzeriaDB()
+	if _, err := New().Run(&query.Query{Relations: []string{"Nope"}}, db); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	bad := &query.Query{
+		Relations:  []string{"Orders"},
+		Equalities: []query.Equality{{A: "customer", B: "ghost"}},
+	}
+	if _, err := New().Run(bad, db); err == nil {
+		t.Error("equality with unknown attribute should fail")
+	}
+	badAgg := &query.Query{
+		Relations:  []string{"Orders"},
+		Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "ghost", As: "s"}},
+	}
+	if _, err := New().Run(badAgg, db); err == nil {
+		t.Error("aggregate over unknown attribute should fail")
+	}
+	for _, eager := range []bool{false, true} {
+		badGroup := &query.Query{
+			Relations:  []string{"Orders"},
+			GroupBy:    []string{"ghost"},
+			Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}},
+		}
+		if _, err := (&Engine{Eager: eager}).Run(badGroup, db); err == nil {
+			t.Errorf("eager=%v: group-by unknown attribute should fail", eager)
+		}
+	}
+}
+
+func TestOrderByAggregateOutput(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations: []string{"Orders", "Pizzas", "Items"},
+		Equalities: []query.Equality{
+			{A: "pizza", B: "pizza2"}, {A: "item", B: "item2"},
+		},
+		GroupBy:    []string{"pizza"},
+		Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}},
+		OrderBy:    []query.OrderItem{{Attr: "n", Desc: true}, {Attr: "pizza"}},
+	}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capricciosa and Hawaii both 6 rows, Margherita 1; ties by name.
+	if got.Tuples[0][0].Str() != "Capricciosa" || got.Tuples[2][0].Str() != "Margherita" {
+		t.Errorf("order wrong: %v", got.Tuples)
+	}
+}
+
+func TestHavingOnMissingOutput(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations:  []string{"Orders"},
+		GroupBy:    []string{"customer"},
+		Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}},
+		Having:     []query.Filter{{Attr: "n", Op: fops.GT, Const: iv(1)}},
+	}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only Mario has more than one order.
+	if got.Cardinality() != 1 || got.Tuples[0][0].Str() != "Mario" {
+		t.Errorf("having result: %v", got)
+	}
+}
+
+func TestEagerMinMaxOnly(t *testing.T) {
+	// Eager plans with min/max only (no counts needed in the combine).
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations: []string{"Orders", "Pizzas", "Items"},
+		Equalities: []query.Equality{
+			{A: "pizza", B: "pizza2"}, {A: "item", B: "item2"},
+		},
+		GroupBy: []string{"customer"},
+		Aggregates: []query.Aggregate{
+			{Fn: query.Min, Arg: "price", As: "lo"},
+			{Fn: query.Max, Arg: "price", As: "hi"},
+		},
+	}
+	lazy, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := (&Engine{Eager: true}).Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.EqualAsSets(lazy, eager) {
+		t.Errorf("min/max lazy vs eager mismatch:\n%v\nvs\n%v", lazy, eager)
+	}
+}
+
+func TestLimitLargerThanResult(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations: []string{"Orders"},
+		OrderBy:   []query.OrderItem{{Attr: "customer"}},
+		Limit:     1000,
+	}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 5 {
+		t.Errorf("limit larger than result should return all rows, got %d", got.Cardinality())
+	}
+}

@@ -1,0 +1,271 @@
+package rdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func iv(i int64) values.Value  { return values.NewInt(i) }
+func sv(s string) values.Value { return values.NewString(s) }
+
+func pizzeriaDB() DB {
+	return DB{
+		"Orders": relation.MustNew("Orders", []string{"customer", "date", "pizza"}, []relation.Tuple{
+			{sv("Mario"), sv("Monday"), sv("Capricciosa")},
+			{sv("Mario"), sv("Tuesday"), sv("Margherita")},
+			{sv("Pietro"), sv("Friday"), sv("Hawaii")},
+			{sv("Lucia"), sv("Friday"), sv("Hawaii")},
+			{sv("Mario"), sv("Friday"), sv("Capricciosa")},
+		}),
+		"Pizzas": relation.MustNew("Pizzas", []string{"pizza2", "item"}, []relation.Tuple{
+			{sv("Margherita"), sv("base")},
+			{sv("Capricciosa"), sv("base")},
+			{sv("Capricciosa"), sv("ham")},
+			{sv("Capricciosa"), sv("mushrooms")},
+			{sv("Hawaii"), sv("base")},
+			{sv("Hawaii"), sv("ham")},
+			{sv("Hawaii"), sv("pineapple")},
+		}),
+		"Items": relation.MustNew("Items", []string{"item2", "price"}, []relation.Tuple{
+			{sv("base"), iv(6)},
+			{sv("ham"), iv(1)},
+			{sv("mushrooms"), iv(1)},
+			{sv("pineapple"), iv(2)},
+		}),
+	}
+}
+
+func revenueQuery() *query.Query {
+	return &query.Query{
+		Relations: []string{"Orders", "Pizzas", "Items"},
+		Equalities: []query.Equality{
+			{A: "pizza", B: "pizza2"},
+			{A: "item", B: "item2"},
+		},
+		GroupBy:    []string{"customer"},
+		Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "revenue"}},
+		OrderBy:    []query.OrderItem{{Attr: "customer"}},
+	}
+}
+
+func TestRevenueAllModes(t *testing.T) {
+	db := pizzeriaDB()
+	q := revenueQuery()
+	want := relation.MustNew("want", []string{"customer", "revenue"}, []relation.Tuple{
+		{sv("Lucia"), iv(9)},
+		{sv("Mario"), iv(22)},
+		{sv("Pietro"), iv(9)},
+	})
+	for _, mode := range []GroupMode{GroupSort, GroupHash} {
+		for _, eager := range []bool{false, true} {
+			e := &Engine{Grouping: mode, Eager: eager}
+			got, err := e.Run(q, db)
+			if err != nil {
+				t.Fatalf("mode=%d eager=%v: %v", mode, eager, err)
+			}
+			if !relation.EqualAsSets(got, want) {
+				t.Errorf("mode=%d eager=%v:\n%v\nwant\n%v", mode, eager, got, want)
+			}
+			// Order check.
+			if got.Tuples[0][0].Str() != "Lucia" || got.Tuples[2][0].Str() != "Pietro" {
+				t.Errorf("mode=%d eager=%v: wrong order: %v", mode, eager, got)
+			}
+		}
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations: []string{"Orders", "Pizzas", "Items"},
+		Equalities: []query.Equality{
+			{A: "pizza", B: "pizza2"}, {A: "item", B: "item2"},
+		},
+		Aggregates: []query.Aggregate{
+			{Fn: query.Count, As: "n"},
+			{Fn: query.Sum, Arg: "price", As: "total"},
+			{Fn: query.Min, Arg: "price", As: "lo"},
+			{Fn: query.Max, Arg: "price", As: "hi"},
+			{Fn: query.Avg, Arg: "price", As: "mean"},
+		},
+	}
+	for _, eager := range []bool{false, true} {
+		e := &Engine{Eager: eager}
+		got, err := e.Run(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != 1 {
+			t.Fatalf("eager=%v: want 1 row, got %d", eager, got.Cardinality())
+		}
+		row := got.Tuples[0]
+		if row[0].Int() != 13 || row[1].Int() != 40 || row[2].Int() != 1 || row[3].Int() != 6 {
+			t.Errorf("eager=%v: row = %v", eager, row)
+		}
+		if d := row[4].Float() - 40.0/13.0; d > 1e-9 || d < -1e-9 {
+			t.Errorf("eager=%v: avg = %v", eager, row[4])
+		}
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	db := DB{"E": relation.MustNew("E", []string{"x"}, nil)}
+	q := &query.Query{
+		Relations:  []string{"E"},
+		Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}, {Fn: query.Sum, Arg: "x", As: "s"}},
+	}
+	for _, eager := range []bool{false, true} {
+		got, err := (&Engine{Eager: eager}).Run(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != 1 || got.Tuples[0][0].Int() != 0 || !got.Tuples[0][1].IsNull() {
+			t.Errorf("eager=%v: %v", eager, got)
+		}
+	}
+}
+
+func TestFiltersHavingLimit(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations: []string{"Orders", "Pizzas", "Items"},
+		Equalities: []query.Equality{
+			{A: "pizza", B: "pizza2"}, {A: "item", B: "item2"},
+		},
+		Filters:    []query.Filter{{Attr: "price", Op: fops.GT, Const: iv(1)}},
+		GroupBy:    []string{"customer"},
+		Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "rev"}},
+		Having:     []query.Filter{{Attr: "rev", Op: fops.GE, Const: iv(12)}},
+		OrderBy:    []query.OrderItem{{Attr: "rev", Desc: true}},
+		Limit:      1,
+	}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// price>1: base(6) and pineapple(2) only. Mario: Capricciosa 6×2 +
+	// Margherita 6 = 18; Lucia/Pietro: Hawaii 6+2 = 8. HAVING ≥12 keeps
+	// Mario; limit 1.
+	if got.Cardinality() != 1 || got.Tuples[0][0].Str() != "Mario" || got.Tuples[0][1].Int() != 18 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSPJProjectionOrder(t *testing.T) {
+	db := pizzeriaDB()
+	q := &query.Query{
+		Relations:  []string{"Orders"},
+		Projection: []string{"pizza", "customer"},
+		OrderBy:    []query.OrderItem{{Attr: "pizza"}, {Attr: "customer", Desc: true}},
+	}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct (pizza, customer) pairs: 4.
+	if got.Cardinality() != 4 {
+		t.Fatalf("cardinality = %d, want 4", got.Cardinality())
+	}
+	if got.Tuples[0][0].Str() != "Capricciosa" {
+		t.Errorf("first pizza = %v", got.Tuples[0][0])
+	}
+}
+
+func TestCrossProductFallback(t *testing.T) {
+	db := DB{
+		"A": relation.MustNew("A", []string{"x"}, []relation.Tuple{{iv(1)}, {iv(2)}}),
+		"B": relation.MustNew("B", []string{"y"}, []relation.Tuple{{iv(3)}}),
+	}
+	q := &query.Query{Relations: []string{"A", "B"}}
+	got, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 2 {
+		t.Errorf("cross product = %d rows, want 2", got.Cardinality())
+	}
+}
+
+func TestLocalEqualityFilter(t *testing.T) {
+	db := DB{
+		"R": relation.MustNew("R", []string{"a", "b"}, []relation.Tuple{
+			{iv(1), iv(1)}, {iv(1), iv(2)}, {iv(3), iv(3)},
+		}),
+	}
+	q := &query.Query{
+		Relations:  []string{"R"},
+		Equalities: []query.Equality{{A: "a", B: "b"}},
+		GroupBy:    nil,
+		Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}},
+	}
+	for _, eager := range []bool{false, true} {
+		got, err := (&Engine{Eager: eager}).Run(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tuples[0][0].Int() != 2 {
+			t.Errorf("eager=%v: count = %v, want 2", eager, got.Tuples[0][0])
+		}
+	}
+}
+
+// Property: lazy and eager, sort and hash grouping all agree on random
+// star joins.
+func TestModesAgreeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(name string, attrs []string, n, dom int) *relation.Relation {
+			ts := make([]relation.Tuple, n)
+			for i := range ts {
+				tp := make(relation.Tuple, len(attrs))
+				for j := range tp {
+					tp[j] = iv(int64(rng.Intn(dom)))
+				}
+				ts[i] = tp
+			}
+			return relation.MustNew(name, attrs, ts)
+		}
+		db := DB{
+			"R": mk("R", []string{"a", "b"}, 1+rng.Intn(25), 4),
+			"S": mk("S", []string{"b2", "c"}, 1+rng.Intn(25), 4),
+			"T": mk("T", []string{"c2", "d"}, 1+rng.Intn(25), 4),
+		}
+		q := &query.Query{
+			Relations:  []string{"R", "S", "T"},
+			Equalities: []query.Equality{{A: "b", B: "b2"}, {A: "c", B: "c2"}},
+			GroupBy:    []string{"a"},
+			Aggregates: []query.Aggregate{
+				{Fn: query.Count, As: "n"},
+				{Fn: query.Sum, Arg: "d", As: "s"},
+				{Fn: query.Min, Arg: "d", As: "lo"},
+				{Fn: query.Max, Arg: "c", As: "hi"},
+				{Fn: query.Avg, Arg: "d", As: "m"},
+			},
+		}
+		var results []*relation.Relation
+		for _, mode := range []GroupMode{GroupSort, GroupHash} {
+			for _, eager := range []bool{false, true} {
+				got, err := (&Engine{Grouping: mode, Eager: eager}).Run(q, db)
+				if err != nil {
+					return false
+				}
+				results = append(results, got)
+			}
+		}
+		for _, r := range results[1:] {
+			if !relation.EqualAsSets(results[0], r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

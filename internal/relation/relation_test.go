@@ -1,0 +1,268 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/factordb/fdb/internal/values"
+)
+
+func iv(i int64) values.Value  { return values.NewInt(i) }
+func sv(s string) values.Value { return values.NewString(s) }
+
+func pizzeriaOrders() *Relation {
+	return MustNew("Orders", []string{"customer", "date", "pizza"}, []Tuple{
+		{sv("Mario"), sv("Monday"), sv("Capricciosa")},
+		{sv("Mario"), sv("Tuesday"), sv("Margherita")},
+		{sv("Pietro"), sv("Friday"), sv("Hawaii")},
+		{sv("Lucia"), sv("Friday"), sv("Hawaii")},
+		{sv("Mario"), sv("Friday"), sv("Capricciosa")},
+	})
+}
+
+func pizzeriaPizzas() *Relation {
+	return MustNew("Pizzas", []string{"pizza", "item"}, []Tuple{
+		{sv("Margherita"), sv("base")},
+		{sv("Capricciosa"), sv("base")},
+		{sv("Capricciosa"), sv("ham")},
+		{sv("Capricciosa"), sv("mushrooms")},
+		{sv("Hawaii"), sv("base")},
+		{sv("Hawaii"), sv("ham")},
+		{sv("Hawaii"), sv("pineapple")},
+	})
+}
+
+func pizzeriaItems() *Relation {
+	return MustNew("Items", []string{"item", "price"}, []Tuple{
+		{sv("base"), iv(6)},
+		{sv("ham"), iv(1)},
+		{sv("mushrooms"), iv(1)},
+		{sv("pineapple"), iv(2)},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("R", []string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	if _, err := New("R", []string{""}, nil); err == nil {
+		t.Error("empty attribute should fail")
+	}
+	if _, err := New("R", []string{"a"}, []Tuple{{iv(1), iv(2)}}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	r := pizzeriaOrders()
+	if r.ColIndex("date") != 1 {
+		t.Error("date should be column 1")
+	}
+	if r.ColIndex("missing") != -1 {
+		t.Error("missing should be -1")
+	}
+	if !r.HasAttr("pizza") || r.HasAttr("topping") {
+		t.Error("HasAttr wrong")
+	}
+}
+
+func TestProjectDeduplicates(t *testing.T) {
+	r := pizzeriaOrders()
+	p, err := r.Project("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cardinality() != 3 {
+		t.Errorf("distinct customers = %d, want 3", p.Cardinality())
+	}
+	if _, err := r.Project("nope"); err == nil {
+		t.Error("projecting missing attribute should fail")
+	}
+	// Column reordering.
+	p2, err := r.Project("pizza", "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Attrs[0] != "pizza" || p2.Attrs[1] != "customer" {
+		t.Error("projection should follow requested order")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := pizzeriaOrders()
+	f := r.Select(func(tp Tuple) bool { return tp[1].Str() == "Friday" })
+	if f.Cardinality() != 3 {
+		t.Errorf("Friday orders = %d, want 3", f.Cardinality())
+	}
+}
+
+func TestNaturalJoinPizzeria(t *testing.T) {
+	// The paper's R = Orders ⋈ Pizzas ⋈ Items has 13 tuples:
+	// Capricciosa: 2 orders × 3 items, Hawaii: 2 × 3, Margherita: 1 × 1.
+	j := NaturalJoinAll(pizzeriaOrders(), pizzeriaPizzas(), pizzeriaItems())
+	if j.Cardinality() != 13 {
+		t.Errorf("|R| = %d, want 13", j.Cardinality())
+	}
+	if len(j.Attrs) != 5 {
+		t.Errorf("join schema = %v, want 5 attrs", j.Attrs)
+	}
+}
+
+func TestNaturalJoinNoSharedIsProduct(t *testing.T) {
+	a := MustNew("A", []string{"x"}, []Tuple{{iv(1)}, {iv(2)}})
+	b := MustNew("B", []string{"y"}, []Tuple{{iv(3)}, {iv(4)}, {iv(5)}})
+	j := NaturalJoin(a, b)
+	if j.Cardinality() != 6 {
+		t.Errorf("product = %d, want 6", j.Cardinality())
+	}
+}
+
+func TestNaturalJoinEmptySide(t *testing.T) {
+	a := MustNew("A", []string{"x"}, nil)
+	b := MustNew("B", []string{"x", "y"}, []Tuple{{iv(1), iv(2)}})
+	if NaturalJoin(a, b).Cardinality() != 0 {
+		t.Error("join with empty relation should be empty")
+	}
+	if NaturalJoin(b, a).Cardinality() != 0 {
+		t.Error("join with empty relation should be empty (other side)")
+	}
+}
+
+func TestSortAscDesc(t *testing.T) {
+	r := pizzeriaOrders().Clone()
+	if err := r.Sort(OrderKey{Attr: "customer"}, OrderKey{Attr: "date", Desc: true}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples[0][0].Str() != "Lucia" {
+		t.Errorf("first customer = %v, want Lucia", r.Tuples[0][0])
+	}
+	// Mario's dates descending: Tuesday, Monday, Friday.
+	var marioDates []string
+	for _, tp := range r.Tuples {
+		if tp[0].Str() == "Mario" {
+			marioDates = append(marioDates, tp[1].Str())
+		}
+	}
+	want := []string{"Tuesday", "Monday", "Friday"}
+	for i := range want {
+		if marioDates[i] != want[i] {
+			t.Errorf("mario dates = %v, want %v", marioDates, want)
+			break
+		}
+	}
+	if err := r.Sort(OrderKey{Attr: "bogus"}); err == nil {
+		t.Error("sorting by missing attribute should fail")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r := MustNew("R", []string{"a"}, []Tuple{{iv(1)}, {iv(1)}, {iv(2)}})
+	if d := r.Dedup(); d.Cardinality() != 2 {
+		t.Errorf("dedup = %d, want 2", d.Cardinality())
+	}
+}
+
+func TestEqualAsSets(t *testing.T) {
+	a := MustNew("A", []string{"x", "y"}, []Tuple{{iv(1), iv(2)}, {iv(3), iv(4)}})
+	b := MustNew("B", []string{"y", "x"}, []Tuple{{iv(4), iv(3)}, {iv(2), iv(1)}, {iv(2), iv(1)}})
+	if !EqualAsSets(a, b) {
+		t.Error("a and b should be equal as sets (column order ignored)")
+	}
+	c := MustNew("C", []string{"x", "y"}, []Tuple{{iv(1), iv(2)}})
+	if EqualAsSets(a, c) {
+		t.Error("a and c differ")
+	}
+	d := MustNew("D", []string{"x", "z"}, []Tuple{{iv(1), iv(2)}, {iv(3), iv(4)}})
+	if EqualAsSets(a, d) {
+		t.Error("different schemas are not equal")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := pizzeriaItems()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("Items", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualAsSets(r, back) {
+		t.Errorf("CSV round trip mismatch:\n%v\n%v", r, back)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("R", strings.NewReader("")); err == nil {
+		t.Error("empty CSV should fail (no header)")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := Tuple{iv(1), iv(2)}
+	b := Tuple{iv(1), iv(3)}
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Error("tuple compare wrong")
+	}
+	if Compare(Tuple{iv(1)}, a) != -1 {
+		t.Error("shorter tuple with equal prefix sorts first")
+	}
+}
+
+func randomRelation(r *rand.Rand, attrs []string, n, domain int) *Relation {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		t := make(Tuple, len(attrs))
+		for j := range t {
+			t[j] = iv(int64(r.Intn(domain)))
+		}
+		ts[i] = t
+	}
+	return MustNew("R", attrs, ts)
+}
+
+// Join commutativity as a set property.
+func TestJoinCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRelation(rng, []string{"x", "y"}, rng.Intn(20), 4)
+		b := randomRelation(rng, []string{"y", "z"}, rng.Intn(20), 4)
+		ab := NaturalJoin(a, b).Dedup()
+		ba := NaturalJoin(b, a).Dedup()
+		return EqualAsSets(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Nested-loop reference join must agree with the hash join.
+func TestJoinAgainstNestedLoopProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRelation(rng, []string{"x", "y"}, rng.Intn(25), 3)
+		b := randomRelation(rng, []string{"y", "z"}, rng.Intn(25), 3)
+		got := NaturalJoin(a, b)
+		// Reference: nested loop.
+		var ref []Tuple
+		for _, ta := range a.Tuples {
+			for _, tb := range b.Tuples {
+				if values.Compare(ta[1], tb[0]) == 0 {
+					ref = append(ref, Tuple{ta[0], ta[1], tb[1]})
+				}
+			}
+		}
+		want := MustNew("W", []string{"x", "y", "z"}, ref)
+		return len(got.Tuples) == len(ref) && EqualAsSets(got.Dedup(), want.Dedup())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

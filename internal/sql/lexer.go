@@ -1,0 +1,140 @@
+// Package sql implements a small SQL front-end for the query model of
+// package query: SELECT with aggregates, FROM over named relations, WHERE
+// with attribute equalities and comparisons with constants, GROUP BY,
+// HAVING, ORDER BY (ASC/DESC) and LIMIT — the query class of Section 2 of
+// the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AND": true, "AS": true,
+	"ASC": true, "DESC": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true,
+}
+
+// lex tokenises the input. Identifiers are case-preserved; keywords are
+// recognised case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			j := i + 1
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '.') {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{kind: tokKeyword, text: strings.ToUpper(word), pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case strings.ContainsRune("(),*;", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: tokSymbol, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position would begin a
+// literal (after a comparison operator or comma) rather than being an
+// operator.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	last := toks[len(toks)-1]
+	if last.kind == tokSymbol {
+		switch last.text {
+		case "=", "<", "<=", ">", ">=", "<>", "!=", ",", "(":
+			return true
+		}
+	}
+	return false
+}

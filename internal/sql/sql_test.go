@@ -1,0 +1,135 @@
+package sql
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+)
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`SELECT customer, SUM(price) AS revenue, COUNT(*)
+		FROM Orders, Packages, Items
+		WHERE package = package2 AND item = item2 AND price > 1
+		GROUP BY customer
+		HAVING revenue >= 10
+		ORDER BY revenue DESC, customer ASC
+		LIMIT 5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 3 || q.Relations[1] != "Packages" {
+		t.Errorf("relations = %v", q.Relations)
+	}
+	if len(q.Equalities) != 2 || q.Equalities[0].A != "package" {
+		t.Errorf("equalities = %v", q.Equalities)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Op != fops.GT || q.Filters[0].Const.Int() != 1 {
+		t.Errorf("filters = %v", q.Filters)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "customer" {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	if len(q.Aggregates) != 2 || q.Aggregates[0].As != "revenue" || q.Aggregates[1].Fn != query.Count {
+		t.Errorf("aggregates = %v", q.Aggregates)
+	}
+	if len(q.Having) != 1 || q.Having[0].Attr != "revenue" || q.Having[0].Op != fops.GE {
+		t.Errorf("having = %v", q.Having)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order by = %v", q.OrderBy)
+	}
+	if q.Limit != 5 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseSPJ(t *testing.T) {
+	q, err := Parse(`SELECT pizza, customer FROM Orders ORDER BY pizza`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsAggregate() {
+		t.Error("SPJ query misclassified as aggregate")
+	}
+	if len(q.Projection) != 2 {
+		t.Errorf("projection = %v", q.Projection)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse(`SELECT * FROM R2 ORDER BY package, item, date LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 0 {
+		t.Error("star should leave projection empty")
+	}
+	if q.Limit != 10 || len(q.OrderBy) != 3 {
+		t.Errorf("order/limit = %v / %d", q.OrderBy, q.Limit)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*), SUM(x), MIN(x), MAX(x), AVG(x) FROM R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []query.AggFn{query.Count, query.Sum, query.Min, query.Max, query.Avg}
+	for i, fn := range want {
+		if q.Aggregates[i].Fn != fn {
+			t.Errorf("aggregate %d = %v, want %v", i, q.Aggregates[i].Fn, fn)
+		}
+	}
+}
+
+func TestParseStringsAndNegatives(t *testing.T) {
+	q, err := Parse(`SELECT * FROM R WHERE name = 'O''Brien' AND x >= -5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filters[0].Const.Str() != "O'Brien" {
+		t.Errorf("string literal = %q", q.Filters[0].Const)
+	}
+	if q.Filters[1].Const.Int() != -5 {
+		t.Errorf("negative literal = %v", q.Filters[1].Const)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT FROM R`,
+		`SELECT x FROM`,
+		`SELECT x R`,
+		`SELECT x FROM R WHERE`,
+		`SELECT x FROM R WHERE x <`,
+		`SELECT x FROM R WHERE x < y`, // non-equality between attributes
+		`SELECT SUM() FROM R`,
+		`SELECT SUM(x FROM R`,
+		`SELECT x, SUM(y) FROM R GROUP BY z`, // x not in GROUP BY
+		`SELECT x FROM R GROUP BY x`,         // GROUP BY without aggregates
+		`SELECT x FROM R LIMIT nope`,
+		`SELECT x FROM R ORDER BY`,
+		`SELECT x FROM R extra`,
+		`SELECT x FROM R WHERE name = 'unterminated`,
+		`SELECT x FROM R WHERE x ! y`,
+		`SELECT x FROM R HAVING x > 1`, // HAVING without aggregates
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("accepted invalid SQL: %s", s)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select customer, sum(price) as r from R group by customer order by r desc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggregates[0].As != "r" || !q.OrderBy[0].Desc {
+		t.Error("lower-case keywords not handled")
+	}
+}

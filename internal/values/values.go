@@ -1,0 +1,417 @@
+// Package values provides the typed scalar values stored in relations and
+// factorised representations.
+//
+// A Value is a small immutable tagged union over int64, float64, string and
+// bool, plus a vector kind used for the results of composite aggregation
+// functions such as avg = (sum, count) or multi-aggregate queries
+// (Section 3.2.4 of the paper). Values carry a total order (Compare) so
+// that unions in factorised representations can be kept sorted, and a
+// stable string encoding (AppendKey) for use as hash-map keys in the
+// relational baseline engine.
+package values
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. Null sorts before every other kind; Vec sorts
+// after every scalar kind. Int and Float compare numerically with each
+// other.
+const (
+	Null Kind = iota
+	Bool
+	Int
+	Float
+	String
+	Vec
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Vec:
+		return "vec"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable typed scalar (or small vector) value.
+// The zero Value is Null. The struct is kept small (floats share the
+// integer field via their bit pattern; vectors live behind a pointer)
+// because values are copied pervasively on comparison-heavy paths.
+type Value struct {
+	s    string
+	i    int64
+	vec  *[]Value
+	kind Kind
+}
+
+// NewInt returns an integer Value.
+func NewInt(v int64) Value { return Value{kind: Int, i: v} }
+
+// NewFloat returns a floating-point Value.
+func NewFloat(v float64) Value {
+	return Value{kind: Float, i: int64(math.Float64bits(v))}
+}
+
+// NewString returns a string Value.
+func NewString(v string) Value { return Value{kind: String, s: v} }
+
+// NewBool returns a boolean Value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// NewVec returns a vector Value holding the given components. The slice is
+// not copied; callers must not mutate it afterwards.
+func NewVec(vs []Value) Value { return Value{kind: Vec, vec: &vs} }
+
+// NullValue returns the null Value.
+func NullValue() Value { return Value{} }
+
+// Kind reports the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == Null }
+
+// Int returns the integer payload. It panics unless the kind is Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic(fmt.Sprintf("values: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the floating-point payload. It panics unless the kind is
+// Float.
+func (v Value) Float() float64 {
+	if v.kind != Float {
+		panic(fmt.Sprintf("values: Float() on %s value", v.kind))
+	}
+	return math.Float64frombits(uint64(v.i))
+}
+
+// Str returns the string payload. It panics unless the kind is String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic(fmt.Sprintf("values: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics unless the kind is Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic(fmt.Sprintf("values: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// VecAt returns the i-th component of a vector value. It panics unless the
+// kind is Vec.
+func (v Value) VecAt(i int) Value {
+	if v.kind != Vec {
+		panic(fmt.Sprintf("values: VecAt() on %s value", v.kind))
+	}
+	return (*v.vec)[i]
+}
+
+// VecLen returns the number of components of a vector value, or 0 for
+// non-vector values.
+func (v Value) VecLen() int {
+	if v.vec == nil {
+		return 0
+	}
+	return len(*v.vec)
+}
+
+// IsNumeric reports whether the value is Int or Float.
+func (v Value) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// AsFloat converts a numeric or boolean value to float64.
+// It panics for other kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case Int, Bool:
+		return float64(v.i)
+	case Float:
+		return math.Float64frombits(uint64(v.i))
+	default:
+		panic(fmt.Sprintf("values: AsFloat() on %s value", v.kind))
+	}
+}
+
+// Compare totally orders values: by kind rank first (Null < Bool <
+// numeric < String < Vec), except that Int and Float compare numerically
+// with each other. Vectors compare lexicographically. The result is -1, 0
+// or +1.
+func Compare(a, b Value) int {
+	if a.kind == Int && b.kind == Int { // hot path
+		return cmpInt(a.i, b.i)
+	}
+	ra, rb := a.rank(), b.rank()
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case ra == rankNumeric:
+		if a.kind == Int && b.kind == Int {
+			return cmpInt(a.i, b.i)
+		}
+		return cmpFloat(a.AsFloat(), b.AsFloat())
+	case a.kind == Bool:
+		return cmpInt(a.i, b.i)
+	case a.kind == String:
+		return strings.Compare(a.s, b.s)
+	case a.kind == Vec:
+		av, bv := *a.vec, *b.vec
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		for i := 0; i < n; i++ {
+			if c := Compare(av[i], bv[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt(int64(len(av)), int64(len(bv)))
+	default: // Null
+		return 0
+	}
+}
+
+const (
+	rankNull = iota
+	rankBool
+	rankNumeric
+	rankString
+	rankVec
+)
+
+func (v Value) rank() int {
+	switch v.kind {
+	case Null:
+		return rankNull
+	case Bool:
+		return rankBool
+	case Int, Float:
+		return rankNumeric
+	case String:
+		return rankString
+	default:
+		return rankVec
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether a orders strictly before b.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Equal reports whether a and b are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Add returns the numeric sum of a and b. Two Ints produce an Int; any
+// Float operand promotes the result to Float. Null is treated as the
+// additive identity of the other operand's kind, which lets aggregation
+// code fold over possibly-empty accumulators.
+func Add(a, b Value) Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	if a.kind == Int && b.kind == Int {
+		return NewInt(a.i + b.i)
+	}
+	return NewFloat(a.AsFloat() + b.AsFloat())
+}
+
+// Mul returns the numeric product of a and b, with the same promotion
+// rules as Add. Null is treated as the multiplicative identity.
+func Mul(a, b Value) Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	if a.kind == Int && b.kind == Int {
+		return NewInt(a.i * b.i)
+	}
+	return NewFloat(a.AsFloat() * b.AsFloat())
+}
+
+// MulInt returns v scaled by the integer factor n, preserving Int-ness.
+func MulInt(v Value, n int64) Value {
+	if v.IsNull() {
+		return v
+	}
+	if v.kind == Int {
+		return NewInt(v.i * n)
+	}
+	return NewFloat(v.AsFloat() * float64(n))
+}
+
+// Div returns a divided by b as a Float. Division by zero yields NaN or
+// ±Inf following IEEE semantics.
+func Div(a, b Value) Value {
+	return NewFloat(a.AsFloat() / b.AsFloat())
+}
+
+// Min returns the smaller of a and b under Compare; a Null operand yields
+// the other operand.
+func Min(a, b Value) Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	if Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b under Compare; a Null operand yields
+// the other operand.
+func Max(a, b Value) Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	if Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case Null:
+		return "NULL"
+	case Bool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case String:
+		return v.s
+	case Vec:
+		parts := make([]string, v.VecLen())
+		for i := range parts {
+			parts[i] = v.VecAt(i).String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	default:
+		return "?"
+	}
+}
+
+// AppendKey appends a stable, injective byte encoding of v to dst,
+// suitable for use as (part of) a hash-map key. Distinct values that
+// compare equal (for example Int 1 and Float 1.0) encode identically, so
+// key equality coincides with Compare equality for join processing.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case Null:
+		return append(dst, 0x00)
+	case Bool:
+		return append(dst, 0x01, byte(v.i))
+	case Int, Float:
+		// Encode all numerics as float64 bits so Int 1 == Float 1.0.
+		// int64 values beyond 2^53 may collide with nearby floats; the
+		// workloads in this repository stay far below that.
+		dst = append(dst, 0x02)
+		bits := math.Float64bits(v.AsFloat())
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(bits>>uint(shift)))
+		}
+		return dst
+	case String:
+		// Length-prefixed so strings with embedded NUL bytes stay
+		// injective even inside vector encodings.
+		dst = append(dst, 0x03)
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		return append(dst, v.s...)
+	case Vec:
+		dst = append(dst, 0x04)
+		for _, c := range *v.vec {
+			dst = c.AppendKey(dst)
+		}
+		return append(dst, 0xff)
+	default:
+		return dst
+	}
+}
+
+// Key returns AppendKey(nil) as a string.
+func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// Parse converts a textual field (for example from CSV) to a Value: first
+// as an integer, then as a float, then as the bare string. Empty text
+// parses as the empty string, not Null.
+func Parse(text string) Value {
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewString(text)
+}

@@ -1,0 +1,76 @@
+package values
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloatBitPackingRoundTrip(t *testing.T) {
+	cases := []float64{
+		0, 1.5, -1.5, math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), 1e-300, -2.718281828,
+	}
+	for _, f := range cases {
+		v := NewFloat(f)
+		if got := v.Float(); got != f {
+			t.Errorf("Float(%v) round-trip = %v", f, got)
+		}
+		if got := v.AsFloat(); got != f {
+			t.Errorf("AsFloat(%v) = %v", f, got)
+		}
+	}
+}
+
+func TestNegativeFloatOrdering(t *testing.T) {
+	// The bit-packed representation must not leak into ordering:
+	// -1.5 < -0.5 < 0 < 0.5 even though Float64bits(-1.5) > bits(0.5).
+	ordered := []Value{
+		NewFloat(math.Inf(-1)), NewFloat(-1.5), NewFloat(-0.5),
+		NewFloat(0), NewFloat(0.5), NewInt(1), NewFloat(1.25),
+		NewFloat(math.Inf(1)),
+	}
+	for i := 0; i < len(ordered)-1; i++ {
+		if Compare(ordered[i], ordered[i+1]) >= 0 {
+			t.Errorf("want %v < %v", ordered[i], ordered[i+1])
+		}
+	}
+}
+
+func TestFloatIntCrossArithmetic(t *testing.T) {
+	if got := Add(NewFloat(-1.5), NewInt(2)); got.Float() != 0.5 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Mul(NewFloat(-2), NewFloat(3.5)); got.Float() != -7 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := MulInt(NewFloat(-2.5), -2); got.Float() != 5 {
+		t.Errorf("MulInt = %v", got)
+	}
+	if got := Min(NewFloat(-3), NewInt(-2)); got.Float() != -3 {
+		t.Errorf("Min = %v", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Null, Bool, Int, Float, String, Vec, Kind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var v Value // Null
+	if v.VecLen() != 0 {
+		t.Error("VecLen of non-vec should be 0")
+	}
+	empty := NewVec(nil)
+	if empty.VecLen() != 0 {
+		t.Error("empty vec length")
+	}
+	if Compare(empty, NewVec([]Value{NewInt(1)})) != -1 {
+		t.Error("empty vec sorts before non-empty")
+	}
+}

@@ -1,0 +1,290 @@
+package values
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindAccessors(t *testing.T) {
+	if got := NewInt(7).Int(); got != 7 {
+		t.Errorf("Int() = %d, want 7", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float() = %v, want 2.5", got)
+	}
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("Str() = %q, want abc", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool() round-trip failed")
+	}
+	if !NullValue().IsNull() {
+		t.Error("NullValue should be null")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be null")
+	}
+	v := NewVec([]Value{NewInt(1), NewString("x")})
+	if v.VecLen() != 2 || v.VecAt(1).Str() != "x" {
+		t.Error("Vec accessors failed")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewString("a").Int() },
+		func() { NewInt(1).Float() },
+		func() { NewInt(1).Str() },
+		func() { NewInt(1).Bool() },
+		func() { NewInt(1).VecAt(0) },
+		func() { NewString("a").AsFloat() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCompareWithinKinds(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NullValue(), NullValue(), 0},
+	}
+	for _, tc := range tests {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareAcrossKinds(t *testing.T) {
+	// Null < Bool < numeric < String < Vec.
+	ordered := []Value{
+		NullValue(),
+		NewBool(false),
+		NewInt(-5),
+		NewString(""),
+		NewVec([]Value{}),
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if Compare(ordered[i], ordered[j]) >= 0 {
+				t.Errorf("want %v < %v", ordered[i], ordered[j])
+			}
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.0)) != 0 {
+		t.Error("Int 2 should equal Float 2.0")
+	}
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Error("Int 2 should be < Float 2.5")
+	}
+	if Compare(NewFloat(3.5), NewInt(3)) != 1 {
+		t.Error("Float 3.5 should be > Int 3")
+	}
+}
+
+func TestCompareVecLexicographic(t *testing.T) {
+	a := NewVec([]Value{NewInt(1), NewInt(2)})
+	b := NewVec([]Value{NewInt(1), NewInt(3)})
+	c := NewVec([]Value{NewInt(1)})
+	if Compare(a, b) != -1 {
+		t.Error("(1,2) < (1,3)")
+	}
+	if Compare(c, a) != -1 {
+		t.Error("(1) < (1,2) by length")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("(1,2) == (1,2)")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(NewInt(2), NewInt(3)); got.Kind() != Int || got.Int() != 5 {
+		t.Errorf("Add int = %v", got)
+	}
+	if got := Add(NewInt(2), NewFloat(0.5)); got.Kind() != Float || got.Float() != 2.5 {
+		t.Errorf("Add promotes = %v", got)
+	}
+	if got := Mul(NewInt(4), NewInt(3)); got.Int() != 12 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := MulInt(NewInt(4), 5); got.Int() != 20 {
+		t.Errorf("MulInt = %v", got)
+	}
+	if got := MulInt(NewFloat(1.5), 2); got.Float() != 3.0 {
+		t.Errorf("MulInt float = %v", got)
+	}
+	if got := Div(NewInt(7), NewInt(2)); got.Float() != 3.5 {
+		t.Errorf("Div = %v", got)
+	}
+	if got := Add(NullValue(), NewInt(9)); got.Int() != 9 {
+		t.Errorf("Add null identity = %v", got)
+	}
+	if got := Mul(NewInt(9), NullValue()); got.Int() != 9 {
+		t.Errorf("Mul null identity = %v", got)
+	}
+	if got := MulInt(NullValue(), 3); !got.IsNull() {
+		t.Errorf("MulInt null = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := Min(NewInt(3), NewInt(1)); got.Int() != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(NewString("a"), NewString("b")); got.Str() != "b" {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(NullValue(), NewInt(4)); got.Int() != 4 {
+		t.Errorf("Min null = %v", got)
+	}
+	if got := Max(NewInt(4), NullValue()); got.Int() != 4 {
+		t.Errorf("Max null = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NullValue(), "NULL"},
+		{NewVec([]Value{NewInt(1), NewInt(2)}), "(1,2)"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	if v := Parse("123"); v.Kind() != Int || v.Int() != 123 {
+		t.Errorf("Parse int = %v", v)
+	}
+	if v := Parse("1.5"); v.Kind() != Float || v.Float() != 1.5 {
+		t.Errorf("Parse float = %v", v)
+	}
+	if v := Parse("hello"); v.Kind() != String || v.Str() != "hello" {
+		t.Errorf("Parse string = %v", v)
+	}
+	if v := Parse(""); v.Kind() != String {
+		t.Errorf("Parse empty = %v", v)
+	}
+}
+
+func TestKeyInjectiveOnEquality(t *testing.T) {
+	vs := []Value{
+		NewInt(1), NewInt(2), NewFloat(1.5), NewString("1"), NewString("a"),
+		NewString("a\x00b"), NewBool(true), NewBool(false), NullValue(),
+		NewVec([]Value{NewInt(1), NewString("a")}),
+		NewVec([]Value{NewInt(1)}),
+	}
+	for i, a := range vs {
+		for j, b := range vs {
+			keyEq := a.Key() == b.Key()
+			cmpEq := Compare(a, b) == 0
+			if keyEq != cmpEq {
+				t.Errorf("key/compare mismatch between vs[%d]=%v and vs[%d]=%v", i, a, j, b)
+			}
+		}
+	}
+	// Numeric cross-kind equality must hold for keys too.
+	if NewInt(2).Key() != NewFloat(2.0).Key() {
+		t.Error("Int 2 and Float 2.0 must share a key")
+	}
+}
+
+func randomValue(r *rand.Rand, depth int) Value {
+	switch k := r.Intn(6); k {
+	case 0:
+		return NullValue()
+	case 1:
+		return NewBool(r.Intn(2) == 1)
+	case 2:
+		return NewInt(int64(r.Intn(200) - 100))
+	case 3:
+		return NewFloat(float64(r.Intn(200)-100) / 4)
+	case 4:
+		return NewString(string(rune('a' + r.Intn(26))))
+	default:
+		if depth > 1 {
+			return NewInt(int64(r.Intn(10)))
+		}
+		n := r.Intn(3)
+		vec := make([]Value, n)
+		for i := range vec {
+			vec[i] = randomValue(r, depth+1)
+		}
+		return NewVec(vec)
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	anti := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 0), randomValue(r, 0)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity check via sorting: sorted slice must be totally ordered.
+	trans := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]Value, 20)
+		for i := range vs {
+			vs[i] = randomValue(r, 0)
+		}
+		sort.Slice(vs, func(i, j int) bool { return Less(vs[i], vs[j]) })
+		for i := 1; i < len(vs); i++ {
+			if Compare(vs[i-1], vs[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(trans, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyConsistentWithCompareProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 0), randomValue(r, 0)
+		return (a.Key() == b.Key()) == (Compare(a, b) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
