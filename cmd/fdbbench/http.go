@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/server"
+)
+
+// The mixed statement workload for the HTTP throughput experiment:
+// aggregation over the three-way join, a grouped order-by, a filtered
+// scan and a point-ish lookup, so the server exercises planning,
+// aggregation, enumeration and the plan cache together.
+var httpStatements = []string{
+	`SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items
+	 WHERE package = package2 AND item = item2
+	 GROUP BY customer ORDER BY revenue DESC LIMIT 10`,
+	`SELECT package, COUNT(*) AS n FROM Orders GROUP BY package ORDER BY n DESC LIMIT 10`,
+	`SELECT date, MAX(price) AS top FROM Orders, Packages, Items
+	 WHERE package = package2 AND item = item2
+	 GROUP BY date ORDER BY top DESC LIMIT 10`,
+	`SELECT item2, price FROM Items WHERE price >= 15 ORDER BY price DESC`,
+	`SELECT customer, date FROM Orders WHERE package = 1 LIMIT 20`,
+}
+
+// expHTTP measures end-to-end server throughput: the workload dataset is
+// served by an in-process fdbserver instance over real HTTP, and client
+// goroutines fire the mixed statement workload at increasing concurrency
+// levels. Reported per level: queries/sec, client-side p50/p99 latency,
+// and the plan cache hit rate.
+func (b *bench) expHTTP() {
+	header(fmt.Sprintf("HTTP: server throughput, mixed workload (scale %d, %d requests/level)", b.scale, b.httpRequests))
+	d := b.dataset(b.scale)
+	srv, err := server.New(server.Config{
+		Databases: map[string]fdb.Database{"bench": fdb.Database(d.DB())},
+		CacheSize: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+
+	// Warm up: every statement once, checking it actually succeeds.
+	for _, stmt := range httpStatements {
+		if err := postOne(client, ts.URL, stmt); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+	}
+
+	row("clients", "queries/sec", "p50", "p99", "cache-hit-rate")
+	prev := srv.Stats().Databases["bench"].PlanCache
+	for clients := 1; clients <= b.httpClients; clients *= 2 {
+		qps, p50, p99 := b.fireHTTP(client, ts.URL, clients)
+		cur := srv.Stats().Databases["bench"].PlanCache
+		// Hit rate over this level only: delta against the previous
+		// snapshot, so warmup and earlier levels don't mask regressions.
+		hits, misses := cur.Hits-prev.Hits, cur.Misses-prev.Misses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		prev = cur
+		row(fmt.Sprint(clients), fmt.Sprintf("%.0f", qps), p50.String(), p99.String(),
+			fmt.Sprintf("%.3f", hitRate))
+	}
+}
+
+// fireHTTP sends b.httpRequests requests from the given number of client
+// goroutines, round-robin over the statement mix, and returns the
+// aggregate throughput and client-observed latency percentiles.
+func (b *bench) fireHTTP(client *http.Client, url string, clients int) (qps float64, p50, p99 time.Duration) {
+	total := b.httpRequests
+	perClient := total / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats[c] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				stmt := httpStatements[(c+i)%len(httpStatements)]
+				t0 := time.Now()
+				if err := postOne(client, url, stmt); err != nil {
+					log.Fatal(err)
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	qps = float64(len(all)) / elapsed.Seconds()
+	p50 = all[len(all)/2]
+	p99 = all[len(all)*99/100]
+	return qps, p50, p99
+}
+
+// postOne sends one query and fails on any non-200 or undecodable
+// response.
+func postOne(client *http.Client, url, stmt string) error {
+	body, err := json.Marshal(server.QueryRequest{SQL: stmt})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("query failed with status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}

@@ -9,7 +9,12 @@
 //	fdbbench -exp size -scalemax 16
 //
 // Experiments: size (in-text table), fig4, fig5, fig6, fig7, fig8,
-// ablation, all.
+// ablation, all. Beyond the paper, "http" load-tests the fdbserver
+// query service end to end: an in-process server is driven over HTTP by
+// concurrent clients and throughput (queries/sec), latency percentiles
+// and the plan-cache hit rate are reported per concurrency level:
+//
+//	fdbbench -exp http -scale 2 -httpclients 16 -httprequests 2000
 package main
 
 import (
@@ -32,38 +37,44 @@ import (
 )
 
 type bench struct {
-	scale    int
-	scaleMax int
-	reps     int
-	ds       map[int]*workload.Dataset
-	views    map[int]*fops.FRel
-	flats    map[int]rdb.DB
+	scale        int
+	scaleMax     int
+	reps         int
+	httpClients  int
+	httpRequests int
+	ds           map[int]*workload.Dataset
+	views        map[int]*fops.FRel
+	flats        map[int]rdb.DB
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	httpClients := flag.Int("httpclients", 8, "maximum client concurrency for the http experiment")
+	httpRequests := flag.Int("httprequests", 800, "requests per concurrency level for the http experiment")
 	flag.Parse()
 
 	b := &bench{
-		scale:    *scale,
-		scaleMax: *scaleMax,
-		reps:     *reps,
-		ds:       map[int]*workload.Dataset{},
-		views:    map[int]*fops.FRel{},
-		flats:    map[int]rdb.DB{},
+		scale:        *scale,
+		scaleMax:     *scaleMax,
+		reps:         *reps,
+		httpClients:  *httpClients,
+		httpRequests: *httpRequests,
+		ds:           map[int]*workload.Dataset{},
+		views:        map[int]*fops.FRel{},
+		flats:        map[int]rdb.DB{},
 	}
 	run := map[string]func(){
 		"size": b.expSize, "fig4": b.expFig4, "fig5": b.expFig5,
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
-		"ablation": b.expAblation,
+		"ablation": b.expAblation, "http": b.expHTTP,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation"} {
+		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http"} {
 			run[name]()
 		}
 		return

@@ -1,0 +1,159 @@
+// Command fdbserver serves one or more CSV-backed databases over
+// HTTP/JSON, executing SQL with the factorised-database engine. The
+// data is loaded once into a shared read-only in-memory store; queries
+// run concurrently through a bounded worker pool, and a per-database
+// LRU plan cache lets repeated statements skip parsing and f-plan
+// optimisation.
+//
+// Usage:
+//
+//	fdbserver -data ./data                      # one database ("data")
+//	fdbserver -data shop=./shop -data hr=./hr   # several, first is default
+//	fdbserver -data ./data -listen :9000 -workers 8 -cache 512
+//
+// Every *.csv file in a data directory becomes a relation named after
+// the file (header row = attribute names).
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ...", "db": "shop"}
+//	GET  /healthz  liveness probe
+//	GET  /stats    query counts, latency percentiles, cache hit rates
+//
+// Example session:
+//
+//	curl -s localhost:8334/query -d '{"sql":"SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items WHERE package = package2 AND item = item2 GROUP BY customer ORDER BY revenue DESC LIMIT 3"}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// queries before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/server"
+)
+
+// dataFlags collects repeated -data flags of the form "dir" or
+// "name=dir", preserving order (the first is the default database).
+type dataFlags struct {
+	names []string
+	dirs  []string
+}
+
+func (d *dataFlags) String() string { return strings.Join(d.dirs, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	name, dir := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, dir = v[:i], v[i+1:]
+	}
+	if dir == "" {
+		return errors.New("empty data directory")
+	}
+	if name == "" {
+		name = filepath.Base(filepath.Clean(dir))
+	}
+	d.names = append(d.names, name)
+	d.dirs = append(d.dirs, dir)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdbserver: ")
+	var data dataFlags
+	flag.Var(&data, "data", "data directory of *.csv relations, optionally name=dir (repeatable)")
+	listen := flag.String("listen", ":8334", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 256, "plan cache entries per database")
+	maxRows := flag.Int("maxrows", 0, "max rows returned per query (0 = unlimited)")
+	flag.Parse()
+
+	if len(data.dirs) == 0 {
+		log.Fatal("at least one -data directory is required")
+	}
+	dbs := make(map[string]fdb.Database, len(data.dirs))
+	for i, dir := range data.dirs {
+		name := data.names[i]
+		if _, dup := dbs[name]; dup {
+			log.Fatalf("duplicate database name %q", name)
+		}
+		db, err := loadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rels := make([]string, 0, len(db))
+		for n, r := range db {
+			rels = append(rels, fmt.Sprintf("%s[%d]", n, r.Cardinality()))
+		}
+		log.Printf("database %q: %s", name, strings.Join(rels, " "))
+		dbs[name] = db
+	}
+
+	srv, err := server.New(server.Config{
+		Databases: dbs,
+		DefaultDB: data.names[0],
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		MaxRows:   *maxRows,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down…")
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("serving on %s (default database %q)", *listen, data.names[0])
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// loadDir reads every *.csv in dir as a relation named after the file.
+func loadDir(dir string) (fdb.Database, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no *.csv files in %s", dir)
+	}
+	db := fdb.Database{}
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := fdb.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		db[name] = rel
+	}
+	return db, nil
+}

@@ -25,7 +25,10 @@
 //
 // For read-optimised workloads, materialise a view once as a
 // factorisation and run many queries against it with Engine.RunOnView;
-// the view is never modified.
+// the view is never modified. For repeated statements, compile once with
+// Engine.Prepare and execute many times (concurrently, if desired) with
+// PreparedQuery.Exec — cmd/fdbserver builds an HTTP query service with
+// an LRU plan cache on exactly this split.
 //
 // The packages under internal/ implement the paper's substrates: values
 // and relations, f-trees with the path constraint and fractional-edge-
@@ -127,6 +130,17 @@ func NewEngine() *Engine { return engine.New() }
 // Result is an evaluated query; enumerate it with ForEach, or materialise
 // it with Relation. Its FRel field is the factorised output ("FDB f/o").
 type Result = engine.Result
+
+// PreparedQuery is a compiled query: the chosen per-relation path orders
+// plus the optimised f-plan. Prepare once with Engine.Prepare and execute
+// many times with Exec; a PreparedQuery is immutable and safe for
+// concurrent Exec calls, which is the basis of fdbserver's plan cache.
+type PreparedQuery = engine.Prepared
+
+// NormalizeSQL canonicalises a SQL statement's spelling (whitespace,
+// keyword case, trailing semicolon) without parsing it, for use as a
+// plan-cache key.
+var NormalizeSQL = sql.Normalize
 
 // Factorisation is a factorised relation: an f-tree plus a representation
 // over it. Obtain one with Factorise or from Result.FRel, and query it

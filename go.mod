@@ -1,0 +1,3 @@
+module github.com/factordb/fdb
+
+go 1.21

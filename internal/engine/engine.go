@@ -62,48 +62,11 @@ type Result struct {
 // per join attribute — and keeps the combination whose plan has the
 // lowest size-bound cost (the paper's cost metric, Section 5).
 func (e *Engine) Run(q *query.Query, db DB) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	rels := make([]*relation.Relation, len(q.Relations))
-	var cat []ftree.CatalogRelation
-	seen := map[string]string{}
-	for i, name := range q.Relations {
-		rel, ok := db[name]
-		if !ok {
-			return nil, fmt.Errorf("engine: unknown relation %q", name)
-		}
-		for _, a := range rel.Attrs {
-			if prev, dup := seen[a]; dup {
-				return nil, fmt.Errorf("engine: attribute %q appears in both %s and %s; rename one side", a, prev, name)
-			}
-			seen[a] = name
-		}
-		rels[i] = rel
-		cat = append(cat, ftree.CatalogRelation{Name: name, Attrs: rel.Attrs, Size: rel.Cardinality()})
-	}
-
-	orders, err := e.choosePathOrders(q, rels, cat)
+	p, err := e.Prepare(q, db)
 	if err != nil {
 		return nil, err
 	}
-	f := ftree.New()
-	var roots []*frep.Union
-	for i, rel := range rels {
-		f.NewRelationPath(orders[i]...)
-		sub := ftree.New()
-		sub.NewRelationPath(orders[i]...)
-		rs, err := frep.BuildUnchecked(rel, sub)
-		if err != nil {
-			return nil, err
-		}
-		roots = append(roots, rs[0])
-	}
-	fr := &fops.FRel{Tree: f, Roots: roots}
-	if fr.IsEmpty() {
-		fr.MakeEmpty()
-	}
-	return e.execute(q, fr, cat)
+	return p.Exec(db)
 }
 
 // choosePathOrders plans the query over every combination of candidate
@@ -255,6 +218,16 @@ func (r *Result) ForEach(fn func(relation.Tuple) bool) error {
 		return r.forEachMaterialised(fn)
 	}
 	return r.forEachGrouped(fn)
+}
+
+// Schema returns the effective output column names: OutputAttrs when the
+// query projects or aggregates explicitly, otherwise (SELECT *) the flat
+// schema of the factorised result.
+func (r *Result) Schema() []string {
+	if outs := r.Query.OutputAttrs(); len(outs) > 0 {
+		return outs
+	}
+	return frep.FlatSchema(r.FRel.Tree)
 }
 
 // Relation materialises the output as a relation (in enumeration order).

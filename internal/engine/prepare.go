@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/plan"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+// Prepared is a compiled query: the validated logical query, the chosen
+// per-relation path orders, and the optimised f-plan. Preparing once and
+// executing many times skips validation, path-order search (which plans
+// up to 64 candidate forests) and f-plan optimisation on every run —
+// the basis of the server's plan cache.
+//
+// A Prepared is immutable after Prepare and safe for concurrent Exec
+// calls: f-plan operators address f-tree nodes by attribute name and
+// every execution builds its own factorised representation, so no state
+// is shared between concurrent executions.
+type Prepared struct {
+	// Query is the validated logical query.
+	Query *query.Query
+	// Orders holds the chosen linear-path attribute order per relation,
+	// aligned with Query.Relations.
+	Orders [][]string
+	// Plan is the optimised f-plan, reusable across executions.
+	Plan *plan.Plan
+
+	eng *Engine
+}
+
+// resolveRelations looks up the query's relations in the database,
+// checking attribute disjointness, and returns them with their catalogue
+// metadata.
+func resolveRelations(q *query.Query, db DB) ([]*relation.Relation, []ftree.CatalogRelation, error) {
+	rels := make([]*relation.Relation, len(q.Relations))
+	var cat []ftree.CatalogRelation
+	seen := map[string]string{}
+	for i, name := range q.Relations {
+		rel, ok := db[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
+		for _, a := range rel.Attrs {
+			if prev, dup := seen[a]; dup {
+				return nil, nil, fmt.Errorf("engine: attribute %q appears in both %s and %s; rename one side", a, prev, name)
+			}
+			seen[a] = name
+		}
+		rels[i] = rel
+		cat = append(cat, ftree.CatalogRelation{Name: name, Attrs: rel.Attrs, Size: rel.Cardinality()})
+	}
+	return rels, cat, nil
+}
+
+// Prepare validates and optimises the query against the database's
+// catalogue without executing it: it picks the cheapest path orders,
+// plans once over the resulting forest, and returns a reusable Prepared.
+//
+// The plan's correctness depends only on the relations' schemas, not
+// their contents; cardinalities influence only the cost-based choice
+// among equivalent plans. A Prepared therefore stays valid as long as
+// the named relations keep their attributes.
+func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rels, cat, err := resolveRelations(q, db)
+	if err != nil {
+		return nil, err
+	}
+	orders, err := e.choosePathOrders(q, rels, cat)
+	if err != nil {
+		return nil, err
+	}
+	f := ftree.New()
+	for i := range rels {
+		f.NewRelationPath(orders[i]...)
+	}
+	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive}
+	fplan, err := pl.Plan(f, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Query: q, Orders: orders, Plan: fplan, eng: e}, nil
+}
+
+// Exec runs the prepared plan against the database: each relation is
+// factorised as a linear path in the prepared order and the cached
+// f-plan is executed, skipping validation and optimisation. Exec may be
+// called concurrently from multiple goroutines.
+func (p *Prepared) Exec(db DB) (*Result, error) {
+	f := ftree.New()
+	var roots []*frep.Union
+	for i, name := range p.Query.Relations {
+		rel, ok := db[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
+		f.NewRelationPath(p.Orders[i]...)
+		sub := ftree.New()
+		sub.NewRelationPath(p.Orders[i]...)
+		rs, err := frep.BuildUnchecked(rel, sub)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, rs[0])
+	}
+	fr := &fops.FRel{Tree: f, Roots: roots}
+	if fr.IsEmpty() {
+		fr.MakeEmpty()
+	}
+	if err := p.Plan.Execute(fr); err != nil {
+		return nil, err
+	}
+	return &Result{Query: p.Query, FRel: fr, Plan: p.Plan, eng: p.eng}, nil
+}

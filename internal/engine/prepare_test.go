@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+func prepareQueries() []*query.Query {
+	return []*query.Query{
+		{ // aggregation over the three-way join
+			Relations:  []string{"Orders", "Pizzas", "Items"},
+			Equalities: pizzeriaEqualities(),
+			GroupBy:    []string{"customer"},
+			Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "revenue"}},
+			OrderBy:    []query.OrderItem{{Attr: "revenue", Desc: true}, {Attr: "customer"}},
+		},
+		{ // SPJ with projection and order
+			Relations:  []string{"Orders"},
+			Projection: []string{"customer", "pizza"},
+			OrderBy:    []query.OrderItem{{Attr: "customer"}, {Attr: "pizza"}},
+		},
+		{ // global aggregate
+			Relations:  []string{"Orders", "Pizzas"},
+			Equalities: []query.Equality{{A: "pizza", B: "pizza2"}},
+			Aggregates: []query.Aggregate{{Fn: query.Count, As: "n"}},
+		},
+	}
+}
+
+// TestPreparedMatchesRun checks that Prepare+Exec gives exactly the
+// rows of Run, on first and repeated executions.
+func TestPreparedMatchesRun(t *testing.T) {
+	db := pizzeriaDB()
+	e := New()
+	for qi, q := range prepareQueries() {
+		want, err := e.Run(q, db)
+		if err != nil {
+			t.Fatalf("query %d: Run: %v", qi, err)
+		}
+		wantRel, err := want.Relation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.Prepare(q, db)
+		if err != nil {
+			t.Fatalf("query %d: Prepare: %v", qi, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			res, err := p.Exec(db)
+			if err != nil {
+				t.Fatalf("query %d rep %d: Exec: %v", qi, rep, err)
+			}
+			rel, err := res.Relation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(rel.Tuples) != fmt.Sprint(wantRel.Tuples) {
+				t.Fatalf("query %d rep %d:\nprepared: %v\nrun:      %v", qi, rep, rel.Tuples, wantRel.Tuples)
+			}
+		}
+	}
+}
+
+// TestPreparedConcurrentExec executes one shared Prepared from many
+// goroutines; run with -race this is the engine's concurrency test for
+// the plan-cache execution path.
+func TestPreparedConcurrentExec(t *testing.T) {
+	db := pizzeriaDB()
+	e := New()
+	q := prepareQueries()[0]
+	p, err := e.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Exec(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRel, err := ref.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := p.Exec(db)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rel, err := res.Relation()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fmt.Sprint(rel.Tuples) != fmt.Sprint(refRel.Tuples) {
+					errs <- fmt.Errorf("concurrent Exec diverged: %v vs %v", rel.Tuples, refRel.Tuples)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedStaleRelation checks that Exec fails cleanly when the
+// database no longer matches the prepared plan.
+func TestPreparedStaleRelation(t *testing.T) {
+	db := pizzeriaDB()
+	e := New()
+	p, err := e.Prepare(prepareQueries()[0], db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(DB{}); err == nil {
+		t.Fatal("Exec against an empty database should fail")
+	}
+	// A relation with a different schema must be rejected by the build.
+	bad := pizzeriaDB()
+	bad["Items"] = relation.MustNew("Items", []string{"other"}, nil)
+	if _, err := p.Exec(bad); err == nil {
+		t.Fatal("Exec against a reshaped relation should fail")
+	}
+}

@@ -1,0 +1,314 @@
+// Package server implements the fdbserver HTTP/JSON query service: one
+// or more databases are loaded into a shared read-only in-memory store
+// and queried concurrently over POST /query, executing through the fdb
+// facade.
+//
+// The hot path is lock-free with respect to the data: base relations are
+// never mutated, f-plan operators build new factorisation structure
+// rather than rewriting inputs, and every request enumerates its own
+// result, so any number of readers can share one store. The only shared
+// mutable state is the per-database LRU plan cache (package cache),
+// which maps normalised SQL text to prepared plans so repeated queries
+// skip parsing, path-order search and f-plan optimisation, and the
+// metrics window behind /stats. A bounded worker pool (Config.Workers)
+// caps the number of queries executing simultaneously; excess requests
+// wait for a slot or give up when their context is cancelled.
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "...", "db": "name"} → columns + rows JSON
+//	GET  /healthz  liveness probe
+//	GET  /stats    query counters, latency percentiles, cache hit rates
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/server/cache"
+	"github.com/factordb/fdb/internal/sql"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Databases maps database names to their relations. The maps and
+	// relations must not be modified after the server starts serving.
+	Databases map[string]fdb.Database
+	// DefaultDB names the database used when a request omits "db".
+	// Optional when exactly one database is configured.
+	DefaultDB string
+	// Workers bounds the number of concurrently executing queries;
+	// defaults to GOMAXPROCS.
+	Workers int
+	// CacheSize is the per-database plan cache capacity in entries;
+	// defaults to 256.
+	CacheSize int
+	// MaxRows caps the number of rows returned per query (the response
+	// is marked truncated when it applies); 0 means unlimited.
+	MaxRows int
+}
+
+// database is one served database with its private plan cache.
+type database struct {
+	name  string
+	db    fdb.Database
+	plans *cache.LRU
+}
+
+// Server is the HTTP query service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	eng       *fdb.Engine
+	dbs       map[string]*database
+	defaultDB string
+	sem       chan struct{}
+	maxRows   int
+	met       *metrics
+	mux       *http.ServeMux
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Databases) == 0 {
+		return nil, errors.New("server: no databases configured")
+	}
+	defaultDB := cfg.DefaultDB
+	if defaultDB == "" {
+		if len(cfg.Databases) > 1 {
+			return nil, errors.New("server: DefaultDB required with multiple databases")
+		}
+		for name := range cfg.Databases {
+			defaultDB = name
+		}
+	}
+	if _, ok := cfg.Databases[defaultDB]; !ok {
+		return nil, fmt.Errorf("server: default database %q not configured", defaultDB)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 256
+	}
+	s := &Server{
+		eng:       fdb.NewEngine(),
+		dbs:       make(map[string]*database, len(cfg.Databases)),
+		defaultDB: defaultDB,
+		sem:       make(chan struct{}, workers),
+		maxRows:   cfg.MaxRows,
+		met:       newMetrics(),
+		mux:       http.NewServeMux(),
+	}
+	for name, db := range cfg.Databases {
+		s.dbs[name] = &database{name: name, db: db, plans: cache.New(cacheSize)}
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// SQL is the SELECT statement to execute.
+	SQL string `json:"sql"`
+	// DB names the target database; empty selects the default.
+	DB string `json:"db,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	Columns       []string `json:"columns"`
+	Rows          [][]any  `json:"rows"`
+	RowCount      int      `json:"rowCount"`
+	Truncated     bool     `json:"truncated,omitempty"`
+	Cached        bool     `json:"cached"`
+	ElapsedMillis float64  `json:"elapsedMillis"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
+		return
+	}
+	name := req.DB
+	if name == "" {
+		name = s.defaultDB
+	}
+	d, ok := s.dbs[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+		return
+	}
+
+	// One worker slot covers planning and execution; waiting requests
+	// abandon the queue when the client goes away.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while waiting for a worker"})
+		return
+	}
+
+	start := time.Now()
+	resp, err := s.runQuery(d, req.SQL)
+	elapsed := time.Since(start)
+	s.met.record(elapsed, err != nil)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runQuery resolves the plan (through the cache) and enumerates the
+// result into a response.
+func (s *Server) runQuery(d *database, sqlText string) (*QueryResponse, error) {
+	prep, cached, err := s.prepared(d, sqlText)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.Exec(d.db)
+	if err != nil {
+		return nil, err
+	}
+	resp := &QueryResponse{Columns: res.Schema(), Cached: cached, Rows: [][]any{}}
+	err = res.ForEach(func(t fdb.Tuple) bool {
+		if s.maxRows > 0 && len(resp.Rows) >= s.maxRows {
+			resp.Truncated = true
+			return false
+		}
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = valueJSON(v)
+		}
+		resp.Rows = append(resp.Rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.RowCount = len(resp.Rows)
+	return resp, nil
+}
+
+// prepared returns the cached plan for the statement, compiling and
+// caching it on a miss. Concurrent misses on one key may both compile;
+// the results are interchangeable and the last Put wins, so no
+// per-key locking is needed.
+func (s *Server) prepared(d *database, sqlText string) (*fdb.PreparedQuery, bool, error) {
+	key := sql.Normalize(sqlText)
+	if v, ok := d.plans.Get(key); ok {
+		return v.(*fdb.PreparedQuery), true, nil
+	}
+	q, err := fdb.ParseSQL(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+	p, err := s.eng.Prepare(q, d.db)
+	if err != nil {
+		return nil, false, err
+	}
+	d.plans.Put(key, p)
+	return p, false, nil
+}
+
+// valueJSON converts an engine value to its JSON representation.
+func valueJSON(v values.Value) any {
+	switch v.Kind() {
+	case values.Int:
+		return v.Int()
+	case values.Float:
+		return v.Float()
+	case values.String:
+		return v.Str()
+	case values.Bool:
+		return v.Bool()
+	case values.Vec:
+		out := make([]any, v.VecLen())
+		for i := range out {
+			out[i] = valueJSON(v.VecAt(i))
+		}
+		return out
+	default: // Null
+		return nil
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"databases": len(s.dbs),
+	})
+}
+
+// DBStats describes one database in the /stats response.
+type DBStats struct {
+	Relations        int         `json:"relations"`
+	PlanCache        cache.Stats `json:"planCache"`
+	PlanCacheHitRate float64     `json:"planCacheHitRate"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Snapshot
+	Workers   int                `json:"workers"`
+	Databases map[string]DBStats `json:"databases"`
+}
+
+// Stats returns the server's current metrics (also served at /stats).
+func (s *Server) Stats() StatsResponse {
+	out := StatsResponse{
+		Snapshot:  s.met.snapshot(),
+		Workers:   cap(s.sem),
+		Databases: make(map[string]DBStats, len(s.dbs)),
+	}
+	for name, d := range s.dbs {
+		cs := d.plans.Stats()
+		out.Databases[name] = DBStats{
+			Relations:        len(d.db),
+			PlanCache:        cs,
+			PlanCacheHitRate: cs.HitRate(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

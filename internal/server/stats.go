@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the number of recent query latencies retained for
+// percentile estimation. Percentiles are computed over this sliding
+// window, not the full history, so they track current behaviour.
+const latWindow = 4096
+
+// metrics accumulates query counters and a sliding window of latencies.
+// All methods are safe for concurrent use.
+type metrics struct {
+	mu      sync.Mutex
+	started time.Time
+	queries uint64
+	errors  uint64
+	lat     [latWindow]time.Duration
+	latN    int // total recorded; window holds min(latN, latWindow)
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now()}
+}
+
+// record notes one completed query.
+func (m *metrics) record(d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	if failed {
+		m.errors++
+	}
+	m.lat[m.latN%latWindow] = d
+	m.latN++
+}
+
+// Snapshot is a point-in-time view of the server's query metrics.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Queries       uint64  `json:"queries"`
+	Errors        uint64  `json:"errors"`
+	P50Millis     float64 `json:"p50Millis"`
+	P90Millis     float64 `json:"p90Millis"`
+	P99Millis     float64 `json:"p99Millis"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	n := m.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, m.lat[:n])
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Queries:       m.queries,
+		Errors:        m.errors,
+	}
+	m.mu.Unlock()
+
+	if n == 0 {
+		return s
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return float64(window[idx]) / float64(time.Millisecond)
+	}
+	s.P50Millis = pct(0.50)
+	s.P90Millis = pct(0.90)
+	s.P99Millis = pct(0.99)
+	return s
+}

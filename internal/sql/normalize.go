@@ -1,0 +1,43 @@
+package sql
+
+import "strings"
+
+// Normalize returns a canonical one-line spelling of a SQL statement:
+// tokens separated by single spaces, keywords uppercased, string
+// literals re-quoted, and a trailing semicolon dropped. Two statements
+// that differ only in whitespace, keyword case or a trailing semicolon
+// normalise to the same text, which makes the result a good plan-cache
+// key. Identifier case is preserved (identifiers are case-sensitive).
+//
+// Input that does not tokenise falls back to whitespace collapsing, so
+// Normalize is total: the caller can key a cache by the result and let
+// the parser report the error on the (single) miss.
+func Normalize(input string) string {
+	toks, err := lex(input)
+	if err != nil {
+		return strings.Join(strings.Fields(input), " ")
+	}
+	// Trim the EOF token and at most one trailing semicolon — exactly
+	// what the parser accepts. Statements the parser rejects (stray
+	// mid-statement or doubled terminators) keep their semicolons and
+	// therefore distinct cache keys, so they fail consistently instead
+	// of colliding with a cached valid statement.
+	end := len(toks) - 1
+	if end > 0 && toks[end-1].kind == tokSymbol && toks[end-1].text == ";" {
+		end--
+	}
+	var b strings.Builder
+	for _, t := range toks[:end] {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if t.kind == tokString {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(t.text)
+		}
+	}
+	return b.String()
+}

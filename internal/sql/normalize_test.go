@@ -1,0 +1,28 @@
+package sql
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"SELECT  *\n FROM Items ;", "SELECT * FROM Items"},
+		{"select * from Items", "SELECT * FROM Items"},
+		{"SELECT name FROM T WHERE x = 'a  b'", "SELECT name FROM T WHERE x = 'a  b'"},
+		{"SELECT name FROM T WHERE x = 'it''s'", "SELECT name FROM T WHERE x = 'it''s'"},
+		// Only one trailing semicolon is dropped (matching the parser);
+		// a doubled terminator keeps a distinct key so it cannot collide
+		// with a cached valid statement.
+		{"SELECT * FROM Items;;", "SELECT * FROM Items ;"},
+		// Unlexable input falls back to whitespace collapsing.
+		{"SELECT !\tbroken", "SELECT ! broken"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if Normalize("SELECT * FROM items") == Normalize("SELECT * FROM Items") {
+		t.Error("identifier case must be preserved")
+	}
+}
