@@ -135,7 +135,7 @@ func runFDBViewFO(b *testing.B, f *fixture, q *query.Query) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = res.FRel.Singletons()
+	_ = res.Singletons()
 }
 
 func runRDB(b *testing.B, db rdb.DB, q *query.Query, mode rdb.GroupMode, eager bool) {

@@ -174,7 +174,7 @@ func (sh *shell) exec(line string) error {
 		elapsed := time.Since(start)
 		printRelation(rel, q.OutputAttrs(), sh.maxRows)
 		fmt.Printf("%d rows in %v (factorised result: %d singletons)\n",
-			rel.Cardinality(), elapsed, res.FRel.Singletons())
+			rel.Cardinality(), elapsed, res.Singletons())
 		if sh.check {
 			sh.crossCheck(q, rel)
 		}

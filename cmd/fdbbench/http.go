@@ -72,6 +72,7 @@ func (b *bench) expHTTP() {
 			hitRate = float64(hits) / float64(hits+misses)
 		}
 		prev = cur
+		b.recHTTP(clients, qps, p50, p99)
 		row(fmt.Sprint(clients), fmt.Sprintf("%.0f", qps), p50.String(), p99.String(),
 			fmt.Sprintf("%.3f", hitRate))
 	}

@@ -18,9 +18,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"runtime"
 	"sort"
@@ -42,9 +44,80 @@ type bench struct {
 	reps         int
 	httpClients  int
 	httpRequests int
+	jsonOut      bool
 	ds           map[int]*workload.Dataset
 	views        map[int]*fops.FRel
 	flats        map[int]rdb.DB
+	results      []benchResult
+}
+
+// measurement is one timed series entry: median wall clock plus the mean
+// allocation count per run.
+type measurement struct {
+	Dur    time.Duration
+	Allocs uint64
+}
+
+// String renders the median duration (the table cells).
+func (m measurement) String() string { return m.Dur.String() }
+
+// benchResult is one machine-readable series entry of BENCH_<exp>.json.
+type benchResult struct {
+	Name     string  `json:"name"`
+	Scale    int     `json:"scale,omitempty"`
+	NsPerOp  int64   `json:"ns_op,omitempty"`
+	AllocsOp uint64  `json:"allocs_op,omitempty"`
+	QPS      float64 `json:"qps,omitempty"`
+	P50Ns    int64   `json:"p50_ns,omitempty"`
+	P99Ns    int64   `json:"p99_ns,omitempty"`
+}
+
+// rec records one timed series point for the JSON report.
+func (b *bench) rec(name string, scale int, m measurement) {
+	if !b.jsonOut {
+		return
+	}
+	b.results = append(b.results, benchResult{
+		Name: name, Scale: scale, NsPerOp: m.Dur.Nanoseconds(), AllocsOp: m.Allocs,
+	})
+}
+
+// recHTTP records one throughput point of the http experiment.
+func (b *bench) recHTTP(clients int, qps float64, p50, p99 time.Duration) {
+	if !b.jsonOut {
+		return
+	}
+	b.results = append(b.results, benchResult{
+		Name: fmt.Sprintf("clients=%d", clients), QPS: qps,
+		P50Ns: p50.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+	})
+}
+
+// flushJSON writes the recorded results of one experiment to
+// BENCH_<exp>.json in the working directory and clears the collector.
+func (b *bench) flushJSON(exp string) {
+	if !b.jsonOut {
+		return
+	}
+	out := struct {
+		Experiment string        `json:"experiment"`
+		Scale      int           `json:"scale"`
+		Reps       int           `json:"reps"`
+		Results    []benchResult `json:"results"`
+	}{Experiment: exp, Scale: b.scale, Reps: b.reps, Results: b.results}
+	if out.Results == nil {
+		out.Results = []benchResult{}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding BENCH_%s.json: %v", exp, err)
+	}
+	name := fmt.Sprintf("BENCH_%s.json", exp)
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", name, err)
+	}
+	fmt.Printf("wrote %s (%d series)\n", name, len(b.results))
+	b.results = nil
 }
 
 func main() {
@@ -56,6 +129,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	httpClients := flag.Int("httpclients", 8, "maximum client concurrency for the http experiment")
 	httpRequests := flag.Int("httprequests", 800, "requests per concurrency level for the http experiment")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json per experiment (ns/op, allocs/op, qps, p50/p99)")
 	flag.Parse()
 
 	b := &bench{
@@ -64,6 +138,7 @@ func main() {
 		reps:         *reps,
 		httpClients:  *httpClients,
 		httpRequests: *httpRequests,
+		jsonOut:      *jsonOut,
 		ds:           map[int]*workload.Dataset{},
 		views:        map[int]*fops.FRel{},
 		flats:        map[int]rdb.DB{},
@@ -73,9 +148,13 @@ func main() {
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
 		"ablation": b.expAblation, "http": b.expHTTP,
 	}
+	doOne := func(name string, fn func()) {
+		fn()
+		b.flushJSON(name)
+	}
 	if *exp == "all" {
 		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http"} {
-			run[name]()
+			doOne(name, run[name])
 		}
 		return
 	}
@@ -83,7 +162,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
-	fn()
+	doOne(*exp, fn)
 }
 
 func (b *bench) dataset(s int) *workload.Dataset {
@@ -129,19 +208,29 @@ func (b *bench) flatDB(s int) rdb.DB {
 	return db
 }
 
-// timeIt returns the median wall-clock time of reps runs. A GC runs
-// before each repetition so that garbage from other experiments (for
-// example resident flat views) is not charged to this measurement.
-func (b *bench) timeIt(fn func()) time.Duration {
+// timeIt returns the median wall-clock time of reps runs, plus the mean
+// heap-allocation count per run. A GC runs before each repetition so
+// that garbage from other experiments (for example resident flat views)
+// is not charged to this measurement.
+func (b *bench) timeIt(fn func()) measurement {
 	times := make([]time.Duration, 0, b.reps)
+	var ms runtime.MemStats
+	var allocs uint64
 	for i := 0; i < b.reps; i++ {
 		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
 		start := time.Now()
 		fn()
 		times = append(times, time.Since(start))
+		runtime.ReadMemStats(&ms)
+		allocs += ms.Mallocs - before
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[len(times)/2]
+	return measurement{
+		Dur:    times[len(times)/2],
+		Allocs: allocs / uint64(b.reps),
+	}
 }
 
 func (b *bench) sweep() []int {
@@ -166,17 +255,25 @@ func (b *bench) expSize() {
 	header("E0: representation sizes (paper §6: 280M tuples vs 4.2M singletons at s=32)")
 	row("scale", "join-tuples", "join-singletons", "fact-singletons", "gap")
 	for _, s := range b.sweep() {
-		rep, err := b.dataset(s).Sizes()
-		if err != nil {
-			log.Fatal(err)
-		}
+		var rep *workload.SizeReport
+		// Time the size computation itself: it materialises the
+		// factorised view bottom-up (builds + merges + swap), so the
+		// series doubles as a view-construction benchmark.
+		m := b.timeIt(func() {
+			var err error
+			rep, err = b.dataset(s).Sizes()
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+		b.rec("materialise-R1", s, m)
 		row(fmt.Sprint(s), fmt.Sprint(rep.JoinTuples), fmt.Sprint(rep.JoinSingletons),
 			fmt.Sprint(rep.FactSingletons),
 			fmt.Sprintf("%.1f×", float64(rep.JoinTuples)/float64(rep.FactSingletons)))
 	}
 }
 
-func (b *bench) runFDBView(s int, q *query.Query) time.Duration {
+func (b *bench) runFDBView(s int, q *query.Query) measurement {
 	view := b.view(s)
 	cat := b.dataset(s).Catalog()
 	return b.timeIt(func() {
@@ -190,7 +287,7 @@ func (b *bench) runFDBView(s int, q *query.Query) time.Duration {
 	})
 }
 
-func (b *bench) runFDBViewFO(s int, q *query.Query) time.Duration {
+func (b *bench) runFDBViewFO(s int, q *query.Query) measurement {
 	view := b.view(s)
 	cat := b.dataset(s).Catalog()
 	return b.timeIt(func() {
@@ -198,11 +295,11 @@ func (b *bench) runFDBViewFO(s int, q *query.Query) time.Duration {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_ = res.FRel.Singletons()
+		_ = res.Singletons()
 	})
 }
 
-func (b *bench) runRDB(s int, q *query.Query, mode rdb.GroupMode, eager bool) time.Duration {
+func (b *bench) runRDB(s int, q *query.Query, mode rdb.GroupMode, eager bool) measurement {
 	db := b.flatDB(s)
 	return b.timeIt(func() {
 		e := &rdb.Engine{Grouping: mode, Eager: eager}
@@ -224,6 +321,9 @@ func (b *bench) expFig4() {
 			fdbT := b.runFDBView(s, tc.mk())
 			sortT := b.runRDB(s, tc.mk(), rdb.GroupSort, false)
 			hashT := b.runRDB(s, tc.mk(), rdb.GroupHash, false)
+			b.rec(tc.name+"/FDB", s, fdbT)
+			b.rec(tc.name+"/RDB-sort", s, sortT)
+			b.rec(tc.name+"/RDB-hash", s, hashT)
 			row(tc.name, fmt.Sprint(s), fdbT.String(), sortT.String(), hashT.String())
 			if s != b.scale {
 				delete(b.flats, s) // bound resident memory
@@ -238,11 +338,16 @@ func (b *bench) expFig5() {
 	row("query", "FDB f/o", "FDB", "RDB-sort(≈SQLite)", "RDB-hash(≈PSQL)")
 	for i := 1; i <= 5; i++ {
 		q := func() *query.Query { qq, _ := workload.AggQuery(i); return qq }
-		row(fmt.Sprintf("Q%d", i),
-			b.runFDBViewFO(b.scale, q()).String(),
-			b.runFDBView(b.scale, q()).String(),
-			b.runRDB(b.scale, q(), rdb.GroupSort, false).String(),
-			b.runRDB(b.scale, q(), rdb.GroupHash, false).String())
+		name := fmt.Sprintf("Q%d", i)
+		fo := b.runFDBViewFO(b.scale, q())
+		fdbT := b.runFDBView(b.scale, q())
+		sortT := b.runRDB(b.scale, q(), rdb.GroupSort, false)
+		hashT := b.runRDB(b.scale, q(), rdb.GroupHash, false)
+		b.rec(name+"/FDB-fo", b.scale, fo)
+		b.rec(name+"/FDB", b.scale, fdbT)
+		b.rec(name+"/RDB-sort", b.scale, sortT)
+		b.rec(name+"/RDB-hash", b.scale, hashT)
+		row(name, fo.String(), fdbT.String(), sortT.String(), hashT.String())
 	}
 }
 
@@ -274,6 +379,9 @@ func (b *bench) expFig6() {
 				log.Fatal(err)
 			}
 		})
+		b.rec(fmt.Sprintf("Q%d/FDB", i), b.scale, fdbT)
+		b.rec(fmt.Sprintf("Q%d/RDB", i), b.scale, lazyT)
+		b.rec(fmt.Sprintf("Q%d/RDB-man", i), b.scale, manT)
 		row(fmt.Sprintf("Q%d", i), fdbT.String(), lazyT.String(), manT.String())
 	}
 }
@@ -286,10 +394,13 @@ func (b *bench) expFig7() {
 		name string
 		mk   func() *query.Query
 	}{{"Q6", workload.Q6}, {"Q7", workload.Q7}, {"Q8", workload.Q8}, {"Q9", workload.Q9}} {
-		row(tc.name,
-			b.runFDBView(b.scale, tc.mk()).String(),
-			b.runRDB(b.scale, tc.mk(), rdb.GroupSort, false).String(),
-			b.runRDB(b.scale, tc.mk(), rdb.GroupHash, false).String())
+		fdbT := b.runFDBView(b.scale, tc.mk())
+		sortT := b.runRDB(b.scale, tc.mk(), rdb.GroupSort, false)
+		hashT := b.runRDB(b.scale, tc.mk(), rdb.GroupHash, false)
+		b.rec(tc.name+"/FDB", b.scale, fdbT)
+		b.rec(tc.name+"/RDB-sort", b.scale, sortT)
+		b.rec(tc.name+"/RDB-hash", b.scale, hashT)
+		row(tc.name, fdbT.String(), sortT.String(), hashT.String())
 	}
 }
 
@@ -315,7 +426,7 @@ func (b *bench) expFig8() {
 		{"Q13", workload.Q13, fr3},
 	}
 	for _, tc := range cases {
-		runFDB := func(limit int) time.Duration {
+		runFDB := func(limit int) measurement {
 			return b.timeIt(func() {
 				res, err := engine.New().RunOnView(tc.mk(limit), tc.view, cat)
 				if err != nil {
@@ -326,7 +437,7 @@ func (b *bench) expFig8() {
 				}
 			})
 		}
-		runBase := func(limit int) time.Duration {
+		runBase := func(limit int) measurement {
 			if tc.name == "Q10" {
 				// The baselines scan R2 in its stored order — no sort.
 				// Touch every tuple's first field so the scan is real.
@@ -350,9 +461,12 @@ func (b *bench) expFig8() {
 				}
 			})
 		}
-		row(tc.name,
-			runFDB(0).String(), runBase(0).String(),
-			runFDB(10).String(), runBase(10).String())
+		f0, r0, f10, r10 := runFDB(0), runBase(0), runFDB(10), runBase(10)
+		b.rec(tc.name+"/FDB", b.scale, f0)
+		b.rec(tc.name+"/RDB", b.scale, r0)
+		b.rec(tc.name+"/FDB-lim", b.scale, f10)
+		b.rec(tc.name+"/RDB-lim", b.scale, r10)
+		row(tc.name, f0.String(), r0.String(), f10.String(), r10.String())
 	}
 }
 
@@ -366,7 +480,7 @@ func (b *bench) expAblation() {
 		name string
 		mk   func() *query.Query
 	}{{"Q2", workload.Q2}, {"Q4", workload.Q4}, {"Q5", workload.Q5}} {
-		run := func(eager bool) time.Duration {
+		run := func(eager bool) measurement {
 			return b.timeIt(func() {
 				e := &engine.Engine{PartialAgg: eager}
 				res, err := e.RunOnView(tc.mk(), view, cat)
@@ -378,7 +492,10 @@ func (b *bench) expAblation() {
 				}
 			})
 		}
-		row(tc.name, run(true).String(), run(false).String())
+		eagerT, lazyT := run(true), run(false)
+		b.rec(tc.name+"/eager", b.scale, eagerT)
+		b.rec(tc.name+"/lazy", b.scale, lazyT)
+		row(tc.name, eagerT.String(), lazyT.String())
 	}
 
 	header(fmt.Sprintf("A2: partial restructuring vs rebuild for Q12 (scale %d)", b.scale))
@@ -394,6 +511,8 @@ func (b *bench) expAblation() {
 		}
 		_ = fr.Singletons()
 	})
+	b.rec("Q12/swap", b.scale, swapT)
+	b.rec("Q12/rebuild", b.scale, rebuildT)
 	row("swap (FDB)", swapT.String())
 	row("rebuild from flat", rebuildT.String())
 
@@ -421,6 +540,8 @@ func (b *bench) expAblation() {
 			}
 			eCost = pl.Cost
 		})
+		b.rec(tc.name+"/plan-greedy", b.scale, gT)
+		b.rec(tc.name+"/plan-exhaustive", b.scale, eT)
 		row(tc.name, gT.String(), fmt.Sprintf("%.0f", gCost), eT.String(), fmt.Sprintf("%.0f", eCost))
 	}
 }

@@ -128,7 +128,10 @@ type Engine = engine.Engine
 func NewEngine() *Engine { return engine.New() }
 
 // Result is an evaluated query; enumerate it with ForEach, or materialise
-// it with Relation. Its FRel field is the factorised output ("FDB f/o").
+// it with Relation. The factorised output ("FDB f/o") lives in an
+// arena store (Result.ARel) by default; Result.Factorisation returns
+// the pointer-based view of it. Call Result.Close when done to recycle
+// the query's arena store.
 type Result = engine.Result
 
 // PreparedQuery is a compiled query: the chosen per-relation path orders
@@ -142,9 +145,11 @@ type PreparedQuery = engine.Prepared
 // plan-cache key.
 var NormalizeSQL = sql.Normalize
 
-// Factorisation is a factorised relation: an f-tree plus a representation
-// over it. Obtain one with Factorise or from Result.FRel, and query it
-// with Engine.RunOnView.
+// Factorisation is a factorised relation: an f-tree plus a
+// pointer-based representation over it. Obtain one with Factorise or
+// Result.Factorisation, and query it with Engine.RunOnView. (Engine
+// execution itself runs on the arena-backed store representation,
+// fops.ARel; see ARCHITECTURE.md's "Storage layout".)
 type Factorisation = fops.FRel
 
 // FTree is a factorisation tree: the schema and nesting structure of a
@@ -164,13 +169,14 @@ func Factorise(rel *Relation, tree *FTree) (*Factorisation, error) {
 }
 
 // MaterialiseView runs a join query and returns its factorised result for
-// reuse as a read-optimised view. It is shorthand for Run + Result.FRel.
+// reuse as a read-optimised view. It is shorthand for Run +
+// Result.Factorisation.
 func MaterialiseView(e *Engine, q *Query, db Database) (*Factorisation, error) {
 	res, err := e.Run(q, db)
 	if err != nil {
 		return nil, err
 	}
-	return res.FRel, nil
+	return res.Factorisation(), nil
 }
 
 // WriteView serialises a factorised view to w in a compact binary format,

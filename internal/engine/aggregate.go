@@ -133,7 +133,7 @@ func (r *Result) forEachGroupedOpts(fn func(relation.Tuple) bool, applyOrder, ap
 	for _, g := range q.GroupBy {
 		inG[g] = true
 	}
-	for _, n := range r.FRel.Tree.Nodes() {
+	for _, n := range r.Tree().Nodes() {
 		if n.IsAgg() {
 			continue
 		}
@@ -144,7 +144,7 @@ func (r *Result) forEachGroupedOpts(fn func(relation.Tuple) bool, applyOrder, ap
 			}
 		}
 	}
-	ge, err := frep.NewGroupEnumerator(r.FRel.Tree, r.FRel.Roots, specs, fields)
+	ge, err := r.rel().GroupEnumerator(specs, fields)
 	if err != nil {
 		return err
 	}
@@ -279,7 +279,7 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 		return r.forEachSorted(fn)
 	}
 	if !(u.IsLeaf() && u.IsAgg() && fieldsEqual(u.Agg.Fields, fields)) {
-		if err := r.FRel.GammaNode(u, fields); err != nil {
+		if err := r.rel().GammaNode(u, fields); err != nil {
 			return err
 		}
 		if u2, err2 := r.singleNonGroupSubtree(inG); err2 == nil {
@@ -295,7 +295,7 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 	avgOnly := len(q.Aggregates) == 1 && q.Aggregates[0].Fn == query.Avg
 	if avgOnly {
 		alias := q.Aggregates[0].OutName()
-		if err := r.FRel.ComputeScalar(aggNodeName, alias, func(v values.Value) values.Value {
+		if err := r.rel().ComputeScalar(aggNodeName, alias, func(v values.Value) values.Value {
 			return values.Div(v.VecAt(0), v.VecAt(1))
 		}); err != nil {
 			return err
@@ -303,7 +303,7 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 		aggNodeName = alias
 	} else if len(q.Aggregates) == 1 {
 		alias := q.Aggregates[0].OutName()
-		if err := r.FRel.Rename(aggNodeName, alias); err != nil {
+		if err := r.rel().Rename(aggNodeName, alias); err != nil {
 			return err
 		}
 		aggNodeName = alias
@@ -325,16 +325,16 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 		if i > 1000 {
 			return fmt.Errorf("engine: order restructuring did not converge")
 		}
-		v := r.FRel.Tree.OrderViolation(orderAttrs)
+		v := r.Tree().OrderViolation(orderAttrs)
 		if v == nil {
 			break
 		}
-		if err := r.FRel.SwapNode(v); err != nil {
+		if err := r.rel().SwapNode(v); err != nil {
 			return err
 		}
 	}
 
-	en, err := frep.NewEnumerator(r.FRel.Tree, r.FRel.Roots, specs)
+	en, err := r.rel().Enumerator(specs)
 	if err != nil {
 		return err
 	}
@@ -345,7 +345,7 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 	if err != nil {
 		return err
 	}
-	node := r.FRel.Tree.ResolveAttr(aggNodeName)
+	node := r.Tree().ResolveAttr(aggNodeName)
 	if node == nil {
 		return fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
 	}
@@ -419,7 +419,7 @@ func (r *Result) singleNonGroupSubtree(inG map[string]bool) (*ftree.Node, error)
 			walk(c)
 		}
 	}
-	for _, root := range r.FRel.Tree.Roots {
+	for _, root := range r.Tree().Roots {
 		walk(root)
 	}
 	if len(cands) != 1 {

@@ -32,6 +32,12 @@ type Engine struct {
 	// single attribute even when on-the-fly combination at enumeration
 	// time (Example 1, scenario 3) would avoid it.
 	Materialise bool
+	// Legacy executes queries on the pointer-based *frep.Union
+	// representation instead of the arena store. It exists so the two
+	// representations can be diffed (the golden equivalence tests) and
+	// as an escape hatch during the transition; the arena is the
+	// default.
+	Legacy bool
 }
 
 // New returns an engine with the paper's default configuration.
@@ -41,14 +47,64 @@ func New() *Engine { return &Engine{PartialAgg: true} }
 // needed to enumerate flat tuples in the requested order.
 type Result struct {
 	Query *query.Query
-	// FRel is the factorised result after plan execution ("FDB f/o"
-	// output). For aggregation queries it contains the group-by
-	// attributes and (possibly several) partial-aggregate leaves.
+	// FRel is the pointer-based factorised result ("FDB f/o" output).
+	// It is populated when the query executed on the legacy
+	// representation (Engine.Legacy, or a RunOnView over a pointer-based
+	// view); nil when the arena representation was used — see ARel and
+	// Factorisation.
 	FRel *fops.FRel
+	// ARel is the arena-backed factorised result, populated when the
+	// query executed on the arena representation (the default for
+	// Exec/Run). For aggregation queries it contains the group-by
+	// attributes and (possibly several) partial-aggregate leaves.
+	ARel *fops.ARel
 	// Plan is the executed f-plan.
 	Plan *plan.Plan
 
 	eng *Engine
+	// pooled marks an ARel whose store was taken from the engine's
+	// store pool; Close returns it.
+	pooled bool
+}
+
+// rel returns the factorised result behind its representation-neutral
+// operator surface.
+func (r *Result) rel() fops.Rel {
+	if r.ARel != nil {
+		return r.ARel
+	}
+	return r.FRel
+}
+
+// Tree returns the f-tree of the factorised result.
+func (r *Result) Tree() *ftree.Forest { return r.rel().Forest() }
+
+// Singletons returns the factorised result's size in singletons.
+func (r *Result) Singletons() int { return r.rel().Singletons() }
+
+// Factorisation returns the pointer-based view of the factorised result,
+// materialising it from the arena when necessary (for APIs that still
+// speak *frep.Union, such as view serialisation).
+func (r *Result) Factorisation() *fops.FRel {
+	if r.FRel != nil {
+		return r.FRel
+	}
+	return r.ARel.ToFRel()
+}
+
+// Close releases pooled per-query resources (the arena store backing
+// ARel, when it came from the engine's pool). The Result — including
+// ARel and anything obtained from rel() — must not be used afterwards.
+// Close is optional: an unclosed Result is reclaimed by the garbage
+// collector like any other value; closing merely recycles the slabs for
+// the next query. It is safe on legacy-backed results (no-op).
+func (r *Result) Close() {
+	if r.pooled && r.ARel != nil {
+		st := r.ARel.Store
+		r.ARel = nil
+		r.pooled = false
+		putStore(st)
+	}
 }
 
 // Run evaluates the query against flat base relations: each input is
@@ -164,10 +220,10 @@ func pathCandidates(attrs []string, joinAttr map[string]bool) [][]string {
 }
 
 // RunOnView evaluates a query (no joins) against a materialised
-// factorised view. The view itself is never modified: operators build new
-// structure and share untouched subtrees, so repeated queries against one
-// view are cheap. cat supplies relation sizes for the cost model and may
-// be nil.
+// pointer-based factorised view. The view itself is never modified:
+// operators build new structure and share untouched subtrees, so
+// repeated queries against one view are cheap. cat supplies relation
+// sizes for the cost model and may be nil.
 func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -180,16 +236,37 @@ func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogR
 	return e.execute(q, fr, cat)
 }
 
-func (e *Engine) execute(q *query.Query, fr *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
+// RunOnARel evaluates a query (no joins) against a materialised arena
+// view. The view's store is snapshotted in O(1); operators append into
+// the private snapshot, so the view is shared untouched across any
+// number of concurrent queries.
+func (e *Engine) RunOnARel(q *query.Query, view *fops.ARel, cat []ftree.CatalogRelation) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Equalities) > 0 {
+		return nil, fmt.Errorf("engine: RunOnARel does not support equality selections; materialise them into the view")
+	}
+	return e.execute(q, view.Snapshot(), cat)
+}
+
+func (e *Engine) execute(q *query.Query, fr fops.Rel, cat []ftree.CatalogRelation) (*Result, error) {
 	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive}
-	fplan, err := pl.Plan(fr.Tree, q)
+	fplan, err := pl.Plan(fr.Forest(), q)
 	if err != nil {
 		return nil, err
 	}
 	if err := fplan.Execute(fr); err != nil {
 		return nil, err
 	}
-	return &Result{Query: q, FRel: fr, Plan: fplan, eng: e}, nil
+	res := &Result{Query: q, Plan: fplan, eng: e}
+	switch v := fr.(type) {
+	case *fops.ARel:
+		res.ARel = v
+	case *fops.FRel:
+		res.FRel = v
+	}
+	return res, nil
 }
 
 // orderOnAggregate reports whether some order item references an
@@ -227,7 +304,7 @@ func (r *Result) Schema() []string {
 	if outs := r.Query.OutputAttrs(); len(outs) > 0 {
 		return outs
 	}
-	return frep.FlatSchema(r.FRel.Tree)
+	return frep.FlatSchema(r.Tree())
 }
 
 // Relation materialises the output as a relation (in enumeration order).
@@ -240,7 +317,7 @@ func (r *Result) Relation() (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return relation.New("result", r.Query.OutputAttrs(), rows)
+	return relation.New("result", r.Schema(), rows)
 }
 
 // Count streams the output and returns the number of tuples (after HAVING
@@ -265,8 +342,8 @@ func (r *Result) Explain() string {
 		fmt.Fprintf(&b, "f-plan: %s\n", r.Plan)
 	}
 	fmt.Fprintf(&b, "cost:   %.0f (size-bound metric)\n", r.Plan.Cost)
-	fmt.Fprintf(&b, "result f-tree:\n%s", indent(r.FRel.Tree.String(), "  "))
-	fmt.Fprintf(&b, "result size: %d singletons\n", r.FRel.Singletons())
+	fmt.Fprintf(&b, "result f-tree:\n%s", indent(r.Tree().String(), "  "))
+	fmt.Fprintf(&b, "result size: %d singletons\n", r.Singletons())
 	return b.String()
 }
 
@@ -283,7 +360,7 @@ func (r *Result) forEachSPJ(fn func(relation.Tuple) bool) error {
 	for _, o := range r.Query.OrderBy {
 		specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
 	}
-	en, err := frep.NewEnumerator(r.FRel.Tree, r.FRel.Roots, specs)
+	en, err := r.rel().Enumerator(specs)
 	if err != nil {
 		return err
 	}

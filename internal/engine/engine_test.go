@@ -67,7 +67,7 @@ func pizzeriaView(t *testing.T) (*fops.FRel, []ftree.CatalogRelation) {
 	for name, rel := range db {
 		cat = append(cat, ftree.CatalogRelation{Name: name, Attrs: rel.Attrs, Size: rel.Cardinality()})
 	}
-	return res.FRel, cat
+	return res.Factorisation(), cat
 }
 
 func TestRunRevenuePerCustomer(t *testing.T) {
@@ -264,7 +264,7 @@ func TestSPJOrderOnView(t *testing.T) {
 		t.Log("materialised via Relation() not used for identity query (schema empty)")
 	}
 	// Check sortedness by locating columns in the enumeration schema.
-	en, err := frep.NewEnumerator(res.FRel.Tree, res.FRel.Roots, nil)
+	en, err := frep.NewEnumerator(res.Factorisation().Tree, res.Factorisation().Roots, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +511,7 @@ func TestDifferentialOrderProperty(t *testing.T) {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		got, err := res.FRel.Flatten()
+		got, err := res.Factorisation().Flatten()
 		if err != nil {
 			return false
 		}
@@ -528,7 +528,7 @@ func TestDifferentialOrderProperty(t *testing.T) {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		en, err := frep.NewEnumerator(res.FRel.Tree, res.FRel.Roots, nil)
+		en, err := frep.NewEnumerator(res.Factorisation().Tree, res.Factorisation().Roots, nil)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,172 @@
+package engine
+
+// Golden equivalence suite: every query of the workload's experimental
+// query set (Q1–Q13, plus the flat-input variants) is executed through
+// both the legacy pointer-based path and the arena path, and the ordered
+// outputs must be identical row for row.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+// collectRows runs a query and materialises its result, closing it.
+func collectRows(t *testing.T, run func() (*Result, error)) *relation.Relation {
+	t.Helper()
+	res, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	rel, err := res.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// diffOrdered asserts two results are identical, including row order.
+func diffOrdered(t *testing.T, name string, legacy, arena *relation.Relation) {
+	t.Helper()
+	if len(legacy.Tuples) != len(arena.Tuples) {
+		t.Fatalf("%s: legacy has %d rows, arena %d", name, len(legacy.Tuples), len(arena.Tuples))
+	}
+	for i := range legacy.Tuples {
+		if relation.Compare(legacy.Tuples[i], arena.Tuples[i]) != 0 {
+			t.Fatalf("%s: row %d differs: legacy %v, arena %v", name, i, legacy.Tuples[i], arena.Tuples[i])
+		}
+	}
+}
+
+// TestGoldenWorkloadFlatQueries runs the AGG queries against the base
+// relations (joins included) through Prepare/Exec on both paths.
+func TestGoldenWorkloadFlatQueries(t *testing.T) {
+	ds := workload.Generate(workload.Config{Scale: 1})
+	db := DB(ds.DB())
+	legacyEng := &Engine{PartialAgg: true, Legacy: true}
+	arenaEng := &Engine{PartialAgg: true}
+	for i := 1; i <= 5; i++ {
+		q, err := workload.FlatAggQuery(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("flat-Q%d", i)
+		lres := collectRows(t, func() (*Result, error) { return legacyEng.Run(q, db) })
+		q2, _ := workload.FlatAggQuery(i)
+		ares := collectRows(t, func() (*Result, error) { return arenaEng.Run(q2, db) })
+		diffOrdered(t, name, lres, ares)
+	}
+}
+
+// TestGoldenWorkloadViewQueries runs the AGG, AGG+ORD and ORD families
+// against the materialised views R1/R3: the legacy path via RunOnView,
+// the arena path via RunOnARel over the arena-built views.
+func TestGoldenWorkloadViewQueries(t *testing.T) {
+	ds := workload.Generate(workload.Config{Scale: 1})
+	cat := ds.Catalog()
+	r1, err := ds.FactorisedR1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1a, err := ds.FactorisedR1Arena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ds.FactorisedR3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3a, err := ds.FactorisedR3Arena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two view builds must agree structurally before any queries.
+	for i := range r1.Roots {
+		if !frep.EqualStoreUnion(r1a.Store, r1a.Roots[i], r1.Roots[i]) {
+			t.Fatalf("R1 root %d: arena and legacy view builds differ", i)
+		}
+	}
+	for i := range r3.Roots {
+		if !frep.EqualStoreUnion(r3a.Store, r3a.Roots[i], r3.Roots[i]) {
+			t.Fatalf("R3 root %d: arena and legacy view builds differ", i)
+		}
+	}
+	legacyEng := &Engine{PartialAgg: true, Legacy: true}
+	arenaEng := &Engine{PartialAgg: true}
+
+	type tc struct {
+		name  string
+		mk    func() *query.Query
+		view  *fops.FRel
+		aview *fops.ARel
+	}
+	cases := []tc{}
+	for i := 1; i <= 5; i++ {
+		i := i
+		cases = append(cases, tc{
+			name: fmt.Sprintf("Q%d", i),
+			mk: func() *query.Query {
+				q, err := workload.AggQuery(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The view queries address R1 as their single relation.
+				return q
+			},
+			view:  r1,
+			aview: r1a,
+		})
+	}
+	cases = append(cases,
+		tc{name: "Q6", mk: workload.Q6, view: r1, aview: r1a},
+		tc{name: "Q7", mk: workload.Q7, view: r1, aview: r1a},
+		tc{name: "Q8", mk: workload.Q8, view: r1, aview: r1a},
+		tc{name: "Q9", mk: workload.Q9, view: r1, aview: r1a},
+	)
+	for _, limit := range []int{0, 10} {
+		limit := limit
+		cases = append(cases,
+			tc{name: fmt.Sprintf("Q10/limit=%d", limit), mk: func() *query.Query { return workload.Q10(limit) }, view: r1, aview: r1a},
+			tc{name: fmt.Sprintf("Q11/limit=%d", limit), mk: func() *query.Query { return workload.Q11(limit) }, view: r1, aview: r1a},
+			tc{name: fmt.Sprintf("Q12/limit=%d", limit), mk: func() *query.Query { return workload.Q12(limit) }, view: r1, aview: r1a},
+			tc{name: fmt.Sprintf("Q13/limit=%d", limit), mk: func() *query.Query { return workload.Q13(limit) }, view: r3, aview: r3a},
+		)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lres := collectRows(t, func() (*Result, error) { return legacyEng.RunOnView(c.mk(), c.view, cat) })
+			ares := collectRows(t, func() (*Result, error) { return arenaEng.RunOnARel(c.mk(), c.aview, cat) })
+			diffOrdered(t, c.name, lres, ares)
+		})
+	}
+}
+
+// TestGoldenExecSharedMatchesExec asserts the snapshot-sharing execution
+// path produces the same output as plain Exec, across repeated runs from
+// one Prepared.
+func TestGoldenExecSharedMatchesExec(t *testing.T) {
+	ds := workload.Generate(workload.Config{Scale: 1})
+	db := DB(ds.DB())
+	eng := New()
+	for i := 1; i <= 5; i++ {
+		q, err := workload.FlatAggQuery(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := eng.Prepare(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := collectRows(t, func() (*Result, error) { return prep.Exec(db) })
+		for rep := 0; rep < 3; rep++ {
+			shared := collectRows(t, func() (*Result, error) { return prep.ExecShared(db) })
+			diffOrdered(t, fmt.Sprintf("Q%d/rep%d", i, rep), base, shared)
+		}
+	}
+}

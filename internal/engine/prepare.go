@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/factordb/fdb/internal/fops"
 	"github.com/factordb/fdb/internal/frep"
@@ -11,16 +12,31 @@ import (
 	"github.com/factordb/fdb/internal/relation"
 )
 
+// storePool recycles arena stores across query executions: a query's
+// whole factorised working set lives in one store, so returning it to
+// the pool (Result.Close) makes the steady-state hot path allocate only
+// on slab high-water-mark growth.
+var storePool = sync.Pool{New: func() any { return frep.NewStore() }}
+
+func getStore() *frep.Store {
+	s := storePool.Get().(*frep.Store)
+	s.Reset()
+	return s
+}
+
+func putStore(s *frep.Store) { storePool.Put(s) }
+
 // Prepared is a compiled query: the validated logical query, the chosen
 // per-relation path orders, and the optimised f-plan. Preparing once and
 // executing many times skips validation, path-order search (which plans
 // up to 64 candidate forests) and f-plan optimisation on every run —
 // the basis of the server's plan cache.
 //
-// A Prepared is immutable after Prepare and safe for concurrent Exec
-// calls: f-plan operators address f-tree nodes by attribute name and
-// every execution builds its own factorised representation, so no state
-// is shared between concurrent executions.
+// A Prepared is immutable after Prepare (apart from the internal shared
+// base snapshot, which is built once under a sync.Once) and safe for
+// concurrent Exec/ExecShared calls: f-plan operators address f-tree
+// nodes by attribute name and every execution builds its own factorised
+// representation, so no state is shared between concurrent executions.
 type Prepared struct {
 	// Query is the validated logical query.
 	Query *query.Query
@@ -31,6 +47,15 @@ type Prepared struct {
 	Plan *plan.Plan
 
 	eng *Engine
+
+	// shared caches the factorised base relations (one arena store
+	// snapshot) for ExecShared.
+	shared struct {
+		once  sync.Once
+		store *frep.Store
+		roots []frep.NodeID
+		err   error
+	}
 }
 
 // resolveRelations looks up the query's relations in the database,
@@ -89,11 +114,101 @@ func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
 	return &Prepared{Query: q, Orders: orders, Plan: fplan, eng: e}, nil
 }
 
+// buildForest factorises the query's relations in the prepared path
+// orders into the store, returning the fresh forest and one root per
+// relation.
+func (p *Prepared) buildForest(db DB, st *frep.Store) (*ftree.Forest, []frep.NodeID, error) {
+	f := ftree.New()
+	var roots []frep.NodeID
+	for i, name := range p.Query.Relations {
+		rel, ok := db[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
+		f.NewRelationPath(p.Orders[i]...)
+		sub := ftree.New()
+		sub.NewRelationPath(p.Orders[i]...)
+		rs, err := frep.BuildStoreUnchecked(st, rel, sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		roots = append(roots, rs[0])
+	}
+	return f, roots, nil
+}
+
 // Exec runs the prepared plan against the database: each relation is
-// factorised as a linear path in the prepared order and the cached
-// f-plan is executed, skipping validation and optimisation. Exec may be
-// called concurrently from multiple goroutines.
+// factorised as a linear path in the prepared order into a pooled arena
+// store and the cached f-plan is executed, skipping validation and
+// optimisation. Exec may be called concurrently from multiple
+// goroutines. Call Result.Close when done with the result to recycle
+// its store.
+//
+// With Engine.Legacy set, execution uses the pointer-based
+// representation instead (and Result.FRel is populated).
 func (p *Prepared) Exec(db DB) (*Result, error) {
+	if p.eng.Legacy {
+		return p.execLegacy(db)
+	}
+	st := getStore()
+	f, roots, err := p.buildForest(db, st)
+	if err != nil {
+		putStore(st)
+		return nil, err
+	}
+	ar := &fops.ARel{Tree: f, Store: st, Roots: roots}
+	return p.finish(ar)
+}
+
+// ExecShared is Exec for databases whose relations do not change between
+// calls (the server's contract): the factorised base relations are built
+// once, kept as an immutable store snapshot inside the Prepared, and
+// each execution starts from a slab copy of that snapshot instead of
+// re-sorting the base relations. The first call's data is captured;
+// callers mutating relations between calls must use Exec.
+func (p *Prepared) ExecShared(db DB) (*Result, error) {
+	if p.eng.Legacy {
+		return p.execLegacy(db)
+	}
+	p.shared.once.Do(func() {
+		st := frep.NewStore()
+		_, roots, err := p.buildForest(db, st)
+		if err != nil {
+			p.shared.err = err
+			return
+		}
+		p.shared.store = st.Snapshot()
+		p.shared.roots = roots
+	})
+	if p.shared.err != nil {
+		return nil, p.shared.err
+	}
+	st := getStore()
+	p.shared.store.CloneInto(st)
+	f := ftree.New()
+	for i := range p.Query.Relations {
+		f.NewRelationPath(p.Orders[i]...)
+	}
+	ar := &fops.ARel{Tree: f, Store: st, Roots: append([]frep.NodeID{}, p.shared.roots...)}
+	return p.finish(ar)
+}
+
+// finish executes the prepared plan over the freshly built arena
+// representation and wraps the result.
+func (p *Prepared) finish(ar *fops.ARel) (*Result, error) {
+	if ar.IsEmpty() {
+		ar.MakeEmpty()
+	}
+	if err := p.Plan.Execute(ar); err != nil {
+		putStore(ar.Store)
+		return nil, err
+	}
+	return &Result{Query: p.Query, ARel: ar, Plan: p.Plan, eng: p.eng, pooled: true}, nil
+}
+
+// execLegacy is the pointer-based execution path, kept for old-vs-new
+// equivalence testing.
+func (p *Prepared) execLegacy(db DB) (*Result, error) {
 	f := ftree.New()
 	var roots []*frep.Union
 	for i, name := range p.Query.Relations {

@@ -1,0 +1,421 @@
+package fops
+
+// Arena ports of the f-plan operators. Each is the same algorithm as its
+// pointer-based counterpart in select.go / gamma.go, but reads and
+// writes store slabs: new nodes are appended, untouched subtrees are
+// referenced by id, and no per-node heap objects are created.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// SelectConst applies the selection σ_{attr op c} in one traversal of
+// the representation, filtering the attribute's unions and pruning
+// emptied contexts.
+func (ar *ARel) SelectConst(attr string, op CmpOp, c values.Value) error {
+	n := ar.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: select: unknown attribute %q", attr)
+	}
+	ri, path, err := ar.pathFromRoot(n)
+	if err != nil {
+		return err
+	}
+	s := ar.Store
+	var b frep.UnionBuilder
+	ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
+		arity := s.Arity(id)
+		b.Reset(s, arity)
+		for i, v := range s.Vals(id) {
+			if !op.Holds(v, c) {
+				continue
+			}
+			if arity > 0 {
+				b.Append(v, s.KidRow(id, i))
+			} else {
+				b.Append(v, nil)
+			}
+		}
+		return b.Finish()
+	})
+	return nil
+}
+
+// Merge implements the equality selection attrA = attrB when the two
+// attributes' nodes are siblings; see FRel.Merge.
+func (ar *ARel) Merge(attrA, attrB string) error {
+	x := ar.Tree.ResolveAttr(attrA)
+	y := ar.Tree.ResolveAttr(attrB)
+	if x == nil || y == nil {
+		return fmt.Errorf("fops: merge: unknown attribute %q or %q", attrA, attrB)
+	}
+	if x == y {
+		return nil // already equal
+	}
+	plan, err := ftree.PlanMerge(ar.Tree, x, y)
+	if err != nil {
+		return err
+	}
+	s := ar.Store
+	var ib, b frep.UnionBuilder
+	mergeData := func(row []frep.NodeID) ([]frep.NodeID, bool) {
+		merged := ar.intersectUnions(&ib, row[plan.XIdx], row[plan.YIdx])
+		if s.Len(merged) == 0 {
+			return nil, false
+		}
+		out := make([]frep.NodeID, 0, len(row)-1)
+		for k, u := range row {
+			switch k {
+			case plan.XIdx:
+				out = append(out, merged)
+			case plan.YIdx:
+				// dropped
+			default:
+				out = append(out, u)
+			}
+		}
+		return out, true
+	}
+	if plan.Parent == nil {
+		row, ok := mergeData(ar.Roots)
+		if !ok {
+			ar.Tree.ApplyMerge(plan)
+			ar.Roots = ar.Roots[:len(ar.Roots)-1]
+			ar.MakeEmpty()
+			return nil
+		}
+		ar.Roots = row
+	} else {
+		ri, path, err := ar.pathFromRoot(plan.Parent)
+		if err != nil {
+			return err
+		}
+		ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
+			arity := s.Arity(id) - 1
+			b.Reset(s, arity)
+			for i, v := range s.Vals(id) {
+				row, ok := mergeData(s.KidRow(id, i))
+				if !ok {
+					continue
+				}
+				b.Append(v, row)
+			}
+			return b.Finish()
+		})
+	}
+	ar.Tree.ApplyMerge(plan)
+	if ar.IsEmpty() {
+		ar.MakeEmpty()
+	}
+	return nil
+}
+
+// intersectUnions intersects two sorted unions; for each common value
+// the children of both sides are concatenated (x's children first),
+// matching the merged node's child order. b is the caller's reused
+// builder scratch.
+func (ar *ARel) intersectUnions(b *frep.UnionBuilder, x, y frep.NodeID) frep.NodeID {
+	s := ar.Store
+	arity := s.Arity(x) + s.Arity(y)
+	b.Reset(s, arity)
+	xv, yv := s.Vals(x), s.Vals(y)
+	var row []frep.NodeID
+	i, j := 0, 0
+	for i < len(xv) && j < len(yv) {
+		c := values.Compare(xv[i], yv[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			if arity > 0 {
+				row = row[:0]
+				if s.Arity(x) > 0 {
+					row = append(row, s.KidRow(x, i)...)
+				}
+				if s.Arity(y) > 0 {
+					row = append(row, s.KidRow(y, j)...)
+				}
+				b.Append(xv[i], row)
+			} else {
+				b.Append(xv[i], nil)
+			}
+			i++
+			j++
+		}
+	}
+	return b.Finish()
+}
+
+// Absorb implements the equality selection attrAnc = attrDesc when
+// attrDesc's node is a strict descendant of attrAnc's node; see
+// FRel.Absorb.
+func (ar *ARel) Absorb(attrAnc, attrDesc string) error {
+	a := ar.Tree.ResolveAttr(attrAnc)
+	d := ar.Tree.ResolveAttr(attrDesc)
+	if a == nil || d == nil {
+		return fmt.Errorf("fops: absorb: unknown attribute %q or %q", attrAnc, attrDesc)
+	}
+	if a == d {
+		return nil
+	}
+	plan, err := ftree.PlanAbsorb(a, d)
+	if err != nil {
+		return err
+	}
+	ri, path, err := ar.pathFromRoot(a)
+	if err != nil {
+		return err
+	}
+	s := ar.Store
+	dLeaf := d.IsLeaf()
+	dn := 0 // hoisted children of the descendant
+	if !dLeaf {
+		dn = len(d.Children)
+	}
+	var b frep.UnionBuilder
+	ar.rebuildAt(ri, path, func(ua frep.NodeID) frep.NodeID {
+		// The row width changes only at the descendant's parent: it loses
+		// the descendant and gains its hoisted children.
+		newArity := s.Arity(ua)
+		if len(plan.Path) == 1 {
+			newArity += dn - 1
+		}
+		b.Reset(s, newArity)
+		for i, v := range s.Vals(ua) {
+			row, ok := ar.absorbRow(s.KidRow(ua, i), plan.Path, v, dLeaf, dn)
+			if !ok {
+				continue
+			}
+			b.Append(v, row)
+		}
+		return b.Finish()
+	})
+	ar.Tree.ApplyAbsorb(plan)
+	if ar.IsEmpty() {
+		ar.MakeEmpty()
+	}
+	return nil
+}
+
+// absorbRow restricts the descendant (reached through path) to value v
+// and splices its children into the containing row. ok=false when the
+// value is absent (context pruned).
+func (ar *ARel) absorbRow(row []frep.NodeID, path []int, v values.Value, dLeaf bool, dn int) ([]frep.NodeID, bool) {
+	s := ar.Store
+	p := path[0]
+	if len(path) == 1 {
+		du := row[p]
+		dv := s.Vals(du)
+		pos := sort.Search(len(dv), func(k int) bool {
+			return values.Compare(dv[k], v) >= 0
+		})
+		if pos >= len(dv) || values.Compare(dv[pos], v) != 0 {
+			return nil, false
+		}
+		var hoist []frep.NodeID
+		if !dLeaf {
+			hoist = s.KidRow(du, pos)
+		}
+		out := make([]frep.NodeID, 0, len(row)-1+len(hoist))
+		out = append(out, row[:p]...)
+		out = append(out, hoist...)
+		out = append(out, row[p+1:]...)
+		return out, true
+	}
+	mid := row[p]
+	var b frep.UnionBuilder
+	// The intermediate node's rows keep their width unless the next hop
+	// is the descendant itself, in which case they lose the descendant
+	// and gain its hoisted children.
+	width := s.Arity(mid)
+	if len(path) == 2 {
+		width += dn - 1
+	}
+	b.Reset(s, width)
+	for j, w := range s.Vals(mid) {
+		r2, ok := ar.absorbRow(s.KidRow(mid, j), path[1:], v, dLeaf, dn)
+		if !ok {
+			continue
+		}
+		b.Append(w, r2)
+	}
+	nm := b.Finish()
+	if s.Len(nm) == 0 {
+		return nil, false
+	}
+	out := make([]frep.NodeID, len(row))
+	copy(out, row)
+	out[p] = nm
+	return out, true
+}
+
+// RemoveLeaf implements projection away of a leaf node; see
+// FRel.RemoveLeaf.
+func (ar *ARel) RemoveLeaf(attr string) error {
+	n := ar.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: remove: unknown attribute %q", attr)
+	}
+	plan, err := ftree.PlanRemoveLeaf(ar.Tree, n)
+	if err != nil {
+		return err
+	}
+	wasEmpty := ar.IsEmpty()
+	if n.Parent == nil && len(ar.Roots) == 1 && wasEmpty {
+		// Removing the last attribute of ∅ would leave the nullary ⟨⟩,
+		// which represents one tuple, not zero. Refuse.
+		return fmt.Errorf("fops: remove: cannot project away the last attribute of an empty relation")
+	}
+	if n.Parent == nil {
+		ar.Roots = append(ar.Roots[:plan.Idx], ar.Roots[plan.Idx+1:]...)
+	} else {
+		ri, path, err := ar.pathFromRoot(n.Parent)
+		if err != nil {
+			return err
+		}
+		s := ar.Store
+		var b frep.UnionBuilder
+		var scratch []frep.NodeID
+		ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
+			arity := s.Arity(id)
+			b.Reset(s, arity-1)
+			for i, v := range s.Vals(id) {
+				row := s.KidRow(id, i)
+				scratch = scratch[:0]
+				scratch = append(scratch, row[:plan.Idx]...)
+				scratch = append(scratch, row[plan.Idx+1:]...)
+				b.Append(v, scratch)
+			}
+			return b.Finish()
+		})
+	}
+	ar.Tree.ApplyRemoveLeaf(plan)
+	if wasEmpty {
+		ar.MakeEmpty()
+	}
+	return nil
+}
+
+// Rename renames an attribute: names live in the f-tree, so this is
+// identical to FRel.Rename and constant time.
+func (ar *ARel) Rename(attr, to string) error {
+	n := ar.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: rename: unknown attribute %q", attr)
+	}
+	if n.IsAgg() {
+		n.Alias = to
+		return nil
+	}
+	for i, a := range n.Attrs {
+		if a == attr {
+			n.Attrs[i] = to
+			return nil
+		}
+	}
+	return fmt.Errorf("fops: rename: attribute %q not found in class %s", attr, n.Label())
+}
+
+// Gamma applies the aggregation operator γ_F(U) of Section 3; see
+// FRel.Gamma.
+func (ar *ARel) Gamma(attr string, fields []ftree.AggField) error {
+	n := ar.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: γ: unknown attribute %q", attr)
+	}
+	return ar.GammaNode(n, fields)
+}
+
+// GammaNode is Gamma addressing the subtree root node directly.
+func (ar *ARel) GammaNode(u *ftree.Node, fields []ftree.AggField) error {
+	plan, err := ftree.PlanAgg(ar.Tree, u, fields)
+	if err != nil {
+		return err
+	}
+	ev, err := frep.NewEvaluator(u, fields)
+	if err != nil {
+		return err
+	}
+	ri, path, err := ar.pathFromRoot(u)
+	if err != nil {
+		return err
+	}
+	wasEmpty := ar.IsEmpty()
+	s := ar.Store
+	var evalErr error
+	vals := make([]values.Value, len(fields))
+	var one [1]values.Value
+	ar.rebuildAt(ri, path, func(sub frep.NodeID) frep.NodeID {
+		if evalErr != nil {
+			return frep.EmptyNode
+		}
+		if err := ev.EvalStoreInto(s, sub, vals); err != nil {
+			evalErr = err
+			return frep.EmptyNode
+		}
+		if len(vals) == 1 {
+			one[0] = vals[0]
+		} else {
+			// NewVec retains its argument; copy out of the reused scratch.
+			one[0] = values.NewVec(append([]values.Value{}, vals...))
+		}
+		return s.AddLeaf(one[:])
+	})
+	if evalErr != nil {
+		return evalErr
+	}
+	ar.Tree.ApplyAgg(plan)
+	if wasEmpty {
+		ar.MakeEmpty()
+	}
+	return nil
+}
+
+// ComputeScalar converts a leaf aggregate node into an atomic node named
+// newName whose values are fn applied to the stored aggregates,
+// re-sorted and deduplicated; see FRel.ComputeScalar.
+func (ar *ARel) ComputeScalar(attr, newName string, fn func(values.Value) values.Value) error {
+	n := ar.Tree.ResolveAttr(attr)
+	if n == nil {
+		return fmt.Errorf("fops: compute: unknown attribute %q", attr)
+	}
+	if !n.IsAgg() {
+		return fmt.Errorf("fops: compute: %q is not an aggregate node", attr)
+	}
+	if !n.IsLeaf() {
+		return fmt.Errorf("fops: compute: aggregate node %q must be a leaf", attr)
+	}
+	ri, path, err := ar.pathFromRoot(n)
+	if err != nil {
+		return err
+	}
+	s := ar.Store
+	var mapped []values.Value
+	var b frep.UnionBuilder
+	ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
+		mapped = mapped[:0]
+		for _, v := range s.Vals(id) {
+			mapped = append(mapped, fn(v))
+		}
+		sort.Slice(mapped, func(a, c int) bool { return values.Less(mapped[a], mapped[c]) })
+		b.Reset(s, 0)
+		for k, v := range mapped {
+			if k > 0 && values.Compare(mapped[k-1], v) == 0 {
+				continue
+			}
+			b.Append(v, nil)
+		}
+		return b.Finish()
+	})
+	n.Agg = nil
+	n.Alias = ""
+	n.Attrs = []string{newName}
+	return nil
+}

@@ -1,0 +1,275 @@
+package fops
+
+// Equivalence tests for the arena operator set: every operator is run on
+// both representations of the same data and the results are diffed
+// structurally (via the compatibility view) and as relations.
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// diffReps asserts the arena relation is structurally identical to the
+// legacy one (same trees assumed) and that both satisfy their
+// invariants.
+func diffReps(t *testing.T, fr *FRel, ar *ARel) {
+	t.Helper()
+	if err := fr.Check(); err != nil {
+		t.Fatalf("legacy invariants: %v", err)
+	}
+	if err := ar.Check(); err != nil {
+		t.Fatalf("arena invariants: %v", err)
+	}
+	if len(fr.Roots) != len(ar.Roots) {
+		t.Fatalf("root count: legacy %d, arena %d", len(fr.Roots), len(ar.Roots))
+	}
+	for i := range fr.Roots {
+		if !frep.EqualStoreUnion(ar.Store, ar.Roots[i], fr.Roots[i]) {
+			t.Fatalf("root %d: representations diverged", i)
+		}
+	}
+}
+
+// bothReps builds the pizzeria view in both representations.
+func bothReps(t *testing.T) (*FRel, *ARel, *relation.Relation) {
+	t.Helper()
+	fr, r := pizzeriaFRel(t)
+	ar := FromFRel(fr)
+	diffReps(t, fr, ar)
+	return fr, ar, r
+}
+
+func TestARelSelectConstMatchesLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		attr string
+		op   CmpOp
+		c    values.Value
+	}{
+		{"price", LE, iv(2)},
+		{"item", EQ, sv("ham")},
+		{"customer", NE, sv("Mario")},
+		{"pizza", GT, sv("Capricciosa")},
+		{"price", GT, iv(99)}, // empties the relation
+	} {
+		fr, ar, _ := bothReps(t)
+		if err := fr.SelectConst(tc.attr, tc.op, tc.c); err != nil {
+			t.Fatal(err)
+		}
+		if err := ar.SelectConst(tc.attr, tc.op, tc.c); err != nil {
+			t.Fatal(err)
+		}
+		diffReps(t, fr, ar)
+	}
+}
+
+func TestARelSwapMatchesLegacy(t *testing.T) {
+	fr, ar, r := bothReps(t)
+	for _, attr := range []string{"date", "pizza", "item"} {
+		if err := fr.Swap(attr); err != nil {
+			t.Fatal(err)
+		}
+		if err := ar.Swap(attr); err != nil {
+			t.Fatal(err)
+		}
+		diffReps(t, fr, ar)
+	}
+	flat, err := ar.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.EqualAsSets(flat, r) {
+		t.Fatal("arena swaps changed the represented relation")
+	}
+}
+
+func TestARelGammaMatchesLegacy(t *testing.T) {
+	fr, ar, _ := bothReps(t)
+	fields := []ftree.AggField{{Fn: ftree.Sum, Arg: "price"}, {Fn: ftree.Count}}
+	if err := fr.Gamma("item", fields); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Gamma("item", fields); err != nil {
+		t.Fatal(err)
+	}
+	diffReps(t, fr, ar)
+	// Aggregate once more up the tree (composition over the stored
+	// vector) and compare again.
+	f2 := []ftree.AggField{{Fn: ftree.Count}}
+	if err := fr.Gamma("date", f2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Gamma("date", f2); err != nil {
+		t.Fatal(err)
+	}
+	diffReps(t, fr, ar)
+}
+
+func TestARelComputeScalarMatchesLegacy(t *testing.T) {
+	fr, ar, _ := bothReps(t)
+	fields := []ftree.AggField{{Fn: ftree.Sum, Arg: "price"}, {Fn: ftree.Count}}
+	if err := fr.Gamma("item", fields); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Gamma("item", fields); err != nil {
+		t.Fatal(err)
+	}
+	avg := func(v values.Value) values.Value { return values.Div(v.VecAt(0), v.VecAt(1)) }
+	name := fr.Tree.Roots[0].Children[1].Label()
+	if err := fr.ComputeScalar(name, "avgprice", avg); err != nil {
+		t.Fatal(err)
+	}
+	name2 := ar.Tree.Roots[0].Children[1].Label()
+	if err := ar.ComputeScalar(name2, "avgprice", avg); err != nil {
+		t.Fatal(err)
+	}
+	diffReps(t, fr, ar)
+}
+
+func TestARelRemoveLeafMatchesLegacy(t *testing.T) {
+	fr, ar, _ := bothReps(t)
+	for _, attr := range []string{"price", "customer"} {
+		if err := fr.RemoveLeaf(attr); err != nil {
+			t.Fatal(err)
+		}
+		if err := ar.RemoveLeaf(attr); err != nil {
+			t.Fatal(err)
+		}
+		diffReps(t, fr, ar)
+	}
+}
+
+func TestARelRenameMatchesLegacy(t *testing.T) {
+	_, ar, _ := bothReps(t)
+	if err := ar.Rename("customer", "buyer"); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Tree.ResolveAttr("buyer") == nil {
+		t.Fatal("rename did not take")
+	}
+}
+
+// TestARelMergeAndProductMatchesLegacy joins the three pizzeria base
+// relations bottom-up with Product + Merge in both representations, the
+// way the engine's Exec path does.
+func TestARelMergeAndProductMatchesLegacy(t *testing.T) {
+	mk := func(rel *relation.Relation, attrs ...string) (*FRel, *ARel) {
+		f := ftree.New()
+		f.NewRelationPath(attrs...)
+		fr, err := FromRelationUnchecked(rel, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2 := ftree.New()
+		f2.NewRelationPath(attrs...)
+		ar, err := FromRelationStoreUnchecked(frep.NewStore(), rel, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr, ar
+	}
+	// Rename the join copies so attributes stay globally unique.
+	pz := relation.MustNew("Pizzas", []string{"pizza2", "item"}, pizzasRel().Tuples)
+	it := relation.MustNew("Items", []string{"item2", "price"}, itemsRel().Tuples)
+
+	of, oa := mk(ordersRel(), "pizza", "date", "customer")
+	pf, pa := mk(pz, "item", "pizza2")
+	itf, ita := mk(it, "item2", "price")
+
+	fr := Product(Product(of, pf), itf)
+	ar := ProductArena(ProductArena(oa, pa), ita)
+	diffReps(t, fr, ar)
+
+	// The same cascade the workload's FactorisedR1 uses: merge at the
+	// roots, swap the join attribute up, merge again.
+	steps := []func(r Rel) error{
+		func(r Rel) error { return r.Merge("item", "item2") },
+		func(r Rel) error { return r.Swap("pizza2") },
+		func(r Rel) error { return r.Merge("pizza2", "pizza") },
+	}
+	for i, step := range steps {
+		if err := step(fr); err != nil {
+			t.Fatalf("step %d (legacy): %v", i, err)
+		}
+		if err := step(ar); err != nil {
+			t.Fatalf("step %d (arena): %v", i, err)
+		}
+		diffReps(t, fr, ar)
+	}
+}
+
+// TestARelAbsorbMatchesLegacy exercises absorb at depth > 1: the
+// descendant is two levels below the ancestor.
+func TestARelAbsorbMatchesLegacy(t *testing.T) {
+	rel := relation.MustNew("R", []string{"a", "b", "c"}, []relation.Tuple{
+		{iv(1), iv(1), iv(1)},
+		{iv(1), iv(2), iv(1)},
+		{iv(2), iv(2), iv(2)},
+		{iv(3), iv(1), iv(3)},
+		{iv(3), iv(3), iv(1)},
+	})
+	mkPair := func() (*FRel, *ARel) {
+		f := ftree.New()
+		f.NewRelationPath("a", "b", "c")
+		fr, err := FromRelationUnchecked(rel, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2 := ftree.New()
+		f2.NewRelationPath("a", "b", "c")
+		ar, err := FromRelationStoreUnchecked(frep.NewStore(), rel, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr, ar
+	}
+	fr, ar := mkPair()
+	if err := fr.Absorb("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Absorb("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	diffReps(t, fr, ar)
+	// Direct-child absorb too.
+	fr, ar = mkPair()
+	if err := fr.Absorb("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.Absorb("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	diffReps(t, fr, ar)
+}
+
+func TestARelCloneAndSnapshotIsolation(t *testing.T) {
+	_, ar, _ := bothReps(t)
+	before := ar.Singletons()
+	cl, _ := ar.Clone()
+	snap := ar.Snapshot()
+	if err := cl.SelectConst("price", LE, iv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.SelectConst("item", EQ, sv("ham")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Singletons(); got != before {
+		t.Fatalf("original changed: %d -> %d singletons", before, got)
+	}
+	if cl.Singletons() >= before || snap.Singletons() >= before {
+		t.Fatal("selections on copies had no effect")
+	}
+}
+
+func TestARelRoundTripThroughFRel(t *testing.T) {
+	fr, ar, _ := bothReps(t)
+	back := ar.ToFRel()
+	for i := range fr.Roots {
+		if !frep.Equal(back.Roots[i], fr.Roots[i]) {
+			t.Fatalf("root %d: ToFRel differs from original", i)
+		}
+	}
+}

@@ -11,8 +11,6 @@
 package fops
 
 import (
-	"fmt"
-
 	"github.com/factordb/fdb/internal/frep"
 	"github.com/factordb/fdb/internal/ftree"
 	"github.com/factordb/fdb/internal/relation"
@@ -58,6 +56,19 @@ func (fr *FRel) Clone() (*FRel, map[*ftree.Node]*ftree.Node) {
 	return &FRel{Tree: t, Roots: frep.CloneAll(fr.Roots)}, corr
 }
 
+// Forest implements Rel.
+func (fr *FRel) Forest() *ftree.Forest { return fr.Tree }
+
+// Enumerator implements Rel.
+func (fr *FRel) Enumerator(order []frep.OrderSpec) (frep.TupleEnum, error) {
+	return frep.NewEnumerator(fr.Tree, fr.Roots, order)
+}
+
+// GroupEnumerator implements Rel.
+func (fr *FRel) GroupEnumerator(g []frep.OrderSpec, fields []ftree.AggField) (frep.GroupEnum, error) {
+	return frep.NewGroupEnumerator(fr.Tree, fr.Roots, g, fields)
+}
+
 // IsEmpty reports whether the represented relation is empty (some root
 // union has no values).
 func (fr *FRel) IsEmpty() bool {
@@ -98,21 +109,7 @@ func (fr *FRel) Singletons() int { return frep.SingletonsAll(fr.Roots) }
 // pathFromRoot returns the index of n's root tree and the child-index
 // path from that root down to n (empty when n is a root).
 func (fr *FRel) pathFromRoot(n *ftree.Node) (int, []int, error) {
-	var rev []int
-	top := n
-	for top.Parent != nil {
-		rev = append(rev, top.Parent.ChildIndex(top))
-		top = top.Parent
-	}
-	ri := fr.Tree.RootIndex(top)
-	if ri < 0 {
-		return 0, nil, fmt.Errorf("fops: node %s not in this forest", n.Label())
-	}
-	path := make([]int, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
-	}
-	return ri, path, nil
+	return pathFromRoot(fr.Tree, n)
 }
 
 // rebuildAt applies fn to every occurrence of the node identified by

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"testing"
 
+	"github.com/factordb/fdb/internal/frep"
 	"github.com/factordb/fdb/internal/ftree"
 	"github.com/factordb/fdb/internal/relation"
 	"github.com/factordb/fdb/internal/values"
@@ -125,4 +126,115 @@ func mustRel(b *testing.B, rel *relation.Relation) *FRel {
 		b.Fatal(err)
 	}
 	return fr
+}
+
+// --- Arena counterparts -----------------------------------------------
+//
+// The legacy benchmarks above deep-clone the base representation per
+// iteration (StopTimer'd) and then measure the operator. The arena pairs
+// below do the same with slab clones into a reused store, so the numbers
+// isolate the operator itself on each representation.
+
+func benchARel(b *testing.B, n int) *ARel {
+	b.Helper()
+	fr := benchFRel(b, n)
+	return FromFRel(fr)
+}
+
+// cloneArena slab-copies base into the reused scratch store and returns
+// a fresh working relation.
+func cloneArena(base *ARel, scratch *frep.Store) *ARel {
+	scratch.Reset()
+	base.Store.CloneInto(scratch)
+	t, _ := base.Tree.Clone()
+	return &ARel{Tree: t, Store: scratch, Roots: append([]frep.NodeID{}, base.Roots...)}
+}
+
+func BenchmarkArenaSwap(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			base := benchARel(b, n)
+			scratch := frep.NewStore()
+			sing := base.Singletons()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ar := cloneArena(base, scratch)
+				b.StartTimer()
+				if err := ar.Swap("b"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(sing), "ns/singleton")
+		})
+	}
+}
+
+func BenchmarkArenaGamma(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			base := benchARel(b, n)
+			scratch := frep.NewStore()
+			fields := []ftree.AggField{{Fn: ftree.Sum, Arg: "c"}, {Fn: ftree.Count}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ar := cloneArena(base, scratch)
+				b.StartTimer()
+				if err := ar.Gamma("b", fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkArenaSelectConst(b *testing.B) {
+	base := benchARel(b, 100000)
+	scratch := frep.NewStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ar := cloneArena(base, scratch)
+		b.StartTimer()
+		if err := ar.SelectConst("c", LT, values.NewInt(512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArenaClone contrasts the per-query snapshot cost of the two
+// representations directly (what RunOnView/RunOnARel pay before any
+// operator runs).
+func BenchmarkArenaClone(b *testing.B) {
+	base := benchARel(b, 100000)
+	legacy := benchFRel(b, 100000)
+	scratch := frep.NewStore()
+	b.Run("legacy-deep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fr, _ := legacy.Clone(); fr == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("arena-slab", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ar := cloneArena(base, scratch); ar == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("arena-snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ar := base.Snapshot(); ar == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
 }

@@ -380,6 +380,176 @@ func (ev *Evaluator) eval(n *ftree.Node, u *Union, depth int, res *result) {
 	}
 }
 
+// EvalStore is Eval over the arena representation: it computes the
+// evaluator's fields over union id of store s.
+func (ev *Evaluator) EvalStore(s *Store, id NodeID) ([]values.Value, error) {
+	out := make([]values.Value, len(ev.fields))
+	if err := ev.EvalStoreInto(s, id, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalStoreInto is EvalStore writing into a caller-provided slice of
+// length len(fields), avoiding the output allocation on hot paths.
+func (ev *Evaluator) EvalStoreInto(s *Store, id NodeID, out []values.Value) error {
+	if ev.rootRes.vals == nil {
+		ev.rootRes.vals = make([]values.Value, len(ev.fields))
+	}
+	res := ev.rootRes
+	ev.evalStore(ev.root, s, id, 0, &res)
+	for i, fl := range ev.fields {
+		if fl.Fn == ftree.Count {
+			if res.count < 0 {
+				return fmt.Errorf("frep: poisoned count for %s (invalid aggregate composition)", fl)
+			}
+			out[i] = values.NewInt(res.count)
+		} else {
+			if isPoison(res.vals[i]) {
+				return fmt.Errorf("frep: poisoned value for %s (invalid aggregate composition)", fl)
+			}
+			out[i] = res.vals[i]
+		}
+	}
+	return nil
+}
+
+// evalStore mirrors eval over the arena representation: same recursion,
+// same per-depth scratch frames, but values and kid rows come from the
+// store slabs instead of per-union heap objects.
+func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, depth int, res *result) {
+	p := ev.plans[n]
+	res.count = 0
+	for i := range res.vals {
+		res.vals[i] = values.Value{}
+	}
+	nc := len(n.Children)
+	var kidRes []result
+	if nc > 0 {
+		kidRes = ev.frame(depth, nc).kids[:nc]
+	}
+	uVals := s.Vals(id)
+	for i := range uVals {
+		var row []NodeID
+		if nc > 0 {
+			row = s.KidRow(id, i)
+		}
+		mult := int64(1)
+		for j := 0; j < nc; j++ {
+			ev.evalStore(n.Children[j], s, row[j], depth+1, &kidRes[j])
+			if kidRes[j].count < 0 || mult < 0 {
+				mult = -1
+			} else {
+				mult *= kidRes[j].count
+			}
+		}
+		self := int64(1)
+		switch {
+		case p.countFieldIdx == -2:
+			self = -1
+		case p.countFieldIdx >= 0:
+			fv := fieldValue(uVals[i], p.countFieldIdx, len(n.Agg.Fields))
+			self = fv.Int()
+		}
+		cnt := int64(-1)
+		if self >= 0 && mult >= 0 {
+			cnt = self * mult
+		}
+		if res.count >= 0 && cnt >= 0 {
+			res.count += cnt
+		} else {
+			res.count = -1
+		}
+		for fi, act := range p.actions {
+			fl := ev.fields[fi]
+			switch act.kind {
+			case actAbsent:
+				// Count fields are assembled from res.count; nothing here.
+			case actHere, actAggField:
+				var v values.Value
+				if act.kind == actHere {
+					v = uVals[i]
+				} else {
+					v = fieldValue(uVals[i], act.idx, len(n.Agg.Fields))
+				}
+				switch fl.Fn {
+				case ftree.Sum:
+					if isPoison(res.vals[fi]) {
+						break
+					}
+					if mult < 0 {
+						res.vals[fi] = poisonVal()
+					} else {
+						res.vals[fi] = values.Add(res.vals[fi], values.MulInt(v, mult))
+					}
+				case ftree.Min:
+					res.vals[fi] = values.Min(res.vals[fi], v)
+				case ftree.Max:
+					res.vals[fi] = values.Max(res.vals[fi], v)
+				}
+			case actDescend:
+				sub := kidRes[act.idx].vals[fi]
+				switch fl.Fn {
+				case ftree.Sum:
+					if isPoison(res.vals[fi]) {
+						break
+					}
+					sibMult := self
+					for j := 0; j < nc; j++ {
+						if j == act.idx {
+							continue
+						}
+						if kidRes[j].count < 0 || sibMult < 0 {
+							sibMult = -1
+							break
+						}
+						sibMult *= kidRes[j].count
+					}
+					if sibMult < 0 || isPoison(sub) {
+						res.vals[fi] = poisonVal()
+					} else if !sub.IsNull() {
+						res.vals[fi] = values.Add(res.vals[fi], values.MulInt(sub, sibMult))
+					}
+				case ftree.Min:
+					res.vals[fi] = values.Min(res.vals[fi], sub)
+				case ftree.Max:
+					res.vals[fi] = values.Max(res.vals[fi], sub)
+				}
+			}
+		}
+	}
+}
+
+// CountStore is Count over the arena representation.
+func CountStore(n *ftree.Node, s *Store, id NodeID) (int64, error) {
+	ev, err := NewEvaluator(n, []ftree.AggField{{Fn: ftree.Count}})
+	if err != nil {
+		return 0, err
+	}
+	var out [1]values.Value
+	if err := ev.EvalStoreInto(s, id, out[:]); err != nil {
+		return 0, err
+	}
+	return out[0].Int(), nil
+}
+
+// CountAllStore multiplies CountStore over the roots of a forest
+// representation.
+func CountAllStore(f *ftree.Forest, s *Store, roots []NodeID) (int64, error) {
+	total := int64(1)
+	for i, r := range f.Roots {
+		c, err := CountStore(r, s, roots[i])
+		if err != nil {
+			return 0, err
+		}
+		total *= c
+		if total == 0 {
+			return 0, nil
+		}
+	}
+	return total, nil
+}
+
 // fieldValue extracts the idx-th component of an aggregate node's stored
 // value: scalar when the node has a single field, vector otherwise.
 func fieldValue(v values.Value, idx, nFields int) values.Value {

@@ -193,6 +193,90 @@ func (e *encoder) union(n *ftree.Node, u *Union) {
 	}
 }
 
+// WriteStoreTo serialises an arena forest representation to w. The wire
+// format is identical to WriteTo's, so views written from either
+// representation can be read back into either.
+func WriteStoreTo(w io.Writer, f *ftree.Forest, s *Store, roots []NodeID) error {
+	if len(roots) != len(f.Roots) {
+		return fmt.Errorf("frep: codec: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	e := &encoder{w: bw}
+	e.uvarint(uint64(len(f.Roots)))
+	for i, r := range f.Roots {
+		e.node(r)
+		e.storeUnion(r, s, roots[i])
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+func (e *encoder) storeUnion(n *ftree.Node, s *Store, id NodeID) {
+	vals := s.Vals(id)
+	e.uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.value(v)
+	}
+	for i := range vals {
+		row := s.KidRow(id, i)
+		for j := range n.Children {
+			e.storeUnion(n.Children[j], s, row[j])
+		}
+	}
+}
+
+// ReadStoreFrom deserialises a forest representation written by WriteTo
+// or WriteStoreTo into a fresh arena store.
+func ReadStoreFrom(r io.Reader) (*ftree.Forest, *Store, []NodeID, error) {
+	s := NewStore()
+	f, roots, err := ReadStoreInto(r, s)
+	return f, s, roots, err
+}
+
+// ReadStoreInto is ReadStoreFrom appending into an existing store (which
+// typically comes from a pool).
+func ReadStoreInto(r io.Reader, s *Store) (*ftree.Forest, []NodeID, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, nil, fmt.Errorf("frep: codec: bad magic %q", magic)
+	}
+	d := &decoder{r: br}
+	n := d.uvarint()
+	if n > 1<<20 {
+		return nil, nil, fmt.Errorf("frep: codec: implausible root count %d", n)
+	}
+	f := ftree.New()
+	var roots []NodeID
+	maxTok := -1
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		nd := d.node(nil, &maxTok)
+		f.Roots = append(f.Roots, nd)
+		roots = append(roots, d.storeUnion(nd, s))
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	for f.TokenBound() <= maxTok {
+		f.NewToken()
+	}
+	if err := f.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: decoded f-tree invalid: %w", err)
+	}
+	if err := CheckStoreInvariantsAll(f, s, roots); err != nil {
+		return nil, nil, fmt.Errorf("frep: codec: decoded representation invalid: %w", err)
+	}
+	return f, roots, nil
+}
+
 type decoder struct {
 	r   *bufio.Reader
 	err error
@@ -332,6 +416,38 @@ func (d *decoder) value() values.Value {
 		d.fail(fmt.Errorf("frep: codec: unknown value kind"))
 		return values.NullValue()
 	}
+}
+
+// storeUnion decodes one union (and, recursively, its children) into the
+// store. Children are decoded — and therefore added — before their
+// parent, so every kid reference points backwards.
+func (d *decoder) storeUnion(n *ftree.Node, s *Store) NodeID {
+	nv := d.uvarint()
+	if d.err != nil {
+		return EmptyNode
+	}
+	if nv > 1<<30 {
+		d.fail(fmt.Errorf("frep: codec: implausible union size %d", nv))
+		return EmptyNode
+	}
+	vals := make([]values.Value, 0, nv)
+	for i := uint64(0); i < nv && d.err == nil; i++ {
+		vals = append(vals, d.value())
+	}
+	arity := len(n.Children)
+	var kids []NodeID
+	if arity > 0 {
+		kids = make([]NodeID, 0, int(nv)*arity)
+		for i := uint64(0); i < nv && d.err == nil; i++ {
+			for _, c := range n.Children {
+				kids = append(kids, d.storeUnion(c, s))
+			}
+		}
+	}
+	if d.err != nil {
+		return EmptyNode
+	}
+	return s.Add(vals, arity, kids)
 }
 
 func (d *decoder) union(n *ftree.Node) *Union {

@@ -16,32 +16,31 @@ type OrderSpec struct {
 	Desc bool
 }
 
-// slot is one loop of the enumeration odometer: the current union of one
-// f-tree node and the current position within it.
-type slot struct {
+// TupleEnum is the common surface of the pointer-based and arena
+// enumerators; the engine enumerates through it without knowing the
+// representation.
+type TupleEnum interface {
+	Schema() []string
+	Next() bool
+	Tuple() relation.Tuple
+}
+
+// GroupEnum is the common surface of the grouped enumerators.
+type GroupEnum interface {
+	Schema() []string
+	Next() (bool, error)
+	Tuple() relation.Tuple
+}
+
+// slotSpec is the representation-independent part of one enumeration
+// loop: which f-tree node it iterates, where its union comes from and in
+// which direction it advances.
+type slotSpec struct {
 	node       *ftree.Node
 	parentSlot int // index of the parent node's slot, or -1 for roots
 	rootIdx    int // index into the roots slice when parentSlot == -1
 	childIdx   int // position among the parent's children
 	desc       bool
-	u          *Union
-	pos        int
-}
-
-// Enumerator enumerates the tuples of a factorised representation with
-// delay independent of the data size (linear in the schema size), per
-// Section 4. With a nil order it enumerates in the representation's
-// document order; with an order list it enumerates in lexicographic order
-// by those attributes, provided the f-tree supports it (Theorem 2).
-type Enumerator struct {
-	forest  *ftree.Forest
-	roots   []*Union
-	slots   []slot
-	cols    []colRef
-	schema  []string
-	tuple   relation.Tuple
-	started bool
-	done    bool
 }
 
 // colRef locates one output column: the slot producing it and, for
@@ -51,26 +50,29 @@ type colRef struct {
 	fieldIdx int // -1: the value itself; ≥0: vector component
 }
 
-// NewEnumerator creates an enumerator over the representation. order may
-// be nil for document order. It fails if the order is not supported by the
-// f-tree (restructure first — see fops and the engine) or references
-// unknown attributes.
-func NewEnumerator(f *ftree.Forest, roots []*Union, order []OrderSpec) (*Enumerator, error) {
-	if len(roots) != len(f.Roots) {
-		return nil, fmt.Errorf("frep: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
-	}
-	e := &Enumerator{forest: f, roots: roots}
+// enumPlan is the compiled loop structure of an enumeration: slot order,
+// output columns and schema. It is independent of the representation, so
+// both the pointer-based Enumerator and the arena StoreEnumerator are
+// built from it.
+type enumPlan struct {
+	slots  []slotSpec
+	cols   []colRef
+	schema []string
+}
 
-	// Decide the slot (loop nesting) order: order attributes first, then
-	// the remaining nodes in DFS pre-order. Ancestors always precede
-	// descendants (guaranteed by Theorem 2's condition).
+// planEnum compiles the slot (loop nesting) order for full enumeration:
+// order attributes first, then the remaining nodes in DFS pre-order.
+// Ancestors always precede descendants (guaranteed by Theorem 2's
+// condition).
+func planEnum(f *ftree.Forest, order []OrderSpec) (*enumPlan, error) {
+	p := &enumPlan{}
 	slotIdx := map[*ftree.Node]int{}
 	addSlot := func(n *ftree.Node, desc bool) {
 		if _, ok := slotIdx[n]; ok {
 			return
 		}
-		slotIdx[n] = len(e.slots)
-		e.slots = append(e.slots, slot{node: n, desc: desc, parentSlot: -1})
+		slotIdx[n] = len(p.slots)
+		p.slots = append(p.slots, slotSpec{node: n, desc: desc, parentSlot: -1})
 	}
 	if len(order) > 0 {
 		attrs := make([]string, len(order))
@@ -91,40 +93,105 @@ func NewEnumerator(f *ftree.Forest, roots []*Union, order []OrderSpec) (*Enumera
 	for _, n := range f.Nodes() {
 		addSlot(n, false)
 	}
-	// Wire parent/child links and root indices.
+	if err := p.wire(f, slotIdx, false); err != nil {
+		return nil, err
+	}
+	// Output columns in DFS order (same as FlatSchema).
+	for _, n := range f.Nodes() {
+		p.addCols(n, slotIdx[n])
+	}
+	p.schema = FlatSchema(f)
+	return p, nil
+}
+
+// wire fills in parent/child links and root indices for the planned
+// slots. groupMode selects the error message for a slot whose parent has
+// no earlier slot (impossible for full enumeration, a user error for
+// grouping).
+func (p *enumPlan) wire(f *ftree.Forest, slotIdx map[*ftree.Node]int, groupMode bool) error {
 	rootIdx := map[*ftree.Node]int{}
 	for i, r := range f.Roots {
 		rootIdx[r] = i
 	}
-	for i := range e.slots {
-		n := e.slots[i].node
+	for i := range p.slots {
+		n := p.slots[i].node
 		if n.Parent == nil {
-			e.slots[i].rootIdx = rootIdx[n]
-		} else {
-			p := slotIdx[n.Parent]
-			if p >= i {
-				return nil, fmt.Errorf("frep: internal: slot for %s precedes its parent", n.Label())
+			p.slots[i].rootIdx = rootIdx[n]
+			continue
+		}
+		pi, ok := slotIdx[n.Parent]
+		if !ok || pi >= i {
+			if groupMode {
+				return fmt.Errorf("frep: group attribute %s must come after its parent group attribute", n.Label())
 			}
-			e.slots[i].parentSlot = p
-			e.slots[i].childIdx = n.Parent.ChildIndex(n)
+			return fmt.Errorf("frep: internal: slot for %s precedes its parent", n.Label())
+		}
+		p.slots[i].parentSlot = pi
+		p.slots[i].childIdx = n.Parent.ChildIndex(n)
+	}
+	return nil
+}
+
+// addCols appends the output columns contributed by node n (at slot si).
+func (p *enumPlan) addCols(n *ftree.Node, si int) {
+	if n.IsAgg() && len(n.Agg.Fields) > 1 {
+		for fi := range n.Agg.Fields {
+			p.cols = append(p.cols, colRef{slotIdx: si, fieldIdx: fi})
+		}
+	} else {
+		for range NodeColumns(n) {
+			p.cols = append(p.cols, colRef{slotIdx: si, fieldIdx: -1})
 		}
 	}
-	// Output columns in DFS order (same as FlatSchema).
-	for _, n := range f.Nodes() {
-		si := slotIdx[n]
-		if n.IsAgg() && len(n.Agg.Fields) > 1 {
-			for fi := range n.Agg.Fields {
-				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: fi})
-			}
-		} else {
-			for range NodeColumns(n) {
-				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: -1})
-			}
-		}
+}
+
+// slot is one loop of the pointer-based enumeration odometer: its spec
+// plus the current union and position within it.
+type slot struct {
+	slotSpec
+	u   *Union
+	pos int
+}
+
+// Enumerator enumerates the tuples of a factorised representation with
+// delay independent of the data size (linear in the schema size), per
+// Section 4. With a nil order it enumerates in the representation's
+// document order; with an order list it enumerates in lexicographic order
+// by those attributes, provided the f-tree supports it (Theorem 2).
+type Enumerator struct {
+	forest  *ftree.Forest
+	roots   []*Union
+	slots   []slot
+	cols    []colRef
+	schema  []string
+	tuple   relation.Tuple
+	started bool
+	done    bool
+}
+
+// NewEnumerator creates an enumerator over the representation. order may
+// be nil for document order. It fails if the order is not supported by the
+// f-tree (restructure first — see fops and the engine) or references
+// unknown attributes.
+func NewEnumerator(f *ftree.Forest, roots []*Union, order []OrderSpec) (*Enumerator, error) {
+	if len(roots) != len(f.Roots) {
+		return nil, fmt.Errorf("frep: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
 	}
-	e.schema = FlatSchema(f)
-	e.tuple = make(relation.Tuple, len(e.cols))
-	return e, nil
+	p, err := planEnum(f, order)
+	if err != nil {
+		return nil, err
+	}
+	return newEnumeratorFromPlan(f, roots, p), nil
+}
+
+func newEnumeratorFromPlan(f *ftree.Forest, roots []*Union, p *enumPlan) *Enumerator {
+	e := &Enumerator{forest: f, roots: roots, cols: p.cols, schema: p.schema}
+	e.slots = make([]slot, len(p.slots))
+	for i, sp := range p.slots {
+		e.slots[i] = slot{slotSpec: sp}
+	}
+	e.tuple = make(relation.Tuple, len(p.cols))
+	return e
 }
 
 // Schema returns the output column names (FlatSchema of the forest).
@@ -214,44 +281,39 @@ func (e *Enumerator) fill() {
 // clone it to retain.
 func (e *Enumerator) Tuple() relation.Tuple { return e.tuple }
 
-// GroupEnumerator enumerates one tuple per group over the group-by
-// attributes G, computing the aggregation fields over the remaining
-// attributes on the fly (Example 1, scenario 3): the f-tree must support
-// grouping by G (Theorem 1), all non-group subtrees hang below group nodes
-// and are aggregated per group combination without materialising a
-// restructured factorisation.
-type GroupEnumerator struct {
-	inner   *Enumerator // over the group slots only
-	fields  []ftree.AggField
-	schema  []string
-	tuple   relation.Tuple
-	nGroup  int
-	parts   []aggPart
-	carrier []int // per field: index of the part carrying its argument, or -1
-}
-
-// aggPart is one maximal non-group subtree to aggregate: located below a
-// group slot (or at a root), with a compiled evaluator.
-type aggPart struct {
-	parentSlot int // slot index in inner enumerator; -1 for root parts
+// partSpec is the representation-independent description of one maximal
+// non-group subtree to aggregate: where it hangs, which fields its
+// evaluator computes, and how those map back to the output fields.
+type partSpec struct {
+	node       *ftree.Node
+	parentSlot int // slot index in the group enumerator; -1 for root parts
 	rootIdx    int
 	childIdx   int
-	ev         *Evaluator
-	// fieldIdx[i] maps GroupEnumerator field i to the part evaluator's
-	// field index, or -1 when the argument is not in this part.
+	evFields   []ftree.AggField
+	// fieldIdx[i] maps output field i to the part evaluator's field
+	// index, or -1 when the argument is not in this part.
 	fieldIdx []int
 	// countIdx is the index of the count field in the part's evaluator,
 	// or -1 when this part's multiplicity is not needed.
 	countIdx int
-	// last evaluated values and count for the current context.
-	vals  []values.Value
-	count int64
 }
 
-// NewGroupEnumerator builds a grouped enumerator: group attributes g (with
+// groupPlan is the compiled structure of grouped enumeration: the group
+// slots (an enumPlan over group attributes only), the aggregation parts
+// and the field-to-part carrier mapping.
+type groupPlan struct {
+	ep      *enumPlan
+	fields  []ftree.AggField
+	parts   []partSpec
+	carrier []int // per field: part carrying its argument, or -1
+	schema  []string
+	nGroup  int
+}
+
+// planGroupEnum compiles a grouped enumeration: group attributes g (with
 // optional order specs applied to them), aggregation fields over
 // everything else.
-func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields []ftree.AggField) (*GroupEnumerator, error) {
+func planGroupEnum(f *ftree.Forest, g []OrderSpec, fields []ftree.AggField) (*groupPlan, error) {
 	gAttrs := make([]string, len(g))
 	for i, o := range g {
 		gAttrs[i] = o.Attr
@@ -259,10 +321,7 @@ func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields [
 	if len(g) > 0 && !f.SupportsGrouping(gAttrs) {
 		return nil, fmt.Errorf("frep: f-tree does not support constant-delay grouping by %v (Theorem 1)", gAttrs)
 	}
-	// Build a reduced forest view: we reuse Enumerator over the full
-	// forest but with only group slots by constructing a sub-enumerator
-	// manually.
-	ge := &GroupEnumerator{fields: fields}
+	gp := &groupPlan{fields: fields}
 	groupNodes := map[*ftree.Node]bool{}
 	for _, a := range gAttrs {
 		n := f.ResolveAttr(a)
@@ -271,54 +330,28 @@ func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields [
 		}
 		groupNodes[n] = true
 	}
-	// Group slots in the requested order (deduplicated by node), using a
-	// hand-rolled mini enumerator: reuse Enumerator machinery by building
-	// slots directly.
-	e := &Enumerator{forest: f, roots: roots}
+	// Group slots in the requested order (deduplicated by node).
+	ep := &enumPlan{}
 	slotIdx := map[*ftree.Node]int{}
 	for _, o := range g {
 		n := f.ResolveAttr(o.Attr)
 		if _, ok := slotIdx[n]; ok {
 			continue
 		}
-		slotIdx[n] = len(e.slots)
-		e.slots = append(e.slots, slot{node: n, desc: o.Desc, parentSlot: -1})
+		slotIdx[n] = len(ep.slots)
+		ep.slots = append(ep.slots, slotSpec{node: n, desc: o.Desc, parentSlot: -1})
 	}
-	rootIdx := map[*ftree.Node]int{}
-	for i, r := range f.Roots {
-		rootIdx[r] = i
-	}
-	for i := range e.slots {
-		n := e.slots[i].node
-		if n.Parent == nil {
-			e.slots[i].rootIdx = rootIdx[n]
-		} else {
-			p, ok := slotIdx[n.Parent]
-			if !ok || p >= i {
-				return nil, fmt.Errorf("frep: group attribute %s must come after its parent group attribute", n.Label())
-			}
-			e.slots[i].parentSlot = p
-			e.slots[i].childIdx = n.Parent.ChildIndex(n)
-		}
+	if err := ep.wire(f, slotIdx, true); err != nil {
+		return nil, err
 	}
 	// Output columns: group node columns in slot order.
-	for _, s := range e.slots {
-		n := s.node
-		si := slotIdx[n]
-		if n.IsAgg() && len(n.Agg.Fields) > 1 {
-			for fi := range n.Agg.Fields {
-				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: fi})
-			}
-		} else {
-			for range NodeColumns(n) {
-				e.cols = append(e.cols, colRef{slotIdx: si, fieldIdx: -1})
-			}
-		}
-		ge.schema = append(ge.schema, NodeColumns(n)...)
+	for _, sp := range ep.slots {
+		ep.addCols(sp.node, slotIdx[sp.node])
+		gp.schema = append(gp.schema, NodeColumns(sp.node)...)
 	}
-	e.tuple = make(relation.Tuple, len(e.cols))
-	ge.inner = e
-	ge.nGroup = len(ge.schema)
+	ep.schema = append([]string{}, gp.schema...)
+	gp.ep = ep
+	gp.nGroup = len(gp.schema)
 
 	// Aggregation parts: non-group subtrees hanging below group nodes or
 	// at roots. First collect the subtrees, then decide which need a
@@ -336,8 +369,8 @@ func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields [
 			locs = append(locs, partLoc{node: r, parentSlot: -1, rootIdx: i})
 		}
 	}
-	for si := range e.slots {
-		n := e.slots[si].node
+	for si := range ep.slots {
+		n := ep.slots[si].node
 		for ci, c := range n.Children {
 			if !groupNodes[c] {
 				locs = append(locs, partLoc{node: c, parentSlot: si, childIdx: ci})
@@ -394,15 +427,18 @@ func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields [
 		if len(evFields) == 0 {
 			continue // irrelevant part: neither counted nor carrying
 		}
-		ev, err := NewEvaluator(loc.node, evFields)
-		if err != nil {
+		// Compile once here to surface composition errors at plan time;
+		// each enumerator instantiates its own evaluator (evaluators hold
+		// mutable scratch).
+		if _, err := NewEvaluator(loc.node, evFields); err != nil {
 			return nil, err
 		}
-		part := aggPart{
+		part := partSpec{
+			node:       loc.node,
 			parentSlot: loc.parentSlot,
 			rootIdx:    loc.rootIdx,
 			childIdx:   loc.childIdx,
-			ev:         ev,
+			evFields:   evFields,
 			countIdx:   countIdx,
 		}
 		part.fieldIdx = make([]int, len(fields))
@@ -412,21 +448,72 @@ func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields [
 				part.fieldIdx[i] = idxOfField(evFields, fl)
 			}
 		}
-		locToPart[li] = len(ge.parts)
-		ge.parts = append(ge.parts, part)
+		locToPart[li] = len(gp.parts)
+		gp.parts = append(gp.parts, part)
 	}
 	// Per field: which part carries the argument.
-	ge.carrier = make([]int, len(fields))
+	gp.carrier = make([]int, len(fields))
 	for i := range fields {
-		ge.carrier[i] = -1
+		gp.carrier[i] = -1
 		if carrierLoc[i] >= 0 {
-			ge.carrier[i] = locToPart[carrierLoc[i]]
+			gp.carrier[i] = locToPart[carrierLoc[i]]
 		}
 	}
 	for _, fl := range fields {
-		ge.schema = append(ge.schema, fl.String())
+		gp.schema = append(gp.schema, fl.String())
 	}
-	ge.tuple = make(relation.Tuple, len(ge.schema))
+	return gp, nil
+}
+
+// GroupEnumerator enumerates one tuple per group over the group-by
+// attributes G, computing the aggregation fields over the remaining
+// attributes on the fly (Example 1, scenario 3): the f-tree must support
+// grouping by G (Theorem 1), all non-group subtrees hang below group nodes
+// and are aggregated per group combination without materialising a
+// restructured factorisation.
+type GroupEnumerator struct {
+	inner   *Enumerator // over the group slots only
+	fields  []ftree.AggField
+	schema  []string
+	tuple   relation.Tuple
+	nGroup  int
+	parts   []aggPart
+	carrier []int // per field: index of the part carrying its argument, or -1
+}
+
+// aggPart is one maximal non-group subtree to aggregate, with a compiled
+// evaluator and the last evaluated values for the current context.
+type aggPart struct {
+	partSpec
+	ev    *Evaluator
+	vals  []values.Value
+	count int64
+}
+
+// NewGroupEnumerator builds a grouped enumerator: group attributes g (with
+// optional order specs applied to them), aggregation fields over
+// everything else.
+func NewGroupEnumerator(f *ftree.Forest, roots []*Union, g []OrderSpec, fields []ftree.AggField) (*GroupEnumerator, error) {
+	gp, err := planGroupEnum(f, g, fields)
+	if err != nil {
+		return nil, err
+	}
+	ge := &GroupEnumerator{
+		inner:   newEnumeratorFromPlan(f, roots, gp.ep),
+		fields:  fields,
+		schema:  gp.schema,
+		nGroup:  gp.nGroup,
+		carrier: gp.carrier,
+	}
+	ge.parts = make([]aggPart, len(gp.parts))
+	for i, ps := range gp.parts {
+		ev, err := NewEvaluator(ps.node, ps.evFields)
+		if err != nil {
+			return nil, err
+		}
+		ge.parts[i] = aggPart{partSpec: ps, ev: ev}
+	}
+	ge.tuple = make(relation.Tuple, len(gp.schema))
 	return ge, nil
 }
 
@@ -485,39 +572,43 @@ func (g *GroupEnumerator) evalParts() error {
 }
 
 func (g *GroupEnumerator) fillAggs() {
-	for i, fl := range g.fields {
-		var out values.Value
+	fillAggTuple(g.tuple[g.nGroup:], g.fields, g.carrier, len(g.parts),
+		func(pi int) int64 { return g.parts[pi].count },
+		func(pi, fi int) values.Value { return g.parts[pi].vals[g.parts[pi].fieldIdx[fi]] })
+}
+
+// fillAggTuple assembles the aggregate output fields from per-part counts
+// and values; shared by the pointer-based and arena group enumerators.
+func fillAggTuple(out relation.Tuple, fields []ftree.AggField, carrier []int, nParts int,
+	count func(pi int) int64, val func(pi, fi int) values.Value) {
+	for i, fl := range fields {
+		var o values.Value
 		switch fl.Fn {
 		case ftree.Count:
 			total := int64(1)
-			for pi := range g.parts {
-				total *= g.parts[pi].count
+			for pi := 0; pi < nParts; pi++ {
+				total *= count(pi)
 			}
-			if len(g.parts) == 0 {
-				total = 1
-			}
-			out = values.NewInt(total)
+			o = values.NewInt(total)
 		case ftree.Sum:
-			p := &g.parts[g.carrier[i]]
-			v := p.vals[p.fieldIdx[i]]
+			v := val(carrier[i], i)
 			if v.IsNull() {
-				out = values.NullValue()
+				o = values.NullValue()
 				break
 			}
 			mult := int64(1)
-			for pi := range g.parts {
-				if pi != g.carrier[i] {
-					mult *= g.parts[pi].count
+			for pi := 0; pi < nParts; pi++ {
+				if pi != carrier[i] {
+					mult *= count(pi)
 				}
 			}
-			out = values.MulInt(v, mult)
+			o = values.MulInt(v, mult)
 		case ftree.Min, ftree.Max:
-			p := &g.parts[g.carrier[i]]
-			out = p.vals[p.fieldIdx[i]]
+			o = val(carrier[i], i)
 			// If any sibling part is empty the group has no tuples; only
 			// possible at top level, where count 0 already signals it.
 		}
-		g.tuple[g.nGroup+i] = out
+		out[i] = o
 	}
 }
 

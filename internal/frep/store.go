@@ -1,0 +1,453 @@
+package frep
+
+// This file implements the arena-backed factorised store: all unions of
+// a forest live in three contiguous slabs — node headers, a flat value
+// slab and a flat child-reference slab — instead of one heap object per
+// union linked by pointers. Children are addressed by uint32 node
+// indices, so a whole forest clones with three slab copies, snapshots in
+// O(1), and traversals walk dense arrays instead of chasing pointers.
+// The pointer-based Union remains as a compatibility view (FromUnion /
+// ToUnion) so old and new representations can be diffed.
+//
+// A Store is append-only: nodes are immutable once added, and operators
+// derive new representations by appending nodes that reference existing
+// ones (structure sharing, exactly like the copy-on-write of the legacy
+// representation, but without per-node allocation).
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// NodeID addresses one union node within a Store.
+type NodeID uint32
+
+// EmptyNode is the canonical empty union; it is present in every Store
+// and shared by all arities (an empty union has no values and therefore
+// no kid rows).
+const EmptyNode NodeID = 0
+
+// nodeHdr is one union's header: its value range in the value slab, its
+// kid-reference range in the kid slab, and its arity (kid references per
+// value; 0 for f-tree leaves).
+type nodeHdr struct {
+	valOff uint32
+	kidOff uint32
+	nVals  uint32
+	arity  uint32
+}
+
+// Store holds the unions of one or more forests in contiguous slabs.
+// It is append-only; nodes are immutable once added. A Store must not
+// be appended to concurrently, but any number of goroutines may read it
+// (or append to private Snapshots of it) in parallel.
+type Store struct {
+	nodes []nodeHdr
+	vals  []values.Value
+	kids  []NodeID
+}
+
+// NewStore returns an empty store containing only the canonical empty
+// union node.
+func NewStore() *Store {
+	return &Store{nodes: make([]nodeHdr, 1, 64)}
+}
+
+// Reset truncates the store back to only the empty node, keeping slab
+// capacity for reuse (the engine pools stores across queries). The value
+// slab is cleared so pooled stores do not pin string or vector memory.
+func (s *Store) Reset() {
+	clear(s.vals[:cap(s.vals)])
+	s.nodes = append(s.nodes[:0], nodeHdr{})
+	s.vals = s.vals[:0]
+	s.kids = s.kids[:0]
+}
+
+// Len returns the number of values in union id.
+func (s *Store) Len(id NodeID) int { return int(s.nodes[id].nVals) }
+
+// Arity returns the number of child references per value of union id.
+func (s *Store) Arity(id NodeID) int { return int(s.nodes[id].arity) }
+
+// Vals returns the value slice of union id as a view into the value
+// slab. The caller must not modify it.
+func (s *Store) Vals(id NodeID) []values.Value {
+	h := &s.nodes[id]
+	return s.vals[h.valOff : h.valOff+h.nVals : h.valOff+h.nVals]
+}
+
+// Val returns value i of union id.
+func (s *Store) Val(id NodeID, i int) values.Value {
+	h := &s.nodes[id]
+	return s.vals[h.valOff+uint32(i)]
+}
+
+// KidRow returns the child references for value i of union id as a view
+// into the kid slab. The caller must not modify it.
+func (s *Store) KidRow(id NodeID, i int) []NodeID {
+	h := &s.nodes[id]
+	off := h.kidOff + uint32(i)*h.arity
+	return s.kids[off : off+h.arity : off+h.arity]
+}
+
+// Kid returns the j-th child reference of value i of union id.
+func (s *Store) Kid(id NodeID, i, j int) NodeID {
+	h := &s.nodes[id]
+	return s.kids[h.kidOff+uint32(i)*h.arity+uint32(j)]
+}
+
+// NodeCount returns the number of nodes in the store (including the
+// empty node).
+func (s *Store) NodeCount() int { return len(s.nodes) }
+
+// MemStats reports the slab sizes, for diagnostics.
+func (s *Store) MemStats() (nodes, vals, kids int) {
+	return len(s.nodes), len(s.vals), len(s.kids)
+}
+
+// Add appends a union node holding the given sorted values; kids holds
+// the concatenated child rows (arity references per value, value-major)
+// and must have length len(vals)*arity. Both slices are copied into the
+// slabs, so callers may reuse their scratch. An empty vals returns
+// EmptyNode. Add panics on malformed input or on slab overflow (more
+// than 2³²−1 entries) — both are programming errors, not data errors.
+func (s *Store) Add(vals []values.Value, arity int, kids []NodeID) NodeID {
+	if len(vals) == 0 {
+		return EmptyNode
+	}
+	if len(kids) != len(vals)*arity {
+		panic(fmt.Sprintf("frep: Store.Add: %d kid refs for %d values × arity %d", len(kids), len(vals), arity))
+	}
+	if len(s.nodes) >= math.MaxUint32 ||
+		len(s.vals)+len(vals) > math.MaxUint32 ||
+		len(s.kids)+len(kids) > math.MaxUint32 {
+		panic("frep: Store slab overflow (2^32 entries)")
+	}
+	id := NodeID(len(s.nodes))
+	s.nodes = append(s.nodes, nodeHdr{
+		valOff: uint32(len(s.vals)),
+		kidOff: uint32(len(s.kids)),
+		nVals:  uint32(len(vals)),
+		arity:  uint32(arity),
+	})
+	s.vals = append(s.vals, vals...)
+	s.kids = append(s.kids, kids...)
+	return id
+}
+
+// AddLeaf appends a leaf union (arity 0) holding the given sorted
+// values.
+func (s *Store) AddLeaf(vals []values.Value) NodeID { return s.Add(vals, 0, nil) }
+
+// Clone returns a deep copy of the store: three slab copies, regardless
+// of how many nodes it holds.
+func (s *Store) Clone() *Store {
+	out := &Store{}
+	s.CloneInto(out)
+	return out
+}
+
+// CloneInto copies the store's slabs into dst, reusing dst's capacity
+// (dst typically comes from a sync.Pool).
+func (s *Store) CloneInto(dst *Store) {
+	dst.nodes = append(dst.nodes[:0], s.nodes...)
+	dst.vals = append(dst.vals[:0], s.vals...)
+	dst.kids = append(dst.kids[:0], s.kids...)
+}
+
+// Snapshot returns an O(1) immutable view of the store's current
+// contents. Both the original and the snapshot may continue to append
+// independently: the snapshot's slices are capacity-clamped, so the
+// first append to either side copies out of the shared backing arrays
+// instead of writing into them. Because nodes are never mutated in
+// place, a snapshot is safe to read (and grow) from other goroutines
+// while the original keeps appending.
+func (s *Store) Snapshot() *Store {
+	return &Store{
+		nodes: s.nodes[:len(s.nodes):len(s.nodes)],
+		vals:  s.vals[:len(s.vals):len(s.vals)],
+		kids:  s.kids[:len(s.kids):len(s.kids)],
+	}
+}
+
+// Graft appends the contents of other into s and returns a remapping
+// function from other's node ids to s's. Used by Product when the two
+// factorised relations live in different stores. other is unchanged.
+func (s *Store) Graft(other *Store) func(NodeID) NodeID {
+	if len(s.nodes)+len(other.nodes) > math.MaxUint32 ||
+		len(s.vals)+len(other.vals) > math.MaxUint32 ||
+		len(s.kids)+len(other.kids) > math.MaxUint32 {
+		panic("frep: Store slab overflow (2^32 entries)")
+	}
+	nodeBase := uint32(len(s.nodes))
+	valBase := uint32(len(s.vals))
+	kidBase := uint32(len(s.kids))
+	remap := func(id NodeID) NodeID {
+		if id == EmptyNode {
+			return EmptyNode
+		}
+		return NodeID(uint32(id) - 1 + nodeBase)
+	}
+	for _, h := range other.nodes[1:] {
+		s.nodes = append(s.nodes, nodeHdr{
+			valOff: h.valOff + valBase,
+			kidOff: h.kidOff + kidBase,
+			nVals:  h.nVals,
+			arity:  h.arity,
+		})
+	}
+	s.vals = append(s.vals, other.vals...)
+	for _, k := range other.kids {
+		s.kids = append(s.kids, remap(k))
+	}
+	return remap
+}
+
+// FromUnion copies a legacy pointer-based union into the store and
+// returns its node id. Children are added before their parents so every
+// kid reference points backwards.
+func (s *Store) FromUnion(u *Union) NodeID {
+	if u.IsEmpty() {
+		return EmptyNode
+	}
+	arity := 0
+	if len(u.Kids) > 0 {
+		arity = len(u.Kids[0])
+	}
+	var kids []NodeID
+	if arity > 0 {
+		kids = make([]NodeID, 0, len(u.Vals)*arity)
+		for i := range u.Vals {
+			for _, k := range u.Kids[i] {
+				kids = append(kids, s.FromUnion(k))
+			}
+		}
+	}
+	return s.Add(u.Vals, arity, kids)
+}
+
+// FromUnions copies a legacy forest representation into the store.
+func (s *Store) FromUnions(roots []*Union) []NodeID {
+	out := make([]NodeID, len(roots))
+	for i, r := range roots {
+		out[i] = s.FromUnion(r)
+	}
+	return out
+}
+
+// ToUnion materialises the legacy pointer-based view of union id.
+func (s *Store) ToUnion(id NodeID) *Union {
+	n := s.Len(id)
+	out := &Union{Vals: make([]values.Value, n)}
+	copy(out.Vals, s.Vals(id))
+	if s.Arity(id) > 0 {
+		out.Kids = make([][]*Union, n)
+		for i := 0; i < n; i++ {
+			row := s.KidRow(id, i)
+			kr := make([]*Union, len(row))
+			for j, k := range row {
+				kr[j] = s.ToUnion(k)
+			}
+			out.Kids[i] = kr
+		}
+	}
+	return out
+}
+
+// ToUnions materialises the legacy view of a forest representation.
+func (s *Store) ToUnions(roots []NodeID) []*Union {
+	out := make([]*Union, len(roots))
+	for i, r := range roots {
+		out[i] = s.ToUnion(r)
+	}
+	return out
+}
+
+// CountPlain returns the cardinality of the relation represented by
+// union id, treating every node as holding plain values (the arena
+// counterpart of the package-level CountPlain).
+func (s *Store) CountPlain(id NodeID) int64 {
+	n := s.Len(id)
+	if s.Arity(id) == 0 {
+		return int64(n)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		prod := int64(1)
+		for _, k := range s.KidRow(id, i) {
+			prod *= s.CountPlain(k)
+		}
+		total += prod
+	}
+	return total
+}
+
+// Singletons returns the number of singletons below union id — the
+// paper's size measure.
+func (s *Store) Singletons(id NodeID) int {
+	n := s.Len(id)
+	for i := 0; i < s.Len(id); i++ {
+		for _, k := range s.KidRow(id, i) {
+			n += s.Singletons(k)
+		}
+	}
+	return n
+}
+
+// SingletonsAll sums Singletons over a forest representation.
+func (s *Store) SingletonsAll(roots []NodeID) int {
+	n := 0
+	for _, r := range roots {
+		n += s.Singletons(r)
+	}
+	return n
+}
+
+// EqualStore reports deep structural equality of union x in store a and
+// union y in store b.
+func EqualStore(a *Store, x NodeID, b *Store, y NodeID) bool {
+	if a == b && x == y {
+		return true
+	}
+	if a.Len(x) != b.Len(y) {
+		return false
+	}
+	av, bv := a.Vals(x), b.Vals(y)
+	for i := range av {
+		if values.Compare(av[i], bv[i]) != 0 {
+			return false
+		}
+	}
+	if a.Arity(x) != b.Arity(y) {
+		return false
+	}
+	for i := 0; i < a.Len(x); i++ {
+		ar, br := a.KidRow(x, i), b.KidRow(y, i)
+		for j := range ar {
+			if !EqualStore(a, ar[j], b, br[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualStoreUnion reports structural equality between an arena union and
+// a legacy pointer-based union, with the same leniency about explicit
+// empty kid rows as Equal.
+func EqualStoreUnion(s *Store, id NodeID, u *Union) bool {
+	if s.Len(id) != len(u.Vals) {
+		return false
+	}
+	sv := s.Vals(id)
+	for i := range sv {
+		if values.Compare(sv[i], u.Vals[i]) != 0 {
+			return false
+		}
+	}
+	for i := 0; i < s.Len(id); i++ {
+		row := s.KidRow(id, i)
+		ur := u.KidsAt(i)
+		if len(row) != len(ur) {
+			return false
+		}
+		for j := range row {
+			if !EqualStoreUnion(s, row[j], ur[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckStoreInvariants verifies the representation invariants of union
+// id against f-tree node n: values strictly ascending, arity equal to
+// the node's child count, and no empty unions below the top level.
+func CheckStoreInvariants(n *ftree.Node, s *Store, id NodeID) error {
+	return checkStoreInv(n, s, id, true)
+}
+
+func checkStoreInv(n *ftree.Node, s *Store, id NodeID, top bool) error {
+	if !top && s.Len(id) == 0 {
+		return fmt.Errorf("frep: empty union below top level at node %s", n.Label())
+	}
+	vals := s.Vals(id)
+	for i := 1; i < len(vals); i++ {
+		if values.Compare(vals[i-1], vals[i]) >= 0 {
+			return fmt.Errorf("frep: values not strictly ascending at node %s: %v ≥ %v",
+				n.Label(), vals[i-1], vals[i])
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	if s.Arity(id) != len(n.Children) {
+		return fmt.Errorf("frep: node %s has arity %d, want %d children", n.Label(), s.Arity(id), len(n.Children))
+	}
+	for i := range vals {
+		row := s.KidRow(id, i)
+		for j, k := range row {
+			if err := checkStoreInv(n.Children[j], s, k, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckStoreInvariantsAll verifies a forest representation in the store.
+func CheckStoreInvariantsAll(f *ftree.Forest, s *Store, roots []NodeID) error {
+	if len(roots) != len(f.Roots) {
+		return fmt.Errorf("frep: %d root unions for %d f-tree roots", len(roots), len(f.Roots))
+	}
+	for i, r := range f.Roots {
+		if err := CheckStoreInvariants(r, s, roots[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnionBuilder accumulates (value, kid-row) pairs in ascending value
+// order and writes them out as one union node. Its scratch buffers are
+// reused across Finish calls, so a builder local to an operator loop
+// allocates only on high-water-mark growth.
+type UnionBuilder struct {
+	s     *Store
+	arity int
+	vals  []values.Value
+	kids  []NodeID
+}
+
+// Reset points the builder at a store and arity, discarding any
+// accumulated state but keeping scratch capacity.
+func (b *UnionBuilder) Reset(s *Store, arity int) {
+	b.s = s
+	b.arity = arity
+	b.vals = b.vals[:0]
+	b.kids = b.kids[:0]
+}
+
+// Append adds one value and its kid row (which must have length arity;
+// nil for arity 0). Values must be appended in strictly ascending order;
+// the builder does not re-sort.
+func (b *UnionBuilder) Append(v values.Value, row []NodeID) {
+	b.vals = append(b.vals, v)
+	b.kids = append(b.kids, row...)
+}
+
+// Len returns the number of values appended since the last Reset or
+// Finish.
+func (b *UnionBuilder) Len() int { return len(b.vals) }
+
+// Finish writes the accumulated union into the store and resets the
+// builder for the next union (same store and arity).
+func (b *UnionBuilder) Finish() NodeID {
+	id := b.s.Add(b.vals, b.arity, b.kids)
+	b.vals = b.vals[:0]
+	b.kids = b.kids[:0]
+	return id
+}

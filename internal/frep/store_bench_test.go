@@ -1,0 +1,247 @@
+package frep
+
+// Paired legacy/arena benchmarks for the acceptance criteria of the
+// arena refactor: count, aggregate and enumeration with -benchmem must
+// show the arena representation allocating far less (≥5×) than the
+// pointer-based one. Each pair measures the same per-query work: the
+// legacy side builds pointer-linked unions, the arena side reuses one
+// pooled store across iterations (exactly what engine.Exec does).
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+const benchN = 20000
+
+func benchStoreRep(b *testing.B, n int) (*ftree.Forest, *Store, []NodeID) {
+	b.Helper()
+	rel := benchRelation(n)
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	s := NewStore()
+	roots, err := BuildStoreUnchecked(s, rel, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, s, roots
+}
+
+// BenchmarkRepBuild factorises the benchmark relation from scratch per
+// iteration — the base-relation step of every Exec.
+func BenchmarkRepBuild(b *testing.B) {
+	rel := benchRelation(benchN)
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildUnchecked(rel, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewStore()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			if _, err := BuildStoreUnchecked(s, rel, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRepCount builds the representation and runs the Section 3.2
+// count algorithm — the paper's COUNT(*) path.
+func BenchmarkRepCount(b *testing.B) {
+	rel := benchRelation(benchN)
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			roots, err := BuildUnchecked(rel, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Count(f.Roots[0], roots[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewStore()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			roots, err := BuildStoreUnchecked(s, rel, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := CountStore(f.Roots[0], s, roots[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRepAggregate runs grouped aggregation (ϖ_{a; count, sum(c)})
+// over prebuilt representations: the legacy group enumerator allocates
+// per group, the arena one evaluates into reused buffers.
+func BenchmarkRepAggregate(b *testing.B) {
+	fl, legacy := benchFRep(b, benchN)
+	fs, s, roots := benchStoreRep(b, benchN)
+	g := []OrderSpec{{Attr: "a"}}
+	fields := []ftree.AggField{{Fn: ftree.Count}, {Fn: ftree.Sum, Arg: "c"}}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ge, err := NewGroupEnumerator(fl, legacy, g, fields)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				ok, err := ge.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ge, err := NewStoreGroupEnumerator(fs, s, roots, g, fields)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				ok, err := ge.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRepEnumerate builds the representation and enumerates every
+// tuple — the SPJ per-query path (build, then ordered output).
+func BenchmarkRepEnumerate(b *testing.B) {
+	rel := benchRelation(benchN)
+	f := ftree.New()
+	f.NewRelationPath("a", "b", "c")
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			roots, err := BuildUnchecked(rel, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewEnumerator(f, roots, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for e.Next() {
+				total++
+			}
+		}
+		_ = total
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewStore()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			roots, err := BuildStoreUnchecked(s, rel, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewStoreEnumerator(f, s, roots, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for e.Next() {
+				total++
+			}
+		}
+		_ = total
+	})
+}
+
+// BenchmarkRepSnapshot measures what a concurrent reader pays to get a
+// private copy of a whole forest: a deep pointer clone versus a slab
+// clone versus an O(1) snapshot.
+func BenchmarkRepSnapshot(b *testing.B) {
+	_, legacy := benchFRep(b, benchN)
+	_, s, _ := benchStoreRep(b, benchN)
+	b.Run("legacy-deep-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = CloneAll(legacy)
+		}
+	})
+	b.Run("arena-slab-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Clone()
+		}
+	})
+	b.Run("arena-snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Snapshot()
+		}
+	})
+}
+
+// BenchmarkRepEvaluator measures steady-state composite aggregation over
+// prebuilt representations (no construction).
+func BenchmarkRepEvaluator(b *testing.B) {
+	fl, legacy := benchFRep(b, benchN)
+	fs, s, roots := benchStoreRep(b, benchN)
+	fields := []ftree.AggField{
+		{Fn: ftree.Count},
+		{Fn: ftree.Sum, Arg: "c"},
+		{Fn: ftree.Min, Arg: "c"},
+	}
+	out := make([]values.Value, len(fields))
+	b.Run("legacy", func(b *testing.B) {
+		ev, err := NewEvaluator(fl.Roots[0], fields)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.EvalInto(legacy[0], out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		ev, err := NewEvaluator(fs.Roots[0], fields)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.EvalStoreInto(s, roots[0], out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

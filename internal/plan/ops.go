@@ -19,7 +19,7 @@ import (
 // the planning-time tree, and simulated on bare f-trees for costing.
 type Op interface {
 	// Apply executes the operator on a factorised relation.
-	Apply(fr *fops.FRel) error
+	Apply(fr fops.Rel) error
 	// ApplyTree simulates the operator's f-tree effect (for planning).
 	ApplyTree(t *ftree.Forest) error
 	// String renders the operator.
@@ -31,7 +31,7 @@ type Op interface {
 type SwapOp struct{ Attr string }
 
 // Apply implements Op.
-func (o SwapOp) Apply(fr *fops.FRel) error { return fr.Swap(o.Attr) }
+func (o SwapOp) Apply(fr fops.Rel) error { return fr.Swap(o.Attr) }
 
 // ApplyTree implements Op.
 func (o SwapOp) ApplyTree(t *ftree.Forest) error {
@@ -53,7 +53,7 @@ func (o SwapOp) String() string { return "χ(" + o.Attr + ")" }
 type MergeOp struct{ A, B string }
 
 // Apply implements Op.
-func (o MergeOp) Apply(fr *fops.FRel) error { return fr.Merge(o.A, o.B) }
+func (o MergeOp) Apply(fr fops.Rel) error { return fr.Merge(o.A, o.B) }
 
 // ApplyTree implements Op.
 func (o MergeOp) ApplyTree(t *ftree.Forest) error {
@@ -79,7 +79,7 @@ func (o MergeOp) String() string { return "merge(" + o.A + "=" + o.B + ")" }
 type AbsorbOp struct{ Anc, Desc string }
 
 // Apply implements Op.
-func (o AbsorbOp) Apply(fr *fops.FRel) error { return fr.Absorb(o.Anc, o.Desc) }
+func (o AbsorbOp) Apply(fr fops.Rel) error { return fr.Absorb(o.Anc, o.Desc) }
 
 // ApplyTree implements Op.
 func (o AbsorbOp) ApplyTree(t *ftree.Forest) error {
@@ -109,7 +109,7 @@ type SelectConstOp struct {
 }
 
 // Apply implements Op.
-func (o SelectConstOp) Apply(fr *fops.FRel) error {
+func (o SelectConstOp) Apply(fr fops.Rel) error {
 	return fr.SelectConst(o.Attr, o.Cmp, o.Const)
 }
 
@@ -133,7 +133,7 @@ type GammaOp struct {
 }
 
 // Apply implements Op.
-func (o GammaOp) Apply(fr *fops.FRel) error { return fr.Gamma(o.Attr, o.Fields) }
+func (o GammaOp) Apply(fr fops.Rel) error { return fr.Gamma(o.Attr, o.Fields) }
 
 // ApplyTree implements Op.
 func (o GammaOp) ApplyTree(t *ftree.Forest) error {
@@ -164,7 +164,7 @@ func (o GammaOp) String() string {
 type RemoveOp struct{ Attr string }
 
 // Apply implements Op.
-func (o RemoveOp) Apply(fr *fops.FRel) error { return fr.RemoveLeaf(o.Attr) }
+func (o RemoveOp) Apply(fr fops.Rel) error { return fr.RemoveLeaf(o.Attr) }
 
 // ApplyTree implements Op.
 func (o RemoveOp) ApplyTree(t *ftree.Forest) error {
@@ -186,7 +186,7 @@ func (o RemoveOp) String() string { return "π- (" + o.Attr + ")" }
 type RenameOp struct{ From, To string }
 
 // Apply implements Op.
-func (o RenameOp) Apply(fr *fops.FRel) error { return fr.Rename(o.From, o.To) }
+func (o RenameOp) Apply(fr fops.Rel) error { return fr.Rename(o.From, o.To) }
 
 // ApplyTree implements Op.
 func (o RenameOp) ApplyTree(t *ftree.Forest) error {
@@ -219,7 +219,7 @@ type Plan struct {
 
 // Execute applies the plan's operators to the factorised relation in
 // order.
-func (p *Plan) Execute(fr *fops.FRel) error {
+func (p *Plan) Execute(fr fops.Rel) error {
 	for _, op := range p.Ops {
 		if err := op.Apply(fr); err != nil {
 			return fmt.Errorf("plan: executing %s: %w", op, err)

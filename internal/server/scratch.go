@@ -1,0 +1,57 @@
+package server
+
+import (
+	"slices"
+	"sync"
+)
+
+// rowScratch is the per-query response-building scratch: the rows slice
+// and one flat cell arena that individual rows are sliced from. Both
+// are recycled through a sync.Pool so the steady-state query path does
+// not allocate a fresh buffer per row.
+//
+// Rows are handed out as sub-slices of cells; when cells grows past its
+// capacity the earlier rows keep pointing into the previous backing
+// array, which stays valid — growth only costs the reuse of that one
+// request's spill, not correctness.
+type rowScratch struct {
+	rows  [][]any
+	cells []any
+}
+
+// row returns a fresh w-wide row backed by the cell arena. The caller
+// collects rows into a slice seeded with sc.rows[:0] and writes it back
+// to sc.rows afterwards, so the pool retains the grown capacity.
+func (sc *rowScratch) row(w int) []any {
+	n := len(sc.cells)
+	sc.cells = slices.Grow(sc.cells, w)[:n+w]
+	return sc.cells[n : n+w : n+w]
+}
+
+// maxPooledCells bounds how much cell memory a pooled scratch may pin
+// between requests; larger buffers are dropped for the GC.
+const maxPooledCells = 1 << 16
+
+var scratchPool = sync.Pool{New: func() any { return &rowScratch{} }}
+
+func getScratch() *rowScratch {
+	sc := scratchPool.Get().(*rowScratch)
+	if sc.rows == nil {
+		// Non-nil so an empty result encodes as [] rather than null.
+		sc.rows = make([][]any, 0, 16)
+	}
+	sc.rows = sc.rows[:0]
+	sc.cells = sc.cells[:0]
+	return sc
+}
+
+// putScratch returns the scratch to the pool after the response has been
+// encoded. Cells are cleared so pooled buffers do not pin row values.
+func putScratch(sc *rowScratch) {
+	if cap(sc.cells) > maxPooledCells {
+		return
+	}
+	clear(sc.cells[:cap(sc.cells)])
+	clear(sc.rows[:cap(sc.rows)])
+	scratchPool.Put(sc)
+}

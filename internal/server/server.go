@@ -6,13 +6,19 @@
 // The hot path is lock-free with respect to the data: base relations are
 // never mutated, f-plan operators build new factorisation structure
 // rather than rewriting inputs, and every request enumerates its own
-// result, so any number of readers can share one store. The only shared
-// mutable state is the per-database LRU plan cache (package cache),
-// which maps normalised SQL text to prepared plans so repeated queries
-// skip parsing, path-order search and f-plan optimisation, and the
-// metrics window behind /stats. A bounded worker pool (Config.Workers)
-// caps the number of queries executing simultaneously; excess requests
-// wait for a slot or give up when their context is cancelled.
+// result, so any number of readers can share one store. Each cached
+// plan keeps an immutable arena-store snapshot of its factorised base
+// relations (Prepared.ExecShared); a query starts from a slab copy of
+// that snapshot in a pooled store and returns it when done
+// (Result.Close), and response row buffers likewise come from a
+// sync.Pool — so the steady-state query path allocates only on
+// high-water-mark growth. The only shared mutable state is the
+// per-database LRU plan cache (package cache), which maps normalised
+// SQL text to prepared plans so repeated queries skip parsing,
+// path-order search and f-plan optimisation, and the metrics window
+// behind /stats. A bounded worker pool (Config.Workers) caps the number
+// of queries executing simultaneously; excess requests wait for a slot
+// or give up when their context is cancelled.
 //
 // Endpoints:
 //
@@ -184,36 +190,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Per-query response scratch comes from a pool; it is released only
+	// after the response has been encoded, since the rows alias it.
+	sc := getScratch()
 	start := time.Now()
-	resp, err := s.runQuery(d, req.SQL)
+	resp, err := s.runQuery(d, req.SQL, sc)
 	elapsed := time.Since(start)
 	s.met.record(elapsed, err != nil)
 	if err != nil {
+		putScratch(sc)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	resp.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)
+	putScratch(sc)
 }
 
 // runQuery resolves the plan (through the cache) and enumerates the
-// result into a response.
-func (s *Server) runQuery(d *database, sqlText string) (*QueryResponse, error) {
+// result into a response whose rows are backed by the pooled scratch.
+//
+// Execution goes through ExecShared: the server's relations are
+// immutable by contract, so each cached plan keeps an arena-store
+// snapshot of its factorised base relations and every query starts from
+// a slab copy of it instead of re-sorting the base data. The copy lives
+// in a pooled store that Result.Close recycles after enumeration.
+func (s *Server) runQuery(d *database, sqlText string, sc *rowScratch) (*QueryResponse, error) {
 	prep, cached, err := s.prepared(d, sqlText)
 	if err != nil {
 		return nil, err
 	}
-	res, err := prep.Exec(d.db)
+	res, err := prep.ExecShared(d.db)
 	if err != nil {
 		return nil, err
 	}
-	resp := &QueryResponse{Columns: res.Schema(), Cached: cached, Rows: [][]any{}}
+	defer res.Close()
+	resp := &QueryResponse{Columns: res.Schema(), Cached: cached, Rows: sc.rows[:0]}
 	err = res.ForEach(func(t fdb.Tuple) bool {
 		if s.maxRows > 0 && len(resp.Rows) >= s.maxRows {
 			resp.Truncated = true
 			return false
 		}
-		row := make([]any, len(t))
+		row := sc.row(len(t))
 		for i, v := range t {
 			row[i] = valueJSON(v)
 		}
@@ -223,6 +241,7 @@ func (s *Server) runQuery(d *database, sqlText string) (*QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc.rows = resp.Rows
 	resp.RowCount = len(resp.Rows)
 	return resp, nil
 }

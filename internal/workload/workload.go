@@ -207,6 +207,46 @@ func (d *Dataset) FactorisedR1() (*fops.FRel, error) {
 	return fr, nil
 }
 
+// FactorisedR1Arena materialises the view R1 over the paper's f-tree T
+// in an arena store (the counterpart of FactorisedR1 built with
+// arena-to-arena operators).
+func (d *Dataset) FactorisedR1Arena() (*fops.ARel, error) {
+	s := frep.NewStore()
+	f := ftree.New()
+	var roots []frep.NodeID
+	add := func(rel *relation.Relation, attrs ...string) error {
+		f.NewRelationPath(attrs...)
+		sub := ftree.New()
+		sub.NewRelationPath(attrs...)
+		rs, err := frep.BuildStoreUnchecked(s, rel, sub)
+		if err != nil {
+			return err
+		}
+		roots = append(roots, rs[0])
+		return nil
+	}
+	if err := add(d.Orders, "package", "date", "customer"); err != nil {
+		return nil, err
+	}
+	if err := add(d.Packages, "item", "package2"); err != nil {
+		return nil, err
+	}
+	if err := add(d.Items, "item2", "price"); err != nil {
+		return nil, err
+	}
+	ar := &fops.ARel{Tree: f, Store: s, Roots: roots}
+	if err := ar.Merge("item", "item2"); err != nil {
+		return nil, err
+	}
+	if err := ar.Swap("package2"); err != nil {
+		return nil, err
+	}
+	if err := ar.Merge("package2", "package"); err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
 // FlatR1 materialises the flat view R1 (for the relational baseline),
 // projecting away the duplicate join columns. This is O(|R1|) memory —
 // 256·s⁴ tuples — so keep the scale modest.
@@ -259,6 +299,13 @@ func (d *Dataset) FactorisedR3() (*fops.FRel, error) {
 	f := ftree.New()
 	f.NewRelationPath("date", "customer", "package")
 	return fops.FromRelationUnchecked(d.Orders, f)
+}
+
+// FactorisedR3Arena is FactorisedR3 in an arena store.
+func (d *Dataset) FactorisedR3Arena() (*fops.ARel, error) {
+	f := ftree.New()
+	f.NewRelationPath("date", "customer", "package")
+	return fops.FromRelationStoreUnchecked(frep.NewStore(), d.Orders, f)
 }
 
 // SizeReport holds the representation sizes at one scale (the paper's
