@@ -15,6 +15,11 @@
 // and the plan-cache hit rate are reported per concurrency level:
 //
 //	fdbbench -exp http -scale 2 -httpclients 16 -httprequests 2000
+//
+// "stream" compares the buffered /query transport against NDJSON
+// streaming off the engine cursor (rows/sec and time-to-first-row):
+//
+//	fdbbench -exp stream -scale 4 -json   # writes BENCH_stream.json
 package main
 
 import (
@@ -123,7 +128,7 @@ func (b *bench) flushJSON(exp string) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -146,14 +151,14 @@ func main() {
 	run := map[string]func(){
 		"size": b.expSize, "fig4": b.expFig4, "fig5": b.expFig5,
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
-		"ablation": b.expAblation, "http": b.expHTTP,
+		"ablation": b.expAblation, "http": b.expHTTP, "stream": b.expStream,
 	}
 	doOne := func(name string, fn func()) {
 		fn()
 		b.flushJSON(name)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http"} {
+		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream"} {
 			doOne(name, run[name])
 		}
 		return

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/server"
+)
+
+// streamStatement is the workload for the streaming experiment: a
+// fully-ordered scan of the Orders relation, large enough that the
+// difference between buffering the response and streaming it off the
+// cursor is visible in both time-to-first-row and peak memory.
+const streamStatement = `SELECT customer, date, package FROM Orders ORDER BY customer, date, package`
+
+// streamPoint is one measured transport: full-stream throughput and
+// the latency until the first row was available to the client.
+type streamPoint struct {
+	rows       int
+	total      time.Duration
+	firstRow   time.Duration
+	rowsPerSec float64
+}
+
+// expStream compares the buffered JSON transport against NDJSON
+// streaming on the same statement and server: requests go over real
+// HTTP to an in-process fdbserver, and for each transport the client
+// measures time-to-first-row and rows/sec (medians over -reps runs).
+func (b *bench) expStream() {
+	header(fmt.Sprintf("Streaming: buffered /query vs NDJSON off the cursor (scale %d)", b.scale))
+	d := b.dataset(b.scale)
+	srv, err := server.New(server.Config{
+		Databases: map[string]fdb.Database{"bench": fdb.Database(d.DB())},
+		CacheSize: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Warm the plan cache and the shared base snapshot so the series
+	// measures transport, not first-query planning.
+	if _, err := fetchBuffered(client, ts.URL); err != nil {
+		log.Fatalf("warmup: %v", err)
+	}
+
+	measure := func(fetch func(*http.Client, string) (streamPoint, error)) streamPoint {
+		pts := make([]streamPoint, 0, b.reps)
+		for i := 0; i < b.reps; i++ {
+			pt, err := fetch(client, ts.URL)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pts = append(pts, pt)
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].total < pts[j].total })
+		return pts[len(pts)/2]
+	}
+	buffered := measure(fetchBuffered)
+	ndjson := measure(fetchNDJSON)
+	if buffered.rows != ndjson.rows {
+		log.Fatalf("transports disagree: buffered %d rows, ndjson %d rows", buffered.rows, ndjson.rows)
+	}
+
+	row("transport", "rows", "total", "time-to-first-row", "rows/sec")
+	for _, p := range []struct {
+		name string
+		pt   streamPoint
+	}{{"buffered", buffered}, {"ndjson", ndjson}} {
+		row(p.name, fmt.Sprint(p.pt.rows), p.pt.total.String(), p.pt.firstRow.String(),
+			fmt.Sprintf("%.0f", p.pt.rowsPerSec))
+		if b.jsonOut {
+			b.results = append(b.results, benchResult{
+				Name:    p.name,
+				Scale:   b.scale,
+				NsPerOp: p.pt.total.Nanoseconds(),
+				QPS:     p.pt.rowsPerSec,
+				P50Ns:   p.pt.firstRow.Nanoseconds(),
+			})
+		}
+	}
+}
+
+// fetchBuffered issues the statement over the buffered JSON transport;
+// the first row is available only once the whole body has arrived and
+// decoded.
+func fetchBuffered(client *http.Client, url string) (streamPoint, error) {
+	body, err := json.Marshal(server.QueryRequest{SQL: streamStatement})
+	if err != nil {
+		return streamPoint{}, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return streamPoint{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return streamPoint{}, fmt.Errorf("buffered query status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return streamPoint{}, err
+	}
+	firstRow := time.Since(start) // rows usable only after the full decode
+	total := firstRow
+	return streamPoint{
+		rows:       qr.RowCount,
+		total:      total,
+		firstRow:   firstRow,
+		rowsPerSec: float64(qr.RowCount) / total.Seconds(),
+	}, nil
+}
+
+// fetchNDJSON issues the statement over the streaming transport and
+// counts rows line by line; the first row is usable as soon as its
+// line arrives.
+func fetchNDJSON(client *http.Client, url string) (streamPoint, error) {
+	body, err := json.Marshal(server.QueryRequest{SQL: streamStatement})
+	if err != nil {
+		return streamPoint{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		return streamPoint{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return streamPoint{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return streamPoint{}, fmt.Errorf("ndjson query status %d: %s", resp.StatusCode, bytes.TrimSpace(detail))
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil { // header line
+		return streamPoint{}, err
+	}
+	var firstRow time.Duration
+	var lastLine string
+	rows := 0
+	sawRow := false
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return streamPoint{}, err
+		}
+		lastLine = line
+		if len(line) > 0 && line[0] == '[' {
+			if !sawRow {
+				firstRow = time.Since(start)
+				sawRow = true
+			}
+			rows++
+		}
+	}
+	total := time.Since(start)
+	// The stream must have ended with a clean trailer: a mid-stream
+	// error or truncation would otherwise be recorded as a valid point.
+	var trailer struct {
+		RowCount  int    `json:"rowCount"`
+		Truncated bool   `json:"truncated"`
+		Error     string `json:"error"`
+	}
+	if len(lastLine) == 0 || lastLine[0] != '{' {
+		return streamPoint{}, fmt.Errorf("ndjson stream ended without a trailer")
+	}
+	if err := json.Unmarshal([]byte(lastLine), &trailer); err != nil {
+		return streamPoint{}, fmt.Errorf("decoding ndjson trailer %q: %v", lastLine, err)
+	}
+	if trailer.Error != "" {
+		return streamPoint{}, fmt.Errorf("ndjson stream failed mid-enumeration: %s", trailer.Error)
+	}
+	if trailer.Truncated {
+		return streamPoint{}, fmt.Errorf("ndjson stream truncated at %d rows", trailer.RowCount)
+	}
+	if trailer.RowCount != rows {
+		return streamPoint{}, fmt.Errorf("ndjson trailer reports %d rows, client counted %d", trailer.RowCount, rows)
+	}
+	return streamPoint{
+		rows:       rows,
+		total:      total,
+		firstRow:   firstRow,
+		rowsPerSec: float64(rows) / total.Seconds(),
+	}, nil
+}

@@ -1,0 +1,289 @@
+// Package driver provides a database/sql driver for the FDB factorised
+// query engine, registered under the name "fdb". It serves an
+// in-process catalogue: the data lives in this process's memory as
+// fdb.Relations, and queries execute on the factorised representation
+// and stream through the engine's constant-delay cursors — rows are
+// produced one at a time off the factorisation, never buffered.
+//
+// There are two ways to open a database:
+//
+//	// 1. Register a named catalogue, then open by DSN.
+//	driver.Register("shop", fdb.Database{"Orders": orders, ...})
+//	db, err := sql.Open("fdb", "shop")
+//
+//	// 2. Wrap a catalogue in a Connector (no global registration).
+//	db := sql.OpenDB(driver.NewConnector(fdb.Database{...}))
+//
+// The catalogue's relations must not be modified once queries run: the
+// driver shares one factorised snapshot of each queried relation across
+// all connections (the engine's ExecShared contract). Statements are
+// the engine's SELECT subset — joins, filters, aggregates, GROUP BY,
+// HAVING, ORDER BY, LIMIT and OFFSET; placeholder parameters are not
+// supported. All statements are read-only: ExecContext and transactions
+// return errors.
+//
+// Plans are cached per catalogue in an LRU keyed by the normalised
+// statement text, so repeated statements skip parsing and optimisation
+// — the same split that backs fdbserver. QueryContext honours its
+// context throughout: cancelling stops planning, execution and row
+// streaming promptly.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/server/cache"
+	fdbsql "github.com/factordb/fdb/internal/sql"
+)
+
+func init() {
+	sql.Register("fdb", Driver{})
+}
+
+// planCacheSize bounds the per-catalogue LRU of prepared plans.
+const planCacheSize = 256
+
+// registry holds the named catalogues that sql.Open("fdb", name)
+// resolves against.
+var registry sync.Map // name → *catalog
+
+// Register makes a catalogue available to sql.Open("fdb", name),
+// replacing any previous catalogue under the same name. The relations
+// must not be modified after the first query against them.
+func Register(name string, db fdb.Database) {
+	registry.Store(name, newCatalog(db))
+}
+
+// Unregister removes a named catalogue. Open databases keep their
+// catalogue; only future Opens are affected.
+func Unregister(name string) { registry.Delete(name) }
+
+// catalog is one served database: the relations, a shared engine, and
+// the plan cache keyed by normalised SQL.
+type catalog struct {
+	db    fdb.Database
+	eng   *fdb.Engine
+	plans *cache.LRU
+}
+
+func newCatalog(db fdb.Database) *catalog {
+	return &catalog{db: db, eng: fdb.NewEngine(), plans: cache.New(planCacheSize)}
+}
+
+// prepared returns the cached plan for the statement, compiling it on a
+// miss. Concurrent misses may both compile; the results are
+// interchangeable and the last Put wins.
+func (c *catalog) prepared(ctx context.Context, text string) (*fdb.PreparedQuery, error) {
+	key := fdbsql.Normalize(text)
+	if v, ok := c.plans.Get(key); ok {
+		return v.(*fdb.PreparedQuery), nil
+	}
+	q, err := fdb.ParseSQL(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.eng.PrepareContext(ctx, q, c.db)
+	if err != nil {
+		return nil, err
+	}
+	c.plans.Put(key, p)
+	return p, nil
+}
+
+// query executes one statement and wraps the streaming result.
+func (c *catalog) query(ctx context.Context, text string) (*rows, error) {
+	p, err := c.prepared(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.ExecSharedContext(ctx, c.db)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := res.Rows(ctx)
+	if err != nil {
+		res.Close()
+		return nil, err
+	}
+	return &rows{res: res, rs: rs}, nil
+}
+
+// Driver implements database/sql/driver.Driver and DriverContext over
+// registered catalogues; the DSN is the catalogue name.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (d Driver) Open(dsn string) (driver.Conn, error) {
+	cn, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return cn.Connect(context.Background())
+}
+
+// OpenConnector implements driver.DriverContext.
+func (Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	v, ok := registry.Load(dsn)
+	if !ok {
+		return nil, fmt.Errorf("fdb driver: no catalogue registered under %q (call driver.Register)", dsn)
+	}
+	return &connector{cat: v.(*catalog)}, nil
+}
+
+// NewConnector wraps an in-process catalogue as a driver.Connector for
+// sql.OpenDB, bypassing the name registry. Each Connector has its own
+// engine and plan cache.
+func NewConnector(db fdb.Database) driver.Connector {
+	return &connector{cat: newCatalog(db)}
+}
+
+type connector struct {
+	cat *catalog
+}
+
+// Connect implements driver.Connector. Connections are stateless
+// handles onto the shared catalogue, so this never blocks.
+func (c *connector) Connect(context.Context) (driver.Conn, error) {
+	return &conn{cat: c.cat}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *connector) Driver() driver.Driver { return Driver{} }
+
+// conn is one database/sql connection: a stateless view of the
+// catalogue (all state lives in the catalogue and in open result
+// cursors).
+type conn struct {
+	cat *catalog
+}
+
+var (
+	_ driver.QueryerContext     = (*conn)(nil)
+	_ driver.ExecerContext      = (*conn)(nil)
+	_ driver.ConnPrepareContext = (*conn)(nil)
+)
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(text string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), text)
+}
+
+// PrepareContext compiles (or fetches from the plan cache) the
+// statement's f-plan eagerly, so a prepared statement surfaces parse
+// and planning errors at Prepare time and its executions skip both.
+func (c *conn) PrepareContext(ctx context.Context, text string) (driver.Stmt, error) {
+	if _, err := c.cat.prepared(ctx, text); err != nil {
+		return nil, err
+	}
+	return &stmt{cat: c.cat, text: text}, nil
+}
+
+// Close implements driver.Conn (stateless; nothing to release).
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn. The catalogue is read-only, so
+// transactions are meaningless.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("fdb driver: transactions are not supported (read-only engine)")
+}
+
+// QueryContext implements driver.QueryerContext: the fast path
+// database/sql uses for un-prepared queries.
+func (c *conn) QueryContext(ctx context.Context, text string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	return c.cat.query(ctx, text)
+}
+
+// ExecContext implements driver.ExecerContext; the engine is read-only.
+func (c *conn) ExecContext(context.Context, string, []driver.NamedValue) (driver.Result, error) {
+	return nil, errors.New("fdb driver: Exec is not supported (read-only engine); use Query")
+}
+
+// stmt is a prepared statement: its plan sits in the catalogue's cache,
+// so execution skips parsing and optimisation.
+type stmt struct {
+	cat  *catalog
+	text string
+}
+
+var _ driver.StmtQueryContext = (*stmt)(nil)
+
+// Close implements driver.Stmt (the cached plan stays for other users).
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt: no placeholder support.
+func (s *stmt) NumInput() int { return 0 }
+
+// Exec implements driver.Stmt; the engine is read-only.
+func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, errors.New("fdb driver: Exec is not supported (read-only engine); use Query")
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	return s.cat.query(context.Background(), s.text)
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	return s.cat.query(ctx, s.text)
+}
+
+// rows adapts the engine's streaming cursor to driver.Rows. It owns the
+// underlying Result: Close recycles the query's pooled arena store.
+type rows struct {
+	res *fdb.Result
+	rs  *fdb.Rows
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.rs.Columns() }
+
+// Close implements driver.Rows, releasing the cursor and recycling the
+// result's pooled store. It is idempotent.
+func (r *rows) Close() error {
+	err := r.rs.Close()
+	r.res.Close()
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// Next implements driver.Rows: one constant-delay enumerator step per
+// row, converted to driver values.
+func (r *rows) Next(dest []driver.Value) error {
+	if !r.rs.Next() {
+		if err := r.rs.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	t := r.rs.Tuple()
+	for i, v := range t {
+		switch gv := fdb.GoValue(v).(type) {
+		case []any:
+			// Composite aggregate vectors render as text; they only
+			// surface when a query exposes a raw (sum, count) pair.
+			dest[i] = v.String()
+		default:
+			dest[i] = gv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package driver_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/driver"
+)
+
+// pizzeria builds the paper's running example catalogue.
+func pizzeria(t *testing.T) fdb.Database {
+	t.Helper()
+	read := func(name, csv string) *fdb.Relation {
+		rel, err := fdb.ReadCSV(name, strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	return fdb.Database{
+		"Orders": read("Orders",
+			"customer,date,pizza\n"+
+				"Mario,Monday,Capricciosa\n"+
+				"Mario,Tuesday,Margherita\n"+
+				"Pietro,Friday,Hawaii\n"+
+				"Lucia,Friday,Hawaii\n"+
+				"Mario,Friday,Capricciosa\n"),
+		"Pizzas": read("Pizzas",
+			"pizza2,item\n"+
+				"Margherita,base\nCapricciosa,base\nCapricciosa,ham\nCapricciosa,mushrooms\n"+
+				"Hawaii,base\nHawaii,ham\nHawaii,pineapple\n"),
+		"Items": read("Items",
+			"item2,price\nbase,6\nham,1\nmushrooms,1\npineapple,2\n"),
+	}
+}
+
+func openDB(t *testing.T) *sql.DB {
+	t.Helper()
+	db := sql.OpenDB(driver.NewConnector(pizzeria(t)))
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestQueryAggregate(t *testing.T) {
+	db := openDB(t)
+	rows, err := db.Query(`SELECT customer, SUM(price) AS revenue
+		FROM Orders, Pizzas, Items
+		WHERE pizza = pizza2 AND item = item2
+		GROUP BY customer ORDER BY revenue DESC, customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"customer", "revenue"}; fmt.Sprint(cols) != fmt.Sprint(want) {
+		t.Fatalf("columns = %v, want %v", cols, want)
+	}
+	var got []string
+	for rows.Next() {
+		var customer string
+		var revenue int64
+		if err := rows.Scan(&customer, &revenue); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fmt.Sprintf("%s=%d", customer, revenue))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Mario: two Capricciosas (8 each) + one Margherita (6); Lucia and
+	// Pietro one Hawaii each (6+1+2).
+	want := "Mario=22 Lucia=9 Pietro=9"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("rows = %q, want %q", strings.Join(got, " "), want)
+	}
+}
+
+func TestRegisteredCatalogue(t *testing.T) {
+	driver.Register("pizzeria_test", pizzeria(t))
+	defer driver.Unregister("pizzeria_test")
+	db, err := sql.Open("fdb", "pizzeria_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) AS n FROM Orders`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("COUNT(*) = %d, want 5", n)
+	}
+}
+
+func TestOpenUnknownCatalogue(t *testing.T) {
+	db, err := sql.Open("fdb", "no-such-catalogue")
+	if err == nil {
+		// database/sql defers connector errors to first use.
+		err = db.Ping()
+		db.Close()
+	}
+	if err == nil || !strings.Contains(err.Error(), "no catalogue registered") {
+		t.Fatalf("err = %v, want 'no catalogue registered'", err)
+	}
+}
+
+func TestOffsetPagination(t *testing.T) {
+	db := openDB(t)
+	// Page through all item prices, two per page, and reassemble.
+	var all []string
+	rows, err := db.Query(`SELECT item2, price FROM Items ORDER BY price DESC, item2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+		var item string
+		var price int64
+		if err := rows.Scan(&item, &price); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, fmt.Sprintf("%s=%d", item, price))
+	}
+	rows.Close()
+	var paged []string
+	for off := 0; ; off += 2 {
+		stmt := fmt.Sprintf(`SELECT item2, price FROM Items ORDER BY price DESC, item2 LIMIT 2 OFFSET %d`, off)
+		prows, err := db.Query(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for prows.Next() {
+			var item string
+			var price int64
+			if err := prows.Scan(&item, &price); err != nil {
+				t.Fatal(err)
+			}
+			paged = append(paged, fmt.Sprintf("%s=%d", item, price))
+			n++
+		}
+		prows.Close()
+		if n == 0 {
+			break
+		}
+	}
+	if strings.Join(paged, " ") != strings.Join(all, " ") {
+		t.Fatalf("paged = %v, all = %v", paged, all)
+	}
+}
+
+func TestPreparedStatement(t *testing.T) {
+	db := openDB(t)
+	stmt, err := db.Prepare(`SELECT pizza, COUNT(*) AS n FROM Orders GROUP BY pizza ORDER BY n DESC, pizza`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for rep := 0; rep < 3; rep++ {
+		rows, err := stmt.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for rows.Next() {
+			var pizza string
+			var n int64
+			if err := rows.Scan(&pizza, &n); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, fmt.Sprintf("%s=%d", pizza, n))
+		}
+		rows.Close()
+		if want := "Capricciosa=2 Hawaii=2 Margherita=1"; strings.Join(got, " ") != want {
+			t.Fatalf("rep %d: rows = %q, want %q", rep, strings.Join(got, " "), want)
+		}
+	}
+	if _, err := db.Prepare(`SELECT nope FROM`); err == nil {
+		t.Fatal("Prepare of a broken statement succeeded")
+	}
+}
+
+func TestExecRejected(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.Exec(`SELECT * FROM Items`); err == nil {
+		t.Fatal("Exec succeeded on the read-only engine")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("Begin succeeded on the read-only engine")
+	}
+}
+
+func TestPlaceholdersRejected(t *testing.T) {
+	db := openDB(t)
+	_, err := db.Query(`SELECT * FROM Items WHERE price >= 1`, 1)
+	if err == nil || !strings.Contains(err.Error(), "placeholder") {
+		t.Fatalf("err = %v, want placeholder rejection", err)
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	db := openDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, `SELECT * FROM Items`)
+	if err == nil {
+		t.Fatal("QueryContext with a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := openDB(t)
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				var n int64
+				if err := db.QueryRow(`SELECT COUNT(*) AS n FROM Orders`).Scan(&n); err != nil {
+					errc <- err
+					return
+				}
+				if n != 5 {
+					errc <- fmt.Errorf("COUNT(*) = %d, want 5", n)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

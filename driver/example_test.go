@@ -1,0 +1,70 @@
+package driver_test
+
+import (
+	"database/sql"
+	"fmt"
+	"strings"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/driver"
+)
+
+// Example serves an in-process catalogue through database/sql: the
+// rows stream one at a time off the factorised representation, and
+// LIMIT/OFFSET pages are skipped inside the enumerator rather than
+// materialised.
+func Example() {
+	read := func(name, csv string) *fdb.Relation {
+		rel, err := fdb.ReadCSV(name, strings.NewReader(csv))
+		if err != nil {
+			panic(err)
+		}
+		return rel
+	}
+	driver.Register("pizzeria", fdb.Database{
+		"Orders": read("Orders",
+			"customer,date,pizza\n"+
+				"Mario,Monday,Capricciosa\n"+
+				"Mario,Tuesday,Margherita\n"+
+				"Pietro,Friday,Hawaii\n"+
+				"Lucia,Friday,Hawaii\n"+
+				"Mario,Friday,Capricciosa\n"),
+		"Pizzas": read("Pizzas",
+			"pizza2,item\n"+
+				"Margherita,base\nCapricciosa,base\nCapricciosa,ham\nCapricciosa,mushrooms\n"+
+				"Hawaii,base\nHawaii,ham\nHawaii,pineapple\n"),
+		"Items": read("Items",
+			"item2,price\nbase,6\nham,1\nmushrooms,1\npineapple,2\n"),
+	})
+
+	db, err := sql.Open("fdb", "pizzeria")
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(`SELECT customer, SUM(price) AS revenue
+		FROM Orders, Pizzas, Items
+		WHERE pizza = pizza2 AND item = item2
+		GROUP BY customer
+		ORDER BY revenue DESC, customer
+		LIMIT 2 OFFSET 1`)
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var customer string
+		var revenue int64
+		if err := rows.Scan(&customer, &revenue); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d\n", customer, revenue)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Lucia: 9
+	// Pietro: 9
+}

@@ -1,6 +1,7 @@
 package fdb_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -124,6 +125,46 @@ func ExampleEngine_Prepare() {
 	// Output:
 	// groups: 3
 	// groups: 3
+}
+
+// ExampleResult_Rows streams a paged query through the cursor API:
+// OFFSET is skipped inside the constant-delay enumerator (no skipped
+// row is materialised) and the context governs the enumeration.
+func ExampleResult_Rows() {
+	db := exampleDB()
+	q, err := fdb.ParseSQL(`SELECT customer, SUM(price) AS revenue
+		FROM Orders, Pizzas, Items
+		WHERE pizza = pizza2 AND item = item2
+		GROUP BY customer ORDER BY revenue DESC, customer
+		LIMIT 2 OFFSET 1`)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	res, err := fdb.NewEngine().RunContext(ctx, q, db)
+	if err != nil {
+		panic(err)
+	}
+	defer res.Close()
+	rows, err := res.Rows(ctx)
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var customer string
+		var revenue int64
+		if err := rows.Scan(&customer, &revenue); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d\n", customer, revenue)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Lucia: 9
+	// Pietro: 9
 }
 
 // ExampleMaterialiseView materialises a join once as a factorised view

@@ -23,6 +23,15 @@
 //	res, _ := fdb.NewEngine().Run(q, db)
 //	rel, _ := res.Relation()
 //
+// To stream instead of materialising, use the cursor API: Result.Rows
+// returns a database/sql-style cursor (Next/Scan/Columns/Err/Close)
+// straight over the constant-delay enumerators, honouring a
+// context.Context for cancellation and skipping LIMIT/OFFSET pages
+// inside the enumerator. Engine.RunContext, Engine.PrepareContext and
+// PreparedQuery.ExecContext/ExecSharedContext thread the same context
+// through planning and execution. The top-level package driver wraps
+// all of this in a registered "fdb" database/sql driver.
+//
 // For read-optimised workloads, materialise a view once as a
 // factorisation and run many queries against it with Engine.RunOnView;
 // the view is never modified. For repeated statements, compile once with
@@ -127,12 +136,31 @@ type Engine = engine.Engine
 // the greedy optimiser (the paper's configuration).
 func NewEngine() *Engine { return engine.New() }
 
-// Result is an evaluated query; enumerate it with ForEach, or materialise
-// it with Relation. The factorised output ("FDB f/o") lives in an
-// arena store (Result.ARel) by default; Result.Factorisation returns
-// the pointer-based view of it. Call Result.Close when done to recycle
-// the query's arena store.
+// Result is an evaluated query; stream it with Rows (the cursor API),
+// enumerate it with ForEach, or materialise it with Relation. The
+// factorised output ("FDB f/o") lives in an arena store (Result.ARel)
+// by default; Result.Factorisation returns the pointer-based view of
+// it. Call Result.Close when done to recycle the query's arena store;
+// Close is idempotent, and using a Result after Close returns
+// ErrResultClosed.
 type Result = engine.Result
+
+// Rows is a streaming, pull-based cursor over a query result
+// (database/sql-style Next/Scan/Columns/Err/Close), obtained with
+// Result.Rows. It honours its context during enumeration and applies
+// the query's OFFSET by skipping inside the constant-delay enumerator,
+// so a LIMIT n OFFSET m page costs O(n) output work regardless of how
+// deep the page sits. For the idiomatic database/sql surface over the
+// same cursors, see package driver.
+type Rows = engine.Rows
+
+// ErrResultClosed is returned when a Result (or a Rows derived from
+// it) is used after Result.Close has recycled its pooled store.
+var ErrResultClosed = engine.ErrClosed
+
+// GoValue converts an engine Value to its plain Go representation:
+// int64, float64, string, bool, nil, or []any for vectors.
+var GoValue = engine.GoValue
 
 // PreparedQuery is a compiled query: the chosen per-relation path orders
 // plus the optimised f-plan. Prepare once with Engine.Prepare and execute

@@ -109,140 +109,98 @@ func (h *havingFilter) keep(row relation.Tuple) bool {
 	return true
 }
 
-// forEachGrouped streams aggregate results using the on-the-fly
-// combination of partial aggregates at enumeration time (Example 1,
-// scenario 3): no final restructuring or aggregation is materialised.
-func (r *Result) forEachGrouped(fn func(relation.Tuple) bool) error {
-	return r.forEachGroupedOpts(fn, true, true)
-}
-
-func (r *Result) forEachGroupedOpts(fn func(relation.Tuple) bool, applyOrder, applyLimit bool) error {
-	q := r.Query
-	fields := plan.RequiredFields(q.Aggregates)
-	// Group slots: order-by attributes first (all within GroupBy on this
-	// path), then remaining group attributes in tree DFS order.
-	var specs []frep.OrderSpec
-	seen := map[string]bool{}
-	if applyOrder {
-		for _, o := range q.OrderBy {
-			specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
-			seen[o.Attr] = true
-		}
-	}
-	inG := map[string]bool{}
-	for _, g := range q.GroupBy {
-		inG[g] = true
-	}
-	for _, n := range r.Tree().Nodes() {
-		if n.IsAgg() {
-			continue
-		}
-		for _, a := range n.Attrs {
-			if inG[a] && !seen[a] {
-				specs = append(specs, frep.OrderSpec{Attr: a})
-				seen[a] = true
-			}
-		}
-	}
-	ge, err := r.rel().GroupEnumerator(specs, fields)
-	if err != nil {
-		return err
-	}
-	schema := ge.Schema()
-	nGroupCols := len(schema) - len(fields)
-	groupIdx, err := columnIndices(schema[:nGroupCols], q.GroupBy)
-	if err != nil {
-		return err
-	}
-	aggOuts, err := buildAggOutputs(q.Aggregates, fields)
-	if err != nil {
-		return err
-	}
-	having, err := newHavingFilter(q)
-	if err != nil {
-		return err
-	}
-	out := make(relation.Tuple, len(q.GroupBy)+len(aggOuts))
-	limit := q.Limit
-	if !applyLimit {
-		limit = 0
-	}
-	emitted := 0
-	for {
-		ok, err := ge.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		row := ge.Tuple()
-		for i, j := range groupIdx {
-			out[i] = row[j]
-		}
-		fieldVals := row[nGroupCols:]
-		for i, ao := range aggOuts {
-			out[len(groupIdx)+i] = ao.value(fieldVals)
-		}
-		if !having.keep(out) {
-			continue
-		}
-		if !fn(out) {
-			return nil
-		}
-		emitted++
-		if limit > 0 && emitted >= limit {
-			return nil
-		}
-	}
-}
-
-// forEachSorted is the fallback for ordering by an aggregate when the
+// newSortedCursor is the fallback for ordering by an aggregate when the
 // group-by attributes span several branches of the f-tree (no single
 // aggregate subtree exists): the grouped output is materialised and
 // sorted flat, as a relational engine would.
-func (r *Result) forEachSorted(fn func(relation.Tuple) bool) error {
+func (r *Result) newSortedCursor() (rowCursor, error) {
 	q := r.Query
+	cur, err := r.newGroupedCursor(false)
+	if err != nil {
+		return nil, err
+	}
 	var rows []relation.Tuple
-	if err := r.forEachGroupedOpts(func(t relation.Tuple) bool {
+	for {
+		t, ok, err := cur.step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		rows = append(rows, t.Clone())
-		return true
-	}, false, false); err != nil {
-		return err
 	}
 	rel, err := relation.New("sorted", q.OutputAttrs(), rows)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	keys := make([]relation.OrderKey, len(q.OrderBy))
 	for i, o := range q.OrderBy {
 		keys[i] = relation.OrderKey{Attr: o.Attr, Desc: o.Desc}
 	}
 	if err := rel.Sort(keys...); err != nil {
-		return err
+		return nil, err
 	}
-	limit := q.Limit
-	for i, t := range rel.Tuples {
-		if limit > 0 && i >= limit {
-			return nil
-		}
-		if !fn(t) {
-			return nil
-		}
-	}
-	return nil
+	return &sliceCursor{rows: rel.Tuples}, nil
 }
 
-// forEachMaterialised materialises the final aggregate into a single
+// matCursor enumerates the materialised-aggregate representation,
+// assembling group columns and aggregate outputs (finalising avg from
+// its (sum, count) vector) and applying HAVING.
+type matCursor struct {
+	en       frep.TupleEnum
+	groupIdx []int
+	aggCols  []int
+	avgPairs []int
+	having   *havingFilter
+	out      relation.Tuple
+}
+
+func (c *matCursor) step() (relation.Tuple, bool, error) {
+	for c.en.Next() {
+		t := c.en.Tuple()
+		for i, j := range c.groupIdx {
+			c.out[i] = t[j]
+		}
+		for i, j := range c.aggCols {
+			if p := c.avgPairs[i]; p >= 0 {
+				cnt := t[p]
+				if cnt.Kind() == values.Int && cnt.Int() == 0 {
+					c.out[len(c.groupIdx)+i] = values.NullValue()
+				} else {
+					c.out[len(c.groupIdx)+i] = values.Div(t[j], cnt)
+				}
+			} else {
+				c.out[len(c.groupIdx)+i] = t[j]
+			}
+		}
+		if !c.having.keep(c.out) {
+			continue
+		}
+		return c.out, true, nil
+	}
+	return nil, false, nil
+}
+
+func (c *matCursor) skip(n int) (int, error) {
+	if c.having == nil {
+		return c.en.Skip(n), nil
+	}
+	return skipBySteps(c, n)
+}
+
+// newMaterialisedCursor materialises the final aggregate into a single
 // attribute (required to order by an aggregate output), restructures for
 // the order, and enumerates. The ordered aggregate's field is placed
 // first in the node's field list so the sorted vector order coincides
-// with the requested order.
-func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
+// with the requested order. When the group-by attributes span several
+// branches (no single aggregate subtree), it falls back to the flat
+// sort of newSortedCursor.
+func (r *Result) newMaterialisedCursor() (rowCursor, error) {
 	q := r.Query
 	if len(q.GroupBy) == 0 {
 		// Global aggregate: a single row; ordering is irrelevant.
-		return r.forEachGrouped(fn)
+		return r.newGroupedCursor(true)
 	}
 	// Field order: ordered aggregate outputs first.
 	ordered := map[string]bool{}
@@ -267,7 +225,7 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 		}
 	}
 	if len(aggsSorted) > 0 && ordered[aggsSorted[0].OutName()] && aggsSorted[0].Fn == query.Avg && len(q.Aggregates) > 1 {
-		return fmt.Errorf("engine: ORDER BY avg(…) is only supported as the sole aggregate")
+		return nil, fmt.Errorf("engine: ORDER BY avg(…) is only supported as the sole aggregate")
 	}
 	fields := plan.RequiredFields(aggsSorted)
 
@@ -276,16 +234,16 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 	// back to a flat sort of the grouped output.
 	u, err := r.singleNonGroupSubtree(inG)
 	if err != nil {
-		return r.forEachSorted(fn)
+		return r.newSortedCursor()
 	}
 	if !(u.IsLeaf() && u.IsAgg() && fieldsEqual(u.Agg.Fields, fields)) {
 		if err := r.rel().GammaNode(u, fields); err != nil {
-			return err
+			return nil, err
 		}
 		if u2, err2 := r.singleNonGroupSubtree(inG); err2 == nil {
 			u = u2
 		} else {
-			return err2
+			return nil, err2
 		}
 	}
 	// Name the node: a single non-avg aggregate gets its output alias; an
@@ -298,13 +256,13 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 		if err := r.rel().ComputeScalar(aggNodeName, alias, func(v values.Value) values.Value {
 			return values.Div(v.VecAt(0), v.VecAt(1))
 		}); err != nil {
-			return err
+			return nil, err
 		}
 		aggNodeName = alias
 	} else if len(q.Aggregates) == 1 {
 		alias := q.Aggregates[0].OutName()
 		if err := r.rel().Rename(aggNodeName, alias); err != nil {
-			return err
+			return nil, err
 		}
 		aggNodeName = alias
 	}
@@ -323,72 +281,48 @@ func (r *Result) forEachMaterialised(fn func(relation.Tuple) bool) error {
 	}
 	for i := 0; ; i++ {
 		if i > 1000 {
-			return fmt.Errorf("engine: order restructuring did not converge")
+			return nil, fmt.Errorf("engine: order restructuring did not converge")
 		}
 		v := r.Tree().OrderViolation(orderAttrs)
 		if v == nil {
 			break
 		}
 		if err := r.rel().SwapNode(v); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
 	en, err := r.rel().Enumerator(specs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Output columns: group attributes by name; aggregates by alias (or
 	// label.field / scalar columns).
 	schema := en.Schema()
 	groupIdx, err := columnIndices(schema, q.GroupBy)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	node := r.Tree().ResolveAttr(aggNodeName)
 	if node == nil {
-		return fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
+		return nil, fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
 	}
 	aggCols, avgPairs, err := aggregateColumns(q, node, schema, avgOnly)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	having, err := newHavingFilter(q)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	out := make(relation.Tuple, len(groupIdx)+len(aggCols))
-	limit := q.Limit
-	emitted := 0
-	for en.Next() {
-		t := en.Tuple()
-		for i, j := range groupIdx {
-			out[i] = t[j]
-		}
-		for i, j := range aggCols {
-			if p := avgPairs[i]; p >= 0 {
-				cnt := t[p]
-				if cnt.Kind() == values.Int && cnt.Int() == 0 {
-					out[len(groupIdx)+i] = values.NullValue()
-				} else {
-					out[len(groupIdx)+i] = values.Div(t[j], cnt)
-				}
-			} else {
-				out[len(groupIdx)+i] = t[j]
-			}
-		}
-		if !having.keep(out) {
-			continue
-		}
-		if !fn(out) {
-			return nil
-		}
-		emitted++
-		if limit > 0 && emitted >= limit {
-			return nil
-		}
-	}
-	return nil
+	return &matCursor{
+		en:       en,
+		groupIdx: groupIdx,
+		aggCols:  aggCols,
+		avgPairs: avgPairs,
+		having:   having,
+		out:      make(relation.Tuple, len(groupIdx)+len(aggCols)),
+	}, nil
 }
 
 // singleNonGroupSubtree finds the unique maximal subtree containing no

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,6 +66,10 @@ type Result struct {
 	// pooled marks an ARel whose store was taken from the engine's
 	// store pool; Close returns it.
 	pooled bool
+	// closed marks a Result whose Close has run: its store may already
+	// be recycled into another query, so enumeration APIs refuse with
+	// ErrClosed instead of touching freed slabs.
+	closed bool
 }
 
 // rel returns the factorised result behind its representation-neutral
@@ -94,11 +99,17 @@ func (r *Result) Factorisation() *fops.FRel {
 
 // Close releases pooled per-query resources (the arena store backing
 // ARel, when it came from the engine's pool). The Result — including
-// ARel and anything obtained from rel() — must not be used afterwards.
-// Close is optional: an unclosed Result is reclaimed by the garbage
-// collector like any other value; closing merely recycles the slabs for
-// the next query. It is safe on legacy-backed results (no-op).
+// ARel, open Rows, and anything obtained from rel() — must not be used
+// afterwards: enumeration APIs return ErrClosed once Close has run,
+// because the recycled store may already back another query. Close is
+// idempotent — any call after the first is a no-op — and optional: an
+// unclosed Result is reclaimed by the garbage collector like any other
+// value; closing merely recycles the slabs for the next query.
 func (r *Result) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
 	if r.pooled && r.ARel != nil {
 		st := r.ARel.Store
 		r.ARel = nil
@@ -118,17 +129,25 @@ func (r *Result) Close() {
 // per join attribute — and keeps the combination whose plan has the
 // lowest size-bound cost (the paper's cost metric, Section 5).
 func (e *Engine) Run(q *query.Query, db DB) (*Result, error) {
-	p, err := e.Prepare(q, db)
+	return e.RunContext(context.Background(), q, db)
+}
+
+// RunContext is Run with cancellation: the context is honoured during
+// path-order search, f-plan optimisation and execution, and carries
+// into enumeration when the caller uses Result.Rows with the same
+// context.
+func (e *Engine) RunContext(ctx context.Context, q *query.Query, db DB) (*Result, error) {
+	p, err := e.PrepareContext(ctx, q, db)
 	if err != nil {
 		return nil, err
 	}
-	return p.Exec(db)
+	return p.ExecContext(ctx, db)
 }
 
 // choosePathOrders plans the query over every combination of candidate
 // path orders (capped) and returns the attribute orders of the cheapest
-// plan.
-func (e *Engine) choosePathOrders(q *query.Query, rels []*relation.Relation, cat []ftree.CatalogRelation) ([][]string, error) {
+// plan. The context is checked between combinations.
+func (e *Engine) choosePathOrders(ctx context.Context, q *query.Query, rels []*relation.Relation, cat []ftree.CatalogRelation) ([][]string, error) {
 	joinAttr := map[string]bool{}
 	for _, eq := range q.Equalities {
 		joinAttr[eq.A] = true
@@ -149,11 +168,14 @@ func (e *Engine) choosePathOrders(q *query.Query, rels []*relation.Relation, cat
 		}
 		combos = 1
 	}
-	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg}
+	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Ctx: ctx}
 	var best [][]string
 	bestCost := 0.0
 	idx := make([]int, len(rels))
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f := ftree.New()
 		orders := make([][]string, len(rels))
 		for i := range rels {
@@ -181,6 +203,11 @@ func (e *Engine) choosePathOrders(q *query.Query, rels []*relation.Relation, cat
 		}
 	}
 	if best == nil {
+		// A cancellation mid-search surfaces as the context's error, not
+		// as a missing plan.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("engine: no executable plan found for %s", q)
 	}
 	return best, nil
@@ -285,16 +312,22 @@ func orderOnAggregate(q *query.Query) bool {
 }
 
 // ForEach streams the query's output tuples in the requested order,
-// applying HAVING and LIMIT. fn returns false to stop early. The output
-// schema is Query.OutputAttrs().
+// applying HAVING, OFFSET and LIMIT. fn returns false to stop early.
+// The output schema is Query.OutputAttrs(). It is a thin wrapper over
+// the cursor path (Result.Rows); the tuple passed to fn is reused
+// between calls — clone it to retain.
 func (r *Result) ForEach(fn func(relation.Tuple) bool) error {
-	if !r.Query.IsAggregate() {
-		return r.forEachSPJ(fn)
+	rows, err := r.Rows(context.Background())
+	if err != nil {
+		return err
 	}
-	if orderOnAggregate(r.Query) || r.eng.Materialise {
-		return r.forEachMaterialised(fn)
+	defer rows.Close()
+	for rows.Next() {
+		if !fn(rows.Tuple()) {
+			return nil
+		}
 	}
-	return r.forEachGrouped(fn)
+	return rows.Err()
 }
 
 // Schema returns the effective output column names: OutputAttrs when the
@@ -353,42 +386,6 @@ func indent(s, prefix string) string {
 		lines[i] = prefix + l
 	}
 	return strings.Join(lines, "\n") + "\n"
-}
-
-func (r *Result) forEachSPJ(fn func(relation.Tuple) bool) error {
-	var specs []frep.OrderSpec
-	for _, o := range r.Query.OrderBy {
-		specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
-	}
-	en, err := r.rel().Enumerator(specs)
-	if err != nil {
-		return err
-	}
-	outs := r.Query.OutputAttrs()
-	if len(outs) == 0 {
-		outs = en.Schema()
-	}
-	idx, err := columnIndices(en.Schema(), outs)
-	if err != nil {
-		return err
-	}
-	limit := r.Query.Limit
-	emitted := 0
-	out := make(relation.Tuple, len(idx))
-	for en.Next() {
-		t := en.Tuple()
-		for i, j := range idx {
-			out[i] = t[j]
-		}
-		if !fn(out) {
-			return nil
-		}
-		emitted++
-		if limit > 0 && emitted >= limit {
-			return nil
-		}
-	}
-	return nil
 }
 
 func columnIndices(schema, want []string) ([]int, error) {

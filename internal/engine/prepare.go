@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/factordb/fdb/internal/fops"
 	"github.com/factordb/fdb/internal/frep"
@@ -18,13 +20,20 @@ import (
 // on slab high-water-mark growth.
 var storePool = sync.Pool{New: func() any { return frep.NewStore() }}
 
+// storeReturns counts pool returns; the cancellation tests use it to
+// assert that every error path hands its pooled store back exactly once.
+var storeReturns atomic.Int64
+
 func getStore() *frep.Store {
 	s := storePool.Get().(*frep.Store)
 	s.Reset()
 	return s
 }
 
-func putStore(s *frep.Store) { storePool.Put(s) }
+func putStore(s *frep.Store) {
+	storeReturns.Add(1)
+	storePool.Put(s)
+}
 
 // Prepared is a compiled query: the validated logical query, the chosen
 // per-relation path orders, and the optimised f-plan. Preparing once and
@@ -33,7 +42,7 @@ func putStore(s *frep.Store) { storePool.Put(s) }
 // the basis of the server's plan cache.
 //
 // A Prepared is immutable after Prepare (apart from the internal shared
-// base snapshot, which is built once under a sync.Once) and safe for
+// base snapshot, which is built lazily under a mutex) and safe for
 // concurrent Exec/ExecShared calls: f-plan operators address f-tree
 // nodes by attribute name and every execution builds its own factorised
 // representation, so no state is shared between concurrent executions.
@@ -49,12 +58,13 @@ type Prepared struct {
 	eng *Engine
 
 	// shared caches the factorised base relations (one arena store
-	// snapshot) for ExecShared.
+	// snapshot) for ExecShared. A failed build (including one cancelled
+	// by its caller's context) is not cached; the next call retries.
 	shared struct {
-		once  sync.Once
+		mu    sync.Mutex
+		built bool
 		store *frep.Store
 		roots []frep.NodeID
-		err   error
 	}
 }
 
@@ -91,6 +101,14 @@ func resolveRelations(q *query.Query, db DB) ([]*relation.Relation, []ftree.Cata
 // among equivalent plans. A Prepared therefore stays valid as long as
 // the named relations keep their attributes.
 func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
+	return e.PrepareContext(context.Background(), q, db)
+}
+
+// PrepareContext is Prepare with cancellation: the context is threaded
+// into the path-order search and the f-plan optimiser, so long
+// optimisations (notably the exhaustive Dijkstra search) stop promptly
+// when the context fires.
+func (e *Engine) PrepareContext(ctx context.Context, q *query.Query, db DB) (*Prepared, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +116,7 @@ func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	orders, err := e.choosePathOrders(q, rels, cat)
+	orders, err := e.choosePathOrders(ctx, q, rels, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +124,7 @@ func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
 	for i := range rels {
 		f.NewRelationPath(orders[i]...)
 	}
-	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive}
+	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive, Ctx: ctx}
 	fplan, err := pl.Plan(f, q)
 	if err != nil {
 		return nil, err
@@ -116,11 +134,15 @@ func (e *Engine) Prepare(q *query.Query, db DB) (*Prepared, error) {
 
 // buildForest factorises the query's relations in the prepared path
 // orders into the store, returning the fresh forest and one root per
-// relation.
-func (p *Prepared) buildForest(db DB, st *frep.Store) (*ftree.Forest, []frep.NodeID, error) {
+// relation. The context is checked between relations so huge base-data
+// builds honour cancellation.
+func (p *Prepared) buildForest(ctx context.Context, db DB, st *frep.Store) (*ftree.Forest, []frep.NodeID, error) {
 	f := ftree.New()
 	var roots []frep.NodeID
 	for i, name := range p.Query.Relations {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		rel, ok := db[name]
 		if !ok {
 			return nil, nil, fmt.Errorf("engine: unknown relation %q", name)
@@ -147,17 +169,25 @@ func (p *Prepared) buildForest(db DB, st *frep.Store) (*ftree.Forest, []frep.Nod
 // With Engine.Legacy set, execution uses the pointer-based
 // representation instead (and Result.FRel is populated).
 func (p *Prepared) Exec(db DB) (*Result, error) {
+	return p.ExecContext(context.Background(), db)
+}
+
+// ExecContext is Exec with cancellation: the context is checked while
+// the base relations are factorised and between f-plan operators, and
+// the pooled store is returned before the error surfaces, so a
+// cancelled execution leaks nothing.
+func (p *Prepared) ExecContext(ctx context.Context, db DB) (*Result, error) {
 	if p.eng.Legacy {
-		return p.execLegacy(db)
+		return p.execLegacy(ctx, db)
 	}
 	st := getStore()
-	f, roots, err := p.buildForest(db, st)
+	f, roots, err := p.buildForest(ctx, db, st)
 	if err != nil {
 		putStore(st)
 		return nil, err
 	}
 	ar := &fops.ARel{Tree: f, Store: st, Roots: roots}
-	return p.finish(ar)
+	return p.finish(ctx, ar)
 }
 
 // ExecShared is Exec for databases whose relations do not change between
@@ -167,39 +197,50 @@ func (p *Prepared) Exec(db DB) (*Result, error) {
 // re-sorting the base relations. The first call's data is captured;
 // callers mutating relations between calls must use Exec.
 func (p *Prepared) ExecShared(db DB) (*Result, error) {
+	return p.ExecSharedContext(context.Background(), db)
+}
+
+// ExecSharedContext is ExecShared with cancellation; see ExecContext.
+// The shared base snapshot is built with the first caller's context: a
+// cancellation during that build is not cached, so the next call
+// rebuilds it.
+func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error) {
 	if p.eng.Legacy {
-		return p.execLegacy(db)
+		return p.execLegacy(ctx, db)
 	}
-	p.shared.once.Do(func() {
-		st := frep.NewStore()
-		_, roots, err := p.buildForest(db, st)
+	p.shared.mu.Lock()
+	if !p.shared.built {
+		bst := frep.NewStore()
+		_, roots, err := p.buildForest(ctx, db, bst)
 		if err != nil {
-			p.shared.err = err
-			return
+			// Not cached: a cancelled (or otherwise failed) snapshot build
+			// must not poison the Prepared for later callers.
+			p.shared.mu.Unlock()
+			return nil, err
 		}
-		p.shared.store = st.Snapshot()
+		p.shared.store = bst.Snapshot()
 		p.shared.roots = roots
-	})
-	if p.shared.err != nil {
-		return nil, p.shared.err
+		p.shared.built = true
 	}
+	sharedStore, sharedRoots := p.shared.store, p.shared.roots
+	p.shared.mu.Unlock()
 	st := getStore()
-	p.shared.store.CloneInto(st)
+	sharedStore.CloneInto(st)
 	f := ftree.New()
 	for i := range p.Query.Relations {
 		f.NewRelationPath(p.Orders[i]...)
 	}
-	ar := &fops.ARel{Tree: f, Store: st, Roots: append([]frep.NodeID{}, p.shared.roots...)}
-	return p.finish(ar)
+	ar := &fops.ARel{Tree: f, Store: st, Roots: append([]frep.NodeID{}, sharedRoots...)}
+	return p.finish(ctx, ar)
 }
 
 // finish executes the prepared plan over the freshly built arena
 // representation and wraps the result.
-func (p *Prepared) finish(ar *fops.ARel) (*Result, error) {
+func (p *Prepared) finish(ctx context.Context, ar *fops.ARel) (*Result, error) {
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
 	}
-	if err := p.Plan.Execute(ar); err != nil {
+	if err := p.Plan.ExecuteContext(ctx, ar); err != nil {
 		putStore(ar.Store)
 		return nil, err
 	}
@@ -208,10 +249,13 @@ func (p *Prepared) finish(ar *fops.ARel) (*Result, error) {
 
 // execLegacy is the pointer-based execution path, kept for old-vs-new
 // equivalence testing.
-func (p *Prepared) execLegacy(db DB) (*Result, error) {
+func (p *Prepared) execLegacy(ctx context.Context, db DB) (*Result, error) {
 	f := ftree.New()
 	var roots []*frep.Union
 	for i, name := range p.Query.Relations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rel, ok := db[name]
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown relation %q", name)
@@ -229,7 +273,7 @@ func (p *Prepared) execLegacy(db DB) (*Result, error) {
 	if fr.IsEmpty() {
 		fr.MakeEmpty()
 	}
-	if err := p.Plan.Execute(fr); err != nil {
+	if err := p.Plan.ExecuteContext(ctx, fr); err != nil {
 		return nil, err
 	}
 	return &Result{Query: p.Query, FRel: fr, Plan: p.Plan, eng: p.eng}, nil

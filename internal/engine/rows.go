@@ -1,0 +1,472 @@
+package engine
+
+// The cursor layer: every enumeration path of the engine (flat
+// projection, on-the-fly grouped aggregation, materialised aggregate
+// ordering, and the flat-sort fallback) is expressed as a rowCursor —
+// a resumable step-at-a-time producer over the constant-delay
+// enumerators of package frep. Rows wraps a rowCursor in the
+// database/sql-shaped surface (Next/Scan/Columns/Err/Close) with
+// context cancellation, OFFSET skipping and LIMIT accounting, and
+// ForEach/Relation/Count are thin wrappers over the same cursors, so
+// streaming and materialising callers see byte-identical output.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/plan"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// ErrClosed is returned by Result and Rows methods used after Close:
+// the pooled arena store backing the result may already be serving
+// another query, so any further access would read recycled slabs.
+var ErrClosed = errors.New("engine: result used after Close")
+
+// ctxCheckEvery is how many cursor advances pass between context
+// checks: frequent enough that cancelling stops a multi-million-row
+// enumeration promptly, rare enough to stay off the per-row hot path.
+const ctxCheckEvery = 256
+
+// rowCursor is the step-at-a-time core of one enumeration path. step
+// returns the next output row in a buffer reused across calls; ok
+// false means exhausted. skip advances past up to n output rows (after
+// HAVING, before LIMIT) as cheaply as the path allows, returning how
+// many were skipped; fewer than n means the cursor is exhausted.
+type rowCursor interface {
+	step() (relation.Tuple, bool, error)
+	skip(n int) (int, error)
+}
+
+// Rows is a streaming, pull-based view of a query result: the
+// database/sql-style cursor of the engine. Obtain one with
+// Result.Rows; iterate with Next, read with Scan (or Tuple for the raw
+// reused buffer), and Close when done. A Rows honours its context —
+// Next returns false and Err reports the context's error once it fires
+// — and applies the query's OFFSET by skipping inside the enumerator,
+// so no skipped prefix is ever materialised.
+//
+// A Rows is not safe for concurrent use. Closing the Rows does not
+// close the Result it came from; closing the Result invalidates the
+// Rows (Next returns false, Err reports ErrClosed).
+type Rows struct {
+	res     *Result
+	ctx     context.Context
+	cur     rowCursor
+	cols    []string
+	tuple   relation.Tuple
+	err     error
+	done    bool
+	closed  bool
+	toSkip  int
+	limit   int
+	emitted int
+	sinceCk int
+}
+
+// Rows returns a streaming cursor over the result in the query's
+// requested order, applying HAVING, OFFSET and LIMIT. The context
+// governs the enumeration: cancel it to stop a long stream. Multiple
+// sequential Rows (or ForEach) calls on one Result re-enumerate from
+// the start.
+func (r *Result) Rows(ctx context.Context) (*Rows, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cur, err := r.newCursor()
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{
+		res:    r,
+		ctx:    ctx,
+		cur:    cur,
+		cols:   r.Schema(),
+		toSkip: r.Query.Offset,
+		limit:  r.Query.Limit,
+	}, nil
+}
+
+// Columns returns the output column names.
+func (rs *Rows) Columns() []string { return rs.cols }
+
+// Err returns the error that terminated iteration, if any. It is nil
+// after a normal end of stream.
+func (rs *Rows) Err() error { return rs.err }
+
+// Close releases the cursor. It is idempotent and always returns the
+// iteration error, if any. Close does not close the underlying Result.
+func (rs *Rows) Close() error {
+	rs.closed = true
+	rs.done = true
+	rs.tuple = nil // Scan after Close must not re-deliver the last row
+	return rs.err
+}
+
+// fail records err and stops iteration.
+func (rs *Rows) fail(err error) {
+	rs.err = err
+	rs.done = true
+	rs.tuple = nil
+}
+
+// checkCtx polls the context every ctxCheckEvery advances.
+func (rs *Rows) checkCtx(force bool) bool {
+	rs.sinceCk++
+	if !force && rs.sinceCk < ctxCheckEvery {
+		return true
+	}
+	rs.sinceCk = 0
+	if err := rs.ctx.Err(); err != nil {
+		rs.fail(err)
+		return false
+	}
+	return true
+}
+
+// Next advances to the next row, returning false at the end of the
+// stream, on error, or once the context is cancelled (check Err to
+// distinguish). The first call also performs the OFFSET skip.
+func (rs *Rows) Next() bool {
+	if rs.closed || rs.done {
+		return false
+	}
+	if rs.res.closed {
+		rs.fail(ErrClosed)
+		return false
+	}
+	if rs.toSkip > 0 {
+		if !rs.checkCtx(true) {
+			return false
+		}
+		for rs.toSkip > 0 {
+			chunk := rs.toSkip
+			if chunk > ctxCheckEvery {
+				chunk = ctxCheckEvery
+			}
+			k, err := rs.cur.skip(chunk)
+			if err != nil {
+				rs.fail(err)
+				return false
+			}
+			rs.toSkip -= k
+			if k < chunk { // exhausted inside the skipped prefix
+				rs.done = true
+				return false
+			}
+			if err := rs.ctx.Err(); err != nil {
+				rs.fail(err)
+				return false
+			}
+		}
+	}
+	if rs.limit > 0 && rs.emitted >= rs.limit {
+		rs.done = true
+		rs.tuple = nil
+		return false
+	}
+	// Always poll the context on the first row so even a tiny result
+	// honours an already-cancelled context; thereafter every
+	// ctxCheckEvery rows.
+	if !rs.checkCtx(rs.emitted == 0) {
+		return false
+	}
+	t, ok, err := rs.cur.step()
+	if err != nil {
+		rs.fail(err)
+		return false
+	}
+	if !ok {
+		rs.done = true
+		rs.tuple = nil // Scan after exhaustion must error, not repeat
+		return false
+	}
+	rs.tuple = t
+	rs.emitted++
+	return true
+}
+
+// Tuple returns the current row. The slice is reused by Next; clone it
+// to retain.
+func (rs *Rows) Tuple() relation.Tuple { return rs.tuple }
+
+// Scan copies the current row into dest, one target per column.
+// Supported targets: *int64, *float64, *string, *bool, *values.Value
+// and *any (which receives int64/float64/string/bool/nil like the
+// database/sql driver). Integers widen into *float64 targets; a float
+// column refuses an *int64 target rather than truncating.
+func (rs *Rows) Scan(dest ...any) error {
+	if rs.tuple == nil {
+		return errors.New("engine: Scan called without a successful Next")
+	}
+	if len(dest) != len(rs.tuple) {
+		return fmt.Errorf("engine: Scan got %d targets for %d columns", len(dest), len(rs.tuple))
+	}
+	for i, d := range dest {
+		if err := scanValue(rs.tuple[i], d); err != nil {
+			return fmt.Errorf("engine: Scan column %d (%s): %w", i, rs.cols[i], err)
+		}
+	}
+	return nil
+}
+
+func scanValue(v values.Value, dest any) error {
+	switch d := dest.(type) {
+	case *values.Value:
+		*d = v
+	case *any:
+		*d = GoValue(v)
+	case *int64:
+		// Float targets would silently truncate; refuse like database/sql.
+		if v.Kind() != values.Int {
+			return fmt.Errorf("cannot scan %s into *int64", v.Kind())
+		}
+		*d = v.Int()
+	case *float64:
+		if !v.IsNumeric() {
+			return fmt.Errorf("cannot scan %s into *float64", v.Kind())
+		}
+		*d = v.AsFloat()
+	case *string:
+		if v.Kind() != values.String {
+			*d = v.String()
+		} else {
+			*d = v.Str()
+		}
+	case *bool:
+		if v.Kind() != values.Bool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Kind())
+		}
+		*d = v.Bool()
+	default:
+		return fmt.Errorf("unsupported Scan target %T", dest)
+	}
+	return nil
+}
+
+// GoValue converts an engine value to its plain Go representation:
+// int64, float64, string, bool, nil, or []any for vectors.
+func GoValue(v values.Value) any {
+	switch v.Kind() {
+	case values.Int:
+		return v.Int()
+	case values.Float:
+		return v.Float()
+	case values.String:
+		return v.Str()
+	case values.Bool:
+		return v.Bool()
+	case values.Vec:
+		out := make([]any, v.VecLen())
+		for i := range out {
+			out[i] = GoValue(v.VecAt(i))
+		}
+		return out
+	default: // Null
+		return nil
+	}
+}
+
+// newCursor builds the enumeration cursor for the query's path: flat
+// projection for SPJ queries, on-the-fly grouped aggregation when the
+// order is by group attributes, and the materialised-aggregate path
+// (with its flat-sort fallback) when ordering by an aggregate output.
+func (r *Result) newCursor() (rowCursor, error) {
+	if !r.Query.IsAggregate() {
+		return r.newSPJCursor()
+	}
+	if orderOnAggregate(r.Query) || r.eng.Materialise {
+		return r.newMaterialisedCursor()
+	}
+	return r.newGroupedCursor(true)
+}
+
+// projCursor enumerates flat tuples and projects output columns; the
+// SPJ path. Skipping delegates to the enumerator, so no skipped tuple
+// is ever assembled.
+type projCursor struct {
+	en  frep.TupleEnum
+	idx []int
+	out relation.Tuple
+}
+
+func (c *projCursor) step() (relation.Tuple, bool, error) {
+	if !c.en.Next() {
+		return nil, false, nil
+	}
+	t := c.en.Tuple()
+	for i, j := range c.idx {
+		c.out[i] = t[j]
+	}
+	return c.out, true, nil
+}
+
+func (c *projCursor) skip(n int) (int, error) { return c.en.Skip(n), nil }
+
+func (r *Result) newSPJCursor() (rowCursor, error) {
+	var specs []frep.OrderSpec
+	for _, o := range r.Query.OrderBy {
+		specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
+	}
+	en, err := r.rel().Enumerator(specs)
+	if err != nil {
+		return nil, err
+	}
+	outs := r.Query.OutputAttrs()
+	if len(outs) == 0 {
+		outs = en.Schema()
+	}
+	idx, err := columnIndices(en.Schema(), outs)
+	if err != nil {
+		return nil, err
+	}
+	return &projCursor{en: en, idx: idx, out: make(relation.Tuple, len(idx))}, nil
+}
+
+// groupCursor streams one output row per group from a grouped
+// enumerator, assembling aggregate outputs and applying HAVING. With
+// no HAVING, skipping delegates to the group enumerator and therefore
+// never evaluates the skipped groups' aggregates.
+type groupCursor struct {
+	ge       frep.GroupEnum
+	groupIdx []int
+	aggOuts  []aggOutput
+	nGroup   int
+	having   *havingFilter
+	out      relation.Tuple
+}
+
+func (c *groupCursor) step() (relation.Tuple, bool, error) {
+	for {
+		ok, err := c.ge.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		row := c.ge.Tuple()
+		for i, j := range c.groupIdx {
+			c.out[i] = row[j]
+		}
+		fieldVals := row[c.nGroup:]
+		for i, ao := range c.aggOuts {
+			c.out[len(c.groupIdx)+i] = ao.value(fieldVals)
+		}
+		if !c.having.keep(c.out) {
+			continue
+		}
+		return c.out, true, nil
+	}
+}
+
+func (c *groupCursor) skip(n int) (int, error) {
+	if c.having == nil {
+		return c.ge.Skip(n), nil
+	}
+	return skipBySteps(c, n)
+}
+
+// skipBySteps implements skip for cursors whose HAVING filter makes
+// blind enumerator skipping impossible: rows are stepped (into the
+// reused buffer, O(1) memory) and discarded.
+func skipBySteps(c rowCursor, n int) (int, error) {
+	k := 0
+	for k < n {
+		_, ok, err := c.step()
+		if err != nil || !ok {
+			return k, err
+		}
+		k++
+	}
+	return k, nil
+}
+
+// newGroupedCursor builds the on-the-fly grouped aggregation cursor
+// (Example 1, scenario 3). applyOrder false drops the ORDER BY specs
+// (used by the sort fallback, which re-orders afterwards).
+func (r *Result) newGroupedCursor(applyOrder bool) (rowCursor, error) {
+	q := r.Query
+	fields := plan.RequiredFields(q.Aggregates)
+	// Group slots: order-by attributes first (all within GroupBy on this
+	// path), then remaining group attributes in tree DFS order.
+	var specs []frep.OrderSpec
+	seen := map[string]bool{}
+	if applyOrder {
+		for _, o := range q.OrderBy {
+			specs = append(specs, frep.OrderSpec{Attr: o.Attr, Desc: o.Desc})
+			seen[o.Attr] = true
+		}
+	}
+	inG := map[string]bool{}
+	for _, g := range q.GroupBy {
+		inG[g] = true
+	}
+	for _, n := range r.Tree().Nodes() {
+		if n.IsAgg() {
+			continue
+		}
+		for _, a := range n.Attrs {
+			if inG[a] && !seen[a] {
+				specs = append(specs, frep.OrderSpec{Attr: a})
+				seen[a] = true
+			}
+		}
+	}
+	ge, err := r.rel().GroupEnumerator(specs, fields)
+	if err != nil {
+		return nil, err
+	}
+	schema := ge.Schema()
+	nGroupCols := len(schema) - len(fields)
+	groupIdx, err := columnIndices(schema[:nGroupCols], q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	aggOuts, err := buildAggOutputs(q.Aggregates, fields)
+	if err != nil {
+		return nil, err
+	}
+	having, err := newHavingFilter(q)
+	if err != nil {
+		return nil, err
+	}
+	return &groupCursor{
+		ge:       ge,
+		groupIdx: groupIdx,
+		aggOuts:  aggOuts,
+		nGroup:   nGroupCols,
+		having:   having,
+		out:      make(relation.Tuple, len(q.GroupBy)+len(aggOuts)),
+	}, nil
+}
+
+// sliceCursor yields pre-materialised rows; the flat-sort fallback.
+type sliceCursor struct {
+	rows []relation.Tuple
+	i    int
+}
+
+func (c *sliceCursor) step() (relation.Tuple, bool, error) {
+	if c.i >= len(c.rows) {
+		return nil, false, nil
+	}
+	t := c.rows[c.i]
+	c.i++
+	return t, true, nil
+}
+
+func (c *sliceCursor) skip(n int) (int, error) {
+	left := len(c.rows) - c.i
+	if n > left {
+		n = left
+	}
+	c.i += n
+	return n, nil
+}

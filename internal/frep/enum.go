@@ -18,18 +18,31 @@ type OrderSpec struct {
 
 // TupleEnum is the common surface of the pointer-based and arena
 // enumerators; the engine enumerates through it without knowing the
-// representation.
+// representation. Both implementations are pull-based cursors: Next
+// advances one step at a time, so a caller may stop, resume, or skip at
+// any point, and Skip advances past tuples without assembling them —
+// the basis of OFFSET pagination that never materialises skipped
+// prefixes.
 type TupleEnum interface {
 	Schema() []string
 	Next() bool
 	Tuple() relation.Tuple
+	// Skip advances past up to n tuples without assembling them,
+	// returning how many were skipped. A following Next positions at the
+	// tuple after the skipped prefix.
+	Skip(n int) int
 }
 
-// GroupEnum is the common surface of the grouped enumerators.
+// GroupEnum is the common surface of the grouped enumerators. Like
+// TupleEnum it is a resumable cursor; Skip advances past whole groups
+// without evaluating their aggregation parts.
 type GroupEnum interface {
 	Schema() []string
 	Next() (bool, error)
 	Tuple() relation.Tuple
+	// Skip advances past up to n groups without evaluating their
+	// aggregates, returning how many were skipped.
+	Skip(n int) int
 }
 
 // slotSpec is the representation-independent part of one enumeration
@@ -200,6 +213,28 @@ func (e *Enumerator) Schema() []string { return e.schema }
 // Next advances to the next tuple, returning false when exhausted. The
 // first call positions at the first tuple.
 func (e *Enumerator) Next() bool {
+	if !e.advance() {
+		return false
+	}
+	e.fill()
+	return true
+}
+
+// Skip advances past up to n tuples without assembling them (no column
+// fill), returning how many were skipped. A following Next positions at
+// the tuple after the skipped prefix, so skipping costs one odometer
+// step per tuple and no output work.
+func (e *Enumerator) Skip(n int) int {
+	k := 0
+	for k < n && e.advance() {
+		k++
+	}
+	return k
+}
+
+// advance moves the odometer to the next position without assembling the
+// output tuple; it returns false when exhausted.
+func (e *Enumerator) advance() bool {
 	if e.done {
 		return false
 	}
@@ -211,7 +246,6 @@ func (e *Enumerator) Next() bool {
 				return false
 			}
 		}
-		e.fill()
 		return true
 	}
 	for i := len(e.slots) - 1; i >= 0; i-- {
@@ -238,7 +272,6 @@ func (e *Enumerator) Next() bool {
 				return false
 			}
 		}
-		e.fill()
 		return true
 	}
 	e.done = true
@@ -545,6 +578,21 @@ func (g *GroupEnumerator) Next() (bool, error) {
 	}
 	g.fillAggs()
 	return true, nil
+}
+
+// Skip advances past up to n groups without evaluating their aggregation
+// parts, returning how many were skipped: OFFSET over grouped output
+// costs one odometer step per skipped group, not an aggregation.
+func (g *GroupEnumerator) Skip(n int) int {
+	if len(g.inner.slots) == 0 {
+		// Single global group.
+		if n > 0 && !g.inner.done {
+			g.inner.done = true
+			return 1
+		}
+		return 0
+	}
+	return g.inner.Skip(n)
 }
 
 func (g *GroupEnumerator) evalParts() error {

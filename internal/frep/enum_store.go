@@ -64,6 +64,26 @@ func (e *StoreEnumerator) Schema() []string { return e.schema }
 // Next advances to the next tuple, returning false when exhausted. The
 // first call positions at the first tuple.
 func (e *StoreEnumerator) Next() bool {
+	if !e.advance() {
+		return false
+	}
+	e.fill()
+	return true
+}
+
+// Skip advances past up to n tuples without assembling them, returning
+// how many were skipped; see Enumerator.Skip.
+func (e *StoreEnumerator) Skip(n int) int {
+	k := 0
+	for k < n && e.advance() {
+		k++
+	}
+	return k
+}
+
+// advance moves the odometer to the next position without assembling the
+// output tuple; it returns false when exhausted.
+func (e *StoreEnumerator) advance() bool {
 	if e.done {
 		return false
 	}
@@ -75,7 +95,6 @@ func (e *StoreEnumerator) Next() bool {
 				return false
 			}
 		}
-		e.fill()
 		return true
 	}
 	for i := len(e.slots) - 1; i >= 0; i-- {
@@ -101,7 +120,6 @@ func (e *StoreEnumerator) Next() bool {
 				return false
 			}
 		}
-		e.fill()
 		return true
 	}
 	e.done = true
@@ -223,6 +241,19 @@ func (g *StoreGroupEnumerator) Next() (bool, error) {
 	}
 	g.fillAggs()
 	return true, nil
+}
+
+// Skip advances past up to n groups without evaluating their aggregation
+// parts, returning how many were skipped; see GroupEnumerator.Skip.
+func (g *StoreGroupEnumerator) Skip(n int) int {
+	if len(g.inner.slots) == 0 {
+		if n > 0 && !g.inner.done {
+			g.inner.done = true
+			return 1
+		}
+		return 0
+	}
+	return g.inner.Skip(n)
 }
 
 func (g *StoreGroupEnumerator) evalParts() error {

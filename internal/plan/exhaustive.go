@@ -79,6 +79,9 @@ func (p *Planner) planExhaustive(t *ftree.Forest, q *query.Query) (*Plan, error)
 	visited := map[string]bool{}
 	explored := 0
 	for h.Len() > 0 {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		st := heap.Pop(h).(*exState)
 		key := stateKey(st)
 		if visited[key] {

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,19 @@ type Planner struct {
 	// MaxStates caps the exhaustive search; beyond it Plan falls back to
 	// the greedy heuristic. 0 means a default of 50000.
 	MaxStates int
+	// Ctx, when non-nil, is checked between optimisation steps so long
+	// searches honour cancellation and deadlines; Plan returns the
+	// context's error when it fires.
+	Ctx context.Context
+}
+
+// ctxErr reports the planner context's error, if a context is set and it
+// has fired.
+func (p *Planner) ctxErr() error {
+	if p.Ctx != nil {
+		return p.Ctx.Err()
+	}
+	return nil
 }
 
 // RequiredFields maps the query's aggregates to f-tree aggregation
@@ -194,6 +208,9 @@ func (p *Planner) planGreedy(t *ftree.Forest, q *query.Query) (*Plan, error) {
 	for iter := 0; ; iter++ {
 		if iter > 10000 {
 			return nil, fmt.Errorf("plan: greedy did not converge on %s", q)
+		}
+		if err := p.ctxErr(); err != nil {
+			return nil, err
 		}
 		progressed, err := st.step()
 		if err != nil {

@@ -6,6 +6,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -220,7 +221,19 @@ type Plan struct {
 // Execute applies the plan's operators to the factorised relation in
 // order.
 func (p *Plan) Execute(fr fops.Rel) error {
+	return p.ExecuteContext(context.Background(), fr)
+}
+
+// ExecuteContext is Execute with cancellation: the context is checked
+// before each operator, so a long plan over a large factorisation stops
+// promptly when the context fires. The representation is left in
+// whatever intermediate state it had reached; callers discard it on
+// error.
+func (p *Plan) ExecuteContext(ctx context.Context, fr fops.Rel) error {
 	for _, op := range p.Ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := op.Apply(fr); err != nil {
 			return fmt.Errorf("plan: executing %s: %w", op, err)
 		}

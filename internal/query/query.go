@@ -132,6 +132,10 @@ type Query struct {
 	Having []Filter
 	// Limit is λ_k; 0 means no limit.
 	Limit int
+	// Offset is the number of leading output tuples (after HAVING, in
+	// the requested order) to skip before emitting; 0 means none. The
+	// engine skips them in the enumerator without materialising them.
+	Offset int
 }
 
 // IsAggregate reports whether the query has an aggregation operator.
@@ -189,14 +193,25 @@ func (q *Query) Validate() error {
 	if q.Limit < 0 {
 		return fmt.Errorf("query: negative limit")
 	}
+	if q.Offset < 0 {
+		return fmt.Errorf("query: negative offset")
+	}
 	return nil
 }
 
 // String renders the query in the paper's algebraic notation.
 func (q *Query) String() string {
 	var b strings.Builder
-	if q.Limit > 0 {
-		fmt.Fprintf(&b, "λ%d(", q.Limit)
+	if q.Limit > 0 || q.Offset > 0 {
+		// λ_k with an optional skip: λ5+20 reads "skip 20, take 5".
+		b.WriteString("λ")
+		if q.Limit > 0 {
+			fmt.Fprintf(&b, "%d", q.Limit)
+		}
+		if q.Offset > 0 {
+			fmt.Fprintf(&b, "+%d", q.Offset)
+		}
+		b.WriteString("(")
 	}
 	if len(q.OrderBy) > 0 {
 		items := make([]string, len(q.OrderBy))
@@ -228,7 +243,7 @@ func (q *Query) String() string {
 	if len(q.OrderBy) > 0 {
 		b.WriteString(")")
 	}
-	if q.Limit > 0 {
+	if q.Limit > 0 || q.Offset > 0 {
 		b.WriteString(")")
 	}
 	return b.String()

@@ -234,7 +234,7 @@ func crossProduct(r, s *relation.Relation) *relation.Relation {
 	return &relation.Relation{Name: r.Name + "×" + s.Name, Attrs: attrs, Tuples: out}
 }
 
-// finish applies HAVING, ORDER BY and LIMIT.
+// finish applies HAVING, ORDER BY, OFFSET and LIMIT.
 func finish(rel *relation.Relation, q *query.Query) (*relation.Relation, error) {
 	out := rel
 	if len(q.Having) > 0 {
@@ -260,8 +260,17 @@ func finish(rel *relation.Relation, q *query.Query) (*relation.Relation, error) 
 			return nil, err
 		}
 	}
-	if q.Limit > 0 && q.Limit < len(out.Tuples) {
-		out = &relation.Relation{Name: out.Name, Attrs: out.Attrs, Tuples: out.Tuples[:q.Limit]}
+	if q.Offset > 0 || (q.Limit > 0 && q.Limit < len(out.Tuples)) {
+		tuples := out.Tuples
+		if q.Offset >= len(tuples) {
+			tuples = nil
+		} else {
+			tuples = tuples[q.Offset:]
+		}
+		if q.Limit > 0 && q.Limit < len(tuples) {
+			tuples = tuples[:q.Limit]
+		}
+		out = &relation.Relation{Name: out.Name, Attrs: out.Attrs, Tuples: tuples}
 	}
 	return out, nil
 }

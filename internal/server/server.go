@@ -25,6 +25,14 @@
 //	POST /query    {"sql": "...", "db": "name"} → columns + rows JSON
 //	GET  /healthz  liveness probe
 //	GET  /stats    query counters, latency percentiles, cache hit rates
+//
+// A request with "Accept: application/x-ndjson" streams instead of
+// buffering: the response is newline-delimited JSON — a header object
+// {"columns": ...}, one array per row straight off the engine's
+// cursor, and a trailer object {"rowCount": ...} — so the first row
+// arrives before enumeration completes and response memory stays O(1)
+// in the result size. The stream is driven by the request context:
+// a client that disconnects stops the enumeration promptly.
 package server
 
 import (
@@ -33,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/factordb/fdb"
@@ -180,8 +189,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// One worker slot covers planning and execution; waiting requests
-	// abandon the queue when the client goes away.
+	// One worker slot covers planning, execution and (for NDJSON)
+	// streaming; waiting requests abandon the queue when the client goes
+	// away.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -190,11 +200,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if wantsNDJSON(r) {
+		s.streamQuery(w, r, d, req.SQL)
+		return
+	}
+
 	// Per-query response scratch comes from a pool; it is released only
 	// after the response has been encoded, since the rows alias it.
 	sc := getScratch()
 	start := time.Now()
-	resp, err := s.runQuery(d, req.SQL, sc)
+	resp, err := s.runQuery(r, d, req.SQL, sc)
 	elapsed := time.Since(start)
 	s.met.record(elapsed, err != nil)
 	if err != nil {
@@ -207,6 +222,106 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	putScratch(sc)
 }
 
+// wantsNDJSON reports whether the client asked for a streaming
+// newline-delimited JSON response.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// ndjsonHeader is the first line of a streaming response.
+type ndjsonHeader struct {
+	Columns []string `json:"columns"`
+	Cached  bool     `json:"cached"`
+}
+
+// ndjsonTrailer is the last line of a streaming response. An error
+// after streaming began cannot change the HTTP status any more, so it
+// travels in the trailer's Error field.
+type ndjsonTrailer struct {
+	RowCount      int     `json:"rowCount"`
+	Truncated     bool    `json:"truncated,omitempty"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// flushEvery bounds how many rows may sit in HTTP buffers before the
+// stream is flushed to the client: small enough that slow consumers
+// see steady progress (and the first row promptly), large enough to
+// amortise the flush syscall.
+const flushEvery = 64
+
+// streamQuery executes the statement and streams its rows as NDJSON
+// straight off the engine cursor: one reused row buffer, no response
+// materialisation, cancellation via the request context.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database, sqlText string) {
+	start := time.Now()
+	fail := func(err error) {
+		s.met.record(time.Since(start), true)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+	prep, cached, err := s.prepared(d, sqlText)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res, err := prep.ExecSharedContext(r.Context(), d.db)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer res.Close()
+	rows, err := res.Rows(r.Context())
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w) // Encode terminates every value with \n
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(ndjsonHeader{Columns: rows.Columns(), Cached: cached}); err != nil {
+		s.met.record(time.Since(start), true)
+		return
+	}
+	flush() // first bytes (and shortly after, the first row) leave now
+
+	trailer := ndjsonTrailer{}
+	row := make([]any, 0, len(rows.Columns()))
+	for rows.Next() {
+		if s.maxRows > 0 && trailer.RowCount >= s.maxRows {
+			trailer.Truncated = true
+			break
+		}
+		row = row[:0]
+		for _, v := range rows.Tuple() {
+			row = append(row, valueJSON(v))
+		}
+		if err := enc.Encode(row); err != nil {
+			// The client went away mid-stream; nothing left to tell it.
+			s.met.record(time.Since(start), true)
+			return
+		}
+		trailer.RowCount++
+		if trailer.RowCount%flushEvery == 0 {
+			flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		trailer.Error = err.Error()
+	}
+	trailer.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	_ = enc.Encode(trailer)
+	flush()
+	s.met.record(time.Since(start), trailer.Error != "")
+}
+
 // runQuery resolves the plan (through the cache) and enumerates the
 // result into a response whose rows are backed by the pooled scratch.
 //
@@ -215,30 +330,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // snapshot of its factorised base relations and every query starts from
 // a slab copy of it instead of re-sorting the base data. The copy lives
 // in a pooled store that Result.Close recycles after enumeration.
-func (s *Server) runQuery(d *database, sqlText string, sc *rowScratch) (*QueryResponse, error) {
+func (s *Server) runQuery(r *http.Request, d *database, sqlText string, sc *rowScratch) (*QueryResponse, error) {
 	prep, cached, err := s.prepared(d, sqlText)
 	if err != nil {
 		return nil, err
 	}
-	res, err := prep.ExecShared(d.db)
+	res, err := prep.ExecSharedContext(r.Context(), d.db)
 	if err != nil {
 		return nil, err
 	}
 	defer res.Close()
+	rows, err := res.Rows(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
 	resp := &QueryResponse{Columns: res.Schema(), Cached: cached, Rows: sc.rows[:0]}
-	err = res.ForEach(func(t fdb.Tuple) bool {
+	for rows.Next() {
+		t := rows.Tuple()
 		if s.maxRows > 0 && len(resp.Rows) >= s.maxRows {
 			resp.Truncated = true
-			return false
+			break
 		}
 		row := sc.row(len(t))
 		for i, v := range t {
 			row[i] = valueJSON(v)
 		}
 		resp.Rows = append(resp.Rows, row)
-		return true
-	})
-	if err != nil {
+	}
+	if err := rows.Err(); err != nil {
 		return nil, err
 	}
 	sc.rows = resp.Rows
@@ -268,26 +388,7 @@ func (s *Server) prepared(d *database, sqlText string) (*fdb.PreparedQuery, bool
 }
 
 // valueJSON converts an engine value to its JSON representation.
-func valueJSON(v values.Value) any {
-	switch v.Kind() {
-	case values.Int:
-		return v.Int()
-	case values.Float:
-		return v.Float()
-	case values.String:
-		return v.Str()
-	case values.Bool:
-		return v.Bool()
-	case values.Vec:
-		out := make([]any, v.VecLen())
-		for i := range out {
-			out[i] = valueJSON(v.VecAt(i))
-		}
-		return out
-	default: // Null
-		return nil
-	}
-}
+func valueJSON(v values.Value) any { return fdb.GoValue(v) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{

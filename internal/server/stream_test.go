@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/factordb/fdb"
+)
+
+// postNDJSON sends a streaming query and splits the NDJSON response
+// into header, row lines and trailer.
+func postNDJSON(t *testing.T, h http.Handler, req QueryRequest) (ndjsonHeader, [][]any, ndjsonTrailer, *httptest.ResponseRecorder) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	r.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		return ndjsonHeader{}, nil, ndjsonTrailer{}, rec
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON response has %d lines, want >= 2:\n%s", len(lines), rec.Body)
+	}
+	var hdr ndjsonHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("decoding header line %q: %v", lines[0], err)
+	}
+	var trailer ndjsonTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("decoding trailer line %q: %v", lines[len(lines)-1], err)
+	}
+	var rows [][]any
+	for _, l := range lines[1 : len(lines)-1] {
+		var row []any
+		if err := json.Unmarshal([]byte(l), &row); err != nil {
+			t.Fatalf("decoding row line %q: %v", l, err)
+		}
+		rows = append(rows, row)
+	}
+	return hdr, rows, trailer, rec
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	hdr, rows, trailer, _ := postNDJSON(t, s, QueryRequest{SQL: revenueSQL})
+	if want := []string{"customer", "revenue"}; fmt.Sprint(hdr.Columns) != fmt.Sprint(want) {
+		t.Fatalf("columns = %v, want %v", hdr.Columns, want)
+	}
+	if len(rows) != 3 || trailer.RowCount != 3 {
+		t.Fatalf("rows = %d, trailer.rowCount = %d, want 3", len(rows), trailer.RowCount)
+	}
+	if trailer.Error != "" {
+		t.Fatalf("trailer.error = %q", trailer.Error)
+	}
+	if rows[0][0] != "Mario" || rows[0][1].(float64) != 22 {
+		t.Fatalf("top row = %v, want [Mario 22]", rows[0])
+	}
+
+	// The streamed rows must be identical to the buffered path's.
+	buffered, _ := postQuery(t, s, QueryRequest{SQL: revenueSQL})
+	if fmt.Sprint(buffered.Rows) != fmt.Sprint(rows) {
+		t.Fatalf("stream rows %v differ from buffered rows %v", rows, buffered.Rows)
+	}
+}
+
+func TestNDJSONOffsetPagination(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, all, _, _ := postNDJSON(t, s, QueryRequest{SQL: `SELECT item2, price FROM Items ORDER BY price DESC, item2`})
+	var paged [][]any
+	for off := 0; off < len(all); off += 2 {
+		stmt := fmt.Sprintf(`SELECT item2, price FROM Items ORDER BY price DESC, item2 LIMIT 2 OFFSET %d`, off)
+		_, rows, _, _ := postNDJSON(t, s, QueryRequest{SQL: stmt})
+		paged = append(paged, rows...)
+	}
+	if fmt.Sprint(paged) != fmt.Sprint(all) {
+		t.Fatalf("paged = %v, all = %v", paged, all)
+	}
+}
+
+func TestNDJSONParseError(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, _, _, rec := postNDJSON(t, s, QueryRequest{SQL: "SELEC x"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+func TestNDJSONMaxRows(t *testing.T) {
+	s := newTestServer(t, Config{MaxRows: 2})
+	_, rows, trailer, _ := postNDJSON(t, s, QueryRequest{SQL: `SELECT item2, price FROM Items ORDER BY item2`})
+	if len(rows) != 2 || !trailer.Truncated {
+		t.Fatalf("rows = %d truncated = %v, want 2 rows truncated", len(rows), trailer.Truncated)
+	}
+}
+
+// flushRecorder wraps a ResponseRecorder and records how much of the
+// body had been written at each Flush.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushedAt []int
+}
+
+func (f *flushRecorder) Flush() {
+	f.flushedAt = append(f.flushedAt, f.Body.Len())
+}
+
+// TestNDJSONFlushesHeaderBeforeRows asserts the stream is flushed to
+// the client right after the header line — before any row is encoded —
+// so the first bytes (and time-to-first-row) do not wait for the full
+// enumeration.
+func TestNDJSONFlushesHeaderBeforeRows(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body, _ := json.Marshal(QueryRequest{SQL: revenueSQL})
+	r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	r.Header.Set("Accept", "application/x-ndjson")
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	s.ServeHTTP(rec, r)
+	if len(rec.flushedAt) < 2 {
+		t.Fatalf("stream flushed %d times, want >= 2 (header + trailer)", len(rec.flushedAt))
+	}
+	firstLine := rec.Body.String()[:rec.flushedAt[0]]
+	if strings.Count(firstLine, "\n") != 1 || !strings.Contains(firstLine, `"columns"`) {
+		t.Fatalf("first flush was %q, want exactly the header line", firstLine)
+	}
+}
+
+// TestNDJSONClientDisconnect streams a large result over a real HTTP
+// connection, drops the client mid-stream, and verifies the server
+// stays healthy (the enumeration goroutine stops instead of spinning
+// on a dead connection).
+func TestNDJSONClientDisconnect(t *testing.T) {
+	// A single relation large enough that the stream spans many flushes.
+	var csv strings.Builder
+	csv.WriteString("k,v\n")
+	for i := 0; i < 50000; i++ {
+		fmt.Fprintf(&csv, "%d,%d\n", i, i%97)
+	}
+	rel, err := fdb.ReadCSV("Big", strings.NewReader(csv.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Databases: map[string]fdb.Database{"big": {"Big": rel}}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(QueryRequest{SQL: `SELECT k, v FROM Big ORDER BY k`})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 10; i++ { // header + a few rows
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("reading line %d: %v", i, err)
+		}
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server must keep answering within a bounded time: the worker
+	// slot held by the cancelled stream is released once the enumeration
+	// notices the dead connection.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r2, err := http.Get(ts.URL + "/healthz")
+		if err == nil {
+			r2.Body.Close()
+			if r2.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not recover after client disconnect")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// And a fresh buffered query still works.
+	var n struct{ RowCount int }
+	r3, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT k FROM Big WHERE k < 5 ORDER BY k"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if err := json.NewDecoder(r3.Body).Decode(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n.RowCount != 5 {
+		t.Fatalf("rowCount = %d, want 5", n.RowCount)
+	}
+}

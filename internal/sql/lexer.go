@@ -30,9 +30,9 @@ type token struct {
 
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "LIMIT": true, "AND": true, "AS": true,
-	"ASC": true, "DESC": true, "COUNT": true, "SUM": true, "MIN": true,
-	"MAX": true, "AVG": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AND": true,
+	"AS": true, "ASC": true, "DESC": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true,
 }
 
 // lex tokenises the input. Identifiers are case-preserved; keywords are

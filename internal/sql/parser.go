@@ -24,7 +24,7 @@ func Parse(input string) (*query.Query, error) {
 		p.next()
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+		return nil, p.errf(p.peek(), "unexpected %q after statement", p.peek().text)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -47,10 +47,16 @@ func (p *parser) next() token {
 	return t
 }
 
+// errf builds a parse error carrying the byte position of the offending
+// token, so callers see where in the statement the parse failed.
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("sql: %s at position %d", fmt.Sprintf(format, args...), t.pos+1)
+}
+
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if t.kind != tokKeyword || t.text != kw {
-		return fmt.Errorf("sql: expected %s, got %q", kw, t.text)
+		return p.errf(t, "expected %s, got %q", kw, t.text)
 	}
 	return nil
 }
@@ -58,9 +64,22 @@ func (p *parser) expectKeyword(kw string) error {
 func (p *parser) expectSymbol(sym string) error {
 	t := p.next()
 	if t.kind != tokSymbol || t.text != sym {
-		return fmt.Errorf("sql: expected %q, got %q", sym, t.text)
+		return p.errf(t, "expected %q, got %q", sym, t.text)
 	}
 	return nil
+}
+
+// parseCount parses the non-negative integer operand of LIMIT or OFFSET.
+func (p *parser) parseCount(clause string) (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected number after %s, got %q", clause, t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errf(t, "invalid %s %q", clause, t.text)
+	}
+	return n, nil
 }
 
 // selectItem is one SELECT-list entry before classification.
@@ -100,7 +119,7 @@ func (p *parser) parseSelect() (*query.Query, error) {
 	for {
 		t := p.next()
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("sql: expected relation name, got %q", t.text)
+			return nil, p.errf(t, "expected relation name, got %q", t.text)
 		}
 		q.Relations = append(q.Relations, t.text)
 		if p.peek().kind == tokSymbol && p.peek().text == "," {
@@ -132,7 +151,7 @@ func (p *parser) parseSelect() (*query.Query, error) {
 		for {
 			t := p.next()
 			if t.kind != tokIdent {
-				return nil, fmt.Errorf("sql: expected attribute in GROUP BY, got %q", t.text)
+				return nil, p.errf(t, "expected attribute in GROUP BY, got %q", t.text)
 			}
 			q.GroupBy = append(q.GroupBy, t.text)
 			if p.peek().kind == tokSymbol && p.peek().text == "," {
@@ -167,7 +186,7 @@ func (p *parser) parseSelect() (*query.Query, error) {
 		for {
 			t := p.next()
 			if t.kind != tokIdent {
-				return nil, fmt.Errorf("sql: expected attribute in ORDER BY, got %q", t.text)
+				return nil, p.errf(t, "expected attribute in ORDER BY, got %q", t.text)
 			}
 			item := query.OrderItem{Attr: t.text}
 			if p.peek().kind == tokKeyword && (p.peek().text == "ASC" || p.peek().text == "DESC") {
@@ -184,15 +203,20 @@ func (p *parser) parseSelect() (*query.Query, error) {
 
 	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
 		p.next()
-		t := p.next()
-		if t.kind != tokNumber {
-			return nil, fmt.Errorf("sql: expected number after LIMIT, got %q", t.text)
-		}
-		n, err := strconv.Atoi(t.text)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		n, err := p.parseCount("LIMIT")
+		if err != nil {
+			return nil, err
 		}
 		q.Limit = n
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "OFFSET" {
+		p.next()
+		n, err := p.parseCount("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		q.Offset = n
 	}
 
 	// Classify the select list.
@@ -246,7 +270,7 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 		case "AVG":
 			fn = query.Avg
 		default:
-			return selectItem{}, fmt.Errorf("sql: unexpected keyword %q in SELECT list", t.text)
+			return selectItem{}, p.errf(t, "unexpected keyword %q in SELECT list", t.text)
 		}
 		if err := p.expectSymbol("("); err != nil {
 			return selectItem{}, err
@@ -259,7 +283,7 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 		case arg.kind == tokIdent:
 			agg.Arg = arg.text
 		default:
-			return selectItem{}, fmt.Errorf("sql: bad aggregate argument %q", arg.text)
+			return selectItem{}, p.errf(arg, "bad aggregate argument %q", arg.text)
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return selectItem{}, err
@@ -268,14 +292,14 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 			p.next()
 			alias := p.next()
 			if alias.kind != tokIdent {
-				return selectItem{}, fmt.Errorf("sql: expected alias after AS, got %q", alias.text)
+				return selectItem{}, p.errf(alias, "expected alias after AS, got %q", alias.text)
 			}
 			agg.As = alias.text
 		}
 		return selectItem{agg: agg}, nil
 	}
 	if t.kind != tokIdent {
-		return selectItem{}, fmt.Errorf("sql: expected attribute or aggregate, got %q", t.text)
+		return selectItem{}, p.errf(t, "expected attribute or aggregate, got %q", t.text)
 	}
 	return selectItem{attr: t.text}, nil
 }
@@ -302,27 +326,27 @@ func parseOp(text string) (fops.CmpOp, error) {
 func (p *parser) parseCondition(q *query.Query) error {
 	lhs := p.next()
 	if lhs.kind != tokIdent {
-		return fmt.Errorf("sql: expected attribute in WHERE, got %q", lhs.text)
+		return p.errf(lhs, "expected attribute in WHERE, got %q", lhs.text)
 	}
 	opTok := p.next()
 	if opTok.kind != tokSymbol {
-		return fmt.Errorf("sql: expected comparison operator, got %q", opTok.text)
+		return p.errf(opTok, "expected comparison operator, got %q", opTok.text)
 	}
 	op, err := parseOp(opTok.text)
 	if err != nil {
-		return err
+		return p.errf(opTok, "unknown operator %q", opTok.text)
 	}
 	rhs := p.next()
 	switch rhs.kind {
 	case tokIdent:
 		if op != fops.EQ {
-			return fmt.Errorf("sql: only equality is supported between attributes (%s %s %s)", lhs.text, opTok.text, rhs.text)
+			return p.errf(opTok, "only equality is supported between attributes (%s %s %s)", lhs.text, opTok.text, rhs.text)
 		}
 		q.Equalities = append(q.Equalities, query.Equality{A: lhs.text, B: rhs.text})
 	case tokNumber, tokString:
 		q.Filters = append(q.Filters, query.Filter{Attr: lhs.text, Op: op, Const: literal(rhs)})
 	default:
-		return fmt.Errorf("sql: expected attribute or literal, got %q", rhs.text)
+		return p.errf(rhs, "expected attribute or literal, got %q", rhs.text)
 	}
 	return nil
 }
@@ -330,16 +354,16 @@ func (p *parser) parseCondition(q *query.Query) error {
 func (p *parser) parseHavingCond() (query.Filter, error) {
 	lhs := p.next()
 	if lhs.kind != tokIdent {
-		return query.Filter{}, fmt.Errorf("sql: expected aggregate alias in HAVING, got %q", lhs.text)
+		return query.Filter{}, p.errf(lhs, "expected aggregate alias in HAVING, got %q", lhs.text)
 	}
 	opTok := p.next()
 	op, err := parseOp(opTok.text)
 	if err != nil {
-		return query.Filter{}, err
+		return query.Filter{}, p.errf(opTok, "unknown operator %q", opTok.text)
 	}
 	rhs := p.next()
 	if rhs.kind != tokNumber && rhs.kind != tokString {
-		return query.Filter{}, fmt.Errorf("sql: expected literal in HAVING, got %q", rhs.text)
+		return query.Filter{}, p.errf(rhs, "expected literal in HAVING, got %q", rhs.text)
 	}
 	return query.Filter{Attr: lhs.text, Op: op, Const: literal(rhs)}, nil
 }
