@@ -49,6 +49,7 @@ type bench struct {
 	reps         int
 	httpClients  int
 	httpRequests int
+	par          int
 	jsonOut      bool
 	ds           map[int]*workload.Dataset
 	views        map[int]*fops.FRel
@@ -75,6 +76,8 @@ type benchResult struct {
 	QPS      float64 `json:"qps,omitempty"`
 	P50Ns    int64   `json:"p50_ns,omitempty"`
 	P99Ns    int64   `json:"p99_ns,omitempty"`
+	Par      int     `json:"par,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
 }
 
 // rec records one timed series point for the JSON report.
@@ -128,12 +131,13 @@ func (b *bench) flushJSON(exp string) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	httpClients := flag.Int("httpclients", 8, "maximum client concurrency for the http experiment")
 	httpRequests := flag.Int("httprequests", 800, "requests per concurrency level for the http experiment")
+	par := flag.Int("par", 8, "maximum intra-query parallelism for the parallel experiment")
 	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json per experiment (ns/op, allocs/op, qps, p50/p99)")
 	flag.Parse()
 
@@ -143,6 +147,7 @@ func main() {
 		reps:         *reps,
 		httpClients:  *httpClients,
 		httpRequests: *httpRequests,
+		par:          *par,
 		jsonOut:      *jsonOut,
 		ds:           map[int]*workload.Dataset{},
 		views:        map[int]*fops.FRel{},
@@ -152,13 +157,14 @@ func main() {
 		"size": b.expSize, "fig4": b.expFig4, "fig5": b.expFig5,
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
 		"ablation": b.expAblation, "http": b.expHTTP, "stream": b.expStream,
+		"parallel": b.expParallel,
 	}
 	doOne := func(name string, fn func()) {
 		fn()
 		b.flushJSON(name)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream"} {
+		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream", "parallel"} {
 			doOne(name, run[name])
 		}
 		return

@@ -80,6 +80,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 256, "plan cache entries per database")
 	maxRows := flag.Int("maxrows", 0, "max rows returned per query (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "intra-query parallelism per executing query (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if len(data.dirs) == 0 {
@@ -104,11 +105,12 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Databases: dbs,
-		DefaultDB: data.names[0],
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		MaxRows:   *maxRows,
+		Databases:   dbs,
+		DefaultDB:   data.names[0],
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		MaxRows:     *maxRows,
+		Parallelism: *parallelism,
 	})
 	if err != nil {
 		log.Fatal(err)

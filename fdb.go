@@ -173,6 +173,16 @@ type PreparedQuery = engine.Prepared
 // plan-cache key.
 var NormalizeSQL = sql.Normalize
 
+// ParStats are the cumulative intra-query parallelism counters: queries
+// executed with a parallelism budget above 1 and segment workers
+// spawned per layer (enumeration cursors, f-plan operators, aggregate
+// evaluations), plus pooled-store returns. See Engine.Parallelism.
+type ParStats = engine.ParStats
+
+// ParallelStats returns the process-wide intra-query parallelism
+// counters (fdbserver surfaces them at /stats).
+var ParallelStats = engine.ParallelStats
+
 // Factorisation is a factorised relation: an f-tree plus a
 // pointer-based representation over it. Obtain one with Factorise or
 // Result.Factorisation, and query it with Engine.RunOnView. (Engine

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"github.com/factordb/fdb/internal/frep"
 	"github.com/factordb/fdb/internal/ftree"
@@ -112,36 +114,151 @@ func (h *havingFilter) keep(row relation.Tuple) bool {
 // newSortedCursor is the fallback for ordering by an aggregate when the
 // group-by attributes span several branches of the f-tree (no single
 // aggregate subtree exists): the grouped output is materialised and
-// sorted flat, as a relational engine would.
+// sorted flat, as a relational engine would. With parallelism, each
+// segment worker materialises and sorts its own run of groups and the
+// runs merge preferring the earlier run on ties — exactly the stable
+// sort of the serially concatenated output.
 func (r *Result) newSortedCursor() (rowCursor, error) {
 	q := r.Query
-	cur, err := r.newGroupedCursor(false)
+	cmp, err := sortedOutputCmp(q)
 	if err != nil {
 		return nil, err
 	}
-	var rows []relation.Tuple
-	for {
-		t, ok, err := cur.step()
+	probe, err := r.buildGroupedCursor(false)
+	if err != nil {
+		return nil, err
+	}
+	collect := func(cur rowCursor) ([]relation.Tuple, error) {
+		var rows []relation.Tuple
+		for {
+			t, ok, err := cur.step()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return rows, nil
+			}
+			rows = append(rows, t.Clone())
+		}
+	}
+	var runs [][]relation.Tuple
+	par := r.parallelism()
+	se := asSegmentable(probe.ge)
+	var segs [][2]int
+	if par >= 2 && se != nil && se.SegmentUniverse() >= MinParallelEnumRows {
+		segs = frep.Segments(se.SegmentUniverse(), par)
+	}
+	if len(segs) >= 2 {
+		// The probe has not been stepped; restrict it to serve as the
+		// first segment's cursor.
+		curs := make([]*groupCursor, len(segs))
+		se.Restrict(segs[0][0], segs[0][1])
+		curs[0] = probe
+		for w := 1; w < len(segs); w++ {
+			c, err := r.buildGroupedCursor(false)
+			if err != nil {
+				return nil, err
+			}
+			asSegmentable(c.ge).Restrict(segs[w][0], segs[w][1])
+			curs[w] = c
+		}
+		runs = make([][]relation.Tuple, len(segs))
+		errs := make([]error, len(segs))
+		parEnumWorkers.Add(int64(len(segs)))
+		var wg sync.WaitGroup
+		for w := range curs {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows, err := collect(curs[w])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				sort.SliceStable(rows, func(x, y int) bool { return cmp(rows[x], rows[y]) < 0 })
+				runs[w] = rows
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		rows, err := collect(probe)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			break
-		}
-		rows = append(rows, t.Clone())
+		sort.SliceStable(rows, func(x, y int) bool { return cmp(rows[x], rows[y]) < 0 })
+		runs = [][]relation.Tuple{rows}
 	}
-	rel, err := relation.New("sorted", q.OutputAttrs(), rows)
-	if err != nil {
-		return nil, err
-	}
-	keys := make([]relation.OrderKey, len(q.OrderBy))
+	return &sliceCursor{rows: mergeSortedRuns(runs, cmp)}, nil
+}
+
+// sortedOutputCmp builds the sort-fallback comparator over output rows:
+// the ORDER BY keys, ties broken by full-tuple comparison — the same
+// total order relation.Sort applies, so parallel runs merge into the
+// serial sort's output byte for byte.
+func sortedOutputCmp(q *query.Query) (func(a, b relation.Tuple) int, error) {
+	outs := q.OutputAttrs()
+	idx := make([]int, len(q.OrderBy))
+	desc := make([]bool, len(q.OrderBy))
 	for i, o := range q.OrderBy {
-		keys[i] = relation.OrderKey{Attr: o.Attr, Desc: o.Desc}
+		idx[i] = -1
+		for j, a := range outs {
+			if a == o.Attr {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("engine: sort: output has no attribute %q", o.Attr)
+		}
+		desc[i] = o.Desc
 	}
-	if err := rel.Sort(keys...); err != nil {
-		return nil, err
+	return func(a, b relation.Tuple) int {
+		for i, j := range idx {
+			c := values.Compare(a[j], b[j])
+			if c != 0 {
+				if desc[i] {
+					return -c
+				}
+				return c
+			}
+		}
+		return relation.Compare(a, b)
+	}, nil
+}
+
+// mergeSortedRuns k-way merges sorted runs, preferring the earliest run
+// on comparator ties: together with per-run stable sorts this equals a
+// stable sort of the runs' concatenation.
+func mergeSortedRuns(runs [][]relation.Tuple, cmp func(a, b relation.Tuple) int) []relation.Tuple {
+	if len(runs) == 1 {
+		return runs[0]
 	}
-	return &sliceCursor{rows: rel.Tuples}, nil
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]relation.Tuple, 0, total)
+	pos := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for w := range runs {
+			if pos[w] >= len(runs[w]) {
+				continue
+			}
+			if best < 0 || cmp(runs[w][pos[w]], runs[best][pos[best]]) < 0 {
+				best = w
+			}
+		}
+		out = append(out, runs[best][pos[best]])
+		pos[best]++
+	}
+	return out
 }
 
 // matCursor enumerates the materialised-aggregate representation,
@@ -292,37 +409,43 @@ func (r *Result) newMaterialisedCursor() (rowCursor, error) {
 		}
 	}
 
-	en, err := r.rel().Enumerator(specs)
-	if err != nil {
-		return nil, err
+	build := func() (rowCursor, error) {
+		en, err := r.rel().Enumerator(specs)
+		if err != nil {
+			return nil, err
+		}
+		// Output columns: group attributes by name; aggregates by alias
+		// (or label.field / scalar columns).
+		schema := en.Schema()
+		groupIdx, err := columnIndices(schema, q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		node := r.Tree().ResolveAttr(aggNodeName)
+		if node == nil {
+			return nil, fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
+		}
+		aggCols, avgPairs, err := aggregateColumns(q, node, schema, avgOnly)
+		if err != nil {
+			return nil, err
+		}
+		having, err := newHavingFilter(q)
+		if err != nil {
+			return nil, err
+		}
+		return &matCursor{
+			en:       en,
+			groupIdx: groupIdx,
+			aggCols:  aggCols,
+			avgPairs: avgPairs,
+			having:   having,
+			out:      make(relation.Tuple, len(groupIdx)+len(aggCols)),
+		}, nil
 	}
-	// Output columns: group attributes by name; aggregates by alias (or
-	// label.field / scalar columns).
-	schema := en.Schema()
-	groupIdx, err := columnIndices(schema, q.GroupBy)
-	if err != nil {
-		return nil, err
-	}
-	node := r.Tree().ResolveAttr(aggNodeName)
-	if node == nil {
-		return nil, fmt.Errorf("engine: internal: aggregate node %q lost", aggNodeName)
-	}
-	aggCols, avgPairs, err := aggregateColumns(q, node, schema, avgOnly)
-	if err != nil {
-		return nil, err
-	}
-	having, err := newHavingFilter(q)
-	if err != nil {
-		return nil, err
-	}
-	return &matCursor{
-		en:       en,
-		groupIdx: groupIdx,
-		aggCols:  aggCols,
-		avgPairs: avgPairs,
-		having:   having,
-		out:      make(relation.Tuple, len(groupIdx)+len(aggCols)),
-	}, nil
+	desc := len(specs) > 0 && specs[0].Desc
+	return r.maybeParallelEnum(build, func(c rowCursor) segmentable {
+		return asSegmentable(c.(*matCursor).en)
+	}, desc)
 }
 
 // singleNonGroupSubtree finds the unique maximal subtree containing no

@@ -1,0 +1,274 @@
+package engine
+
+// Intra-query parallel enumeration. Every enumeration cursor of the
+// engine iterates an outermost loop over one root union of the arena
+// representation (the odometer's slot 0); that union partitions into
+// contiguous segments, each enumerated by an independent worker cursor
+// over the shared read-only store. The consumer drains the workers'
+// row chunks in slot-0 iteration order (ascending segments, or
+// descending for a DESC outer order), so the merged stream is
+// byte-identical to the serial cursor's — the paper's ordering
+// guarantees survive because segment boundaries respect the order's
+// primary attribute. Workers run ahead of the consumer by a bounded
+// number of chunks, keeping memory O(parallelism), and are joined by
+// Rows.Close (or Result.Close) so no worker ever touches a recycled
+// pooled store.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+// MinParallelEnumRows is the smallest outer-loop universe for which
+// enumeration fans out; smaller results enumerate serially (chunk
+// hand-off would cost more than it saves). Package-visible so tests can
+// force either path.
+var MinParallelEnumRows = 4096
+
+const (
+	// parChunkRows is how many rows a worker batches per hand-off.
+	parChunkRows = 256
+	// parChunkBuf is how many chunks each segment buffers ahead of the
+	// consumer.
+	parChunkBuf = 4
+)
+
+// Cumulative intra-query parallelism counters, surfaced by
+// ParallelStats for the server's /stats accounting.
+var (
+	parQueries     atomic.Int64
+	parEnumWorkers atomic.Int64
+)
+
+// ParStats are cumulative intra-query parallelism counters: queries
+// executed with a parallelism budget above 1, and segment workers
+// spawned per layer (enumeration cursors, f-plan operators, aggregate
+// evaluations), plus pooled-store returns for leak accounting.
+type ParStats struct {
+	Queries      int64 `json:"queries"`
+	EnumWorkers  int64 `json:"enumWorkers"`
+	OpWorkers    int64 `json:"opWorkers"`
+	EvalWorkers  int64 `json:"evalWorkers"`
+	StoreReturns int64 `json:"storeReturns"`
+}
+
+// ParallelStats returns the process-wide parallel execution counters.
+func ParallelStats() ParStats {
+	return ParStats{
+		Queries:      parQueries.Load(),
+		EnumWorkers:  parEnumWorkers.Load(),
+		OpWorkers:    fops.ParallelRebuildWorkers(),
+		EvalWorkers:  frep.ParallelEvalWorkers(),
+		StoreReturns: storeReturns.Load(),
+	}
+}
+
+// StorePoolReturns returns the cumulative number of pooled arena stores
+// handed back (Result.Close and error paths); tests use it to assert
+// that every execution returns its store exactly once.
+func StorePoolReturns() int64 { return storeReturns.Load() }
+
+// noteParallelExec records one query executed with a parallelism
+// budget above 1, for /stats accounting.
+func noteParallelExec(ar *fops.ARel) {
+	if ar != nil && ar.Par > 1 {
+		parQueries.Add(1)
+	}
+}
+
+// parallelism returns the result's effective intra-query parallelism:
+// the budget recorded on the arena relation at execution time, or 1 for
+// legacy results.
+func (r *Result) parallelism() int {
+	if r.ARel != nil && r.ARel.Par > 1 {
+		return r.ARel.Par
+	}
+	return 1
+}
+
+// segmentable is the window surface of the arena enumerators
+// (frep.StoreEnumerator / frep.StoreGroupEnumerator).
+type segmentable interface {
+	SegmentUniverse() int
+	Restrict(lo, hi int)
+}
+
+// rowCloser is implemented by cursors that own background workers;
+// Rows.Close / Result.Close join them through it.
+type rowCloser interface{ close() }
+
+// parSeg is one segment's hand-off lane.
+type parSeg struct {
+	ch chan []relation.Tuple
+	// err is the worker's terminal error; written before ch closes, so
+	// the consumer reads it only after the close is observed.
+	err error
+}
+
+// parCursor merges per-segment worker cursors into one stream, draining
+// the segments in the given order. Rows produced before a worker's
+// error are delivered first, matching the serial cursor's
+// rows-then-error behaviour.
+type parCursor struct {
+	segs   []*parSeg
+	cur    int
+	chunk  []relation.Tuple
+	pos    int
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// newParCursor spawns one worker per segment cursor. curs is in segment
+// order; reverse drains (and therefore emits) the segments back to
+// front, for DESC outer orders whose serial odometer walks the root
+// union backwards.
+func newParCursor(curs []rowCursor, reverse bool) *parCursor {
+	pc := &parCursor{quit: make(chan struct{})}
+	pc.segs = make([]*parSeg, len(curs))
+	parEnumWorkers.Add(int64(len(curs)))
+	for i := range curs {
+		pc.segs[i] = &parSeg{ch: make(chan []relation.Tuple, parChunkBuf)}
+	}
+	if reverse {
+		for i, j := 0, len(pc.segs)-1; i < j; i, j = i+1, j-1 {
+			pc.segs[i], pc.segs[j] = pc.segs[j], pc.segs[i]
+			curs[i], curs[j] = curs[j], curs[i]
+		}
+	}
+	for i := range curs {
+		c, seg := curs[i], pc.segs[i]
+		pc.wg.Add(1)
+		go func() {
+			defer pc.wg.Done()
+			defer close(seg.ch)
+			chunk := make([]relation.Tuple, 0, parChunkRows)
+			flush := func() bool {
+				if len(chunk) == 0 {
+					return true
+				}
+				select {
+				case seg.ch <- chunk:
+					chunk = make([]relation.Tuple, 0, parChunkRows)
+					return true
+				case <-pc.quit:
+					return false
+				}
+			}
+			for {
+				t, ok, err := c.step()
+				if err != nil {
+					_ = flush()
+					seg.err = err
+					return
+				}
+				if !ok {
+					_ = flush()
+					return
+				}
+				chunk = append(chunk, t.Clone())
+				if len(chunk) == parChunkRows && !flush() {
+					return
+				}
+			}
+		}()
+	}
+	return pc
+}
+
+func (pc *parCursor) step() (relation.Tuple, bool, error) {
+	for {
+		if pc.pos < len(pc.chunk) {
+			t := pc.chunk[pc.pos]
+			pc.pos++
+			return t, true, nil
+		}
+		if pc.cur >= len(pc.segs) {
+			return nil, false, nil
+		}
+		seg := pc.segs[pc.cur]
+		chunk, ok := <-seg.ch
+		if !ok {
+			if seg.err != nil {
+				pc.cur = len(pc.segs)
+				return nil, false, seg.err
+			}
+			pc.cur++
+			continue
+		}
+		pc.chunk, pc.pos = chunk, 0
+	}
+}
+
+// skip discards already-assembled rows: segment workers enumerate their
+// whole window regardless, so unlike the serial enumerator skip this
+// saves only the consumer-side work. OFFSET correctness is unchanged.
+func (pc *parCursor) skip(n int) (int, error) { return skipBySteps(pc, n) }
+
+// close stops and joins the workers. Idempotent; safe before, during or
+// after exhaustion.
+func (pc *parCursor) close() {
+	if pc.closed {
+		return
+	}
+	pc.closed = true
+	close(pc.quit)
+	pc.wg.Wait()
+}
+
+// maybeParallelEnum decides whether to fan an enumeration out: build
+// returns one cursor over the full stream (the probe, also the serial
+// fallback) whose inner enumerator must satisfy segmentable; when the
+// universe is large enough, fresh per-segment cursors are built with
+// Restrict windows and merged by a parCursor. seg extracts the
+// segmentable from a built cursor, and desc reports whether the outer
+// loop runs descending (drain order reverses).
+func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(rowCursor) segmentable, desc bool) (rowCursor, error) {
+	probe, err := build()
+	if err != nil {
+		return nil, err
+	}
+	par := r.parallelism()
+	if par < 2 {
+		return probe, nil
+	}
+	se := seg(probe)
+	if se == nil {
+		return probe, nil
+	}
+	n := se.SegmentUniverse()
+	if n < MinParallelEnumRows {
+		return probe, nil
+	}
+	segs := frep.Segments(n, par)
+	if len(segs) < 2 {
+		return probe, nil
+	}
+	// The probe has not been stepped; restrict it to serve as segment 0.
+	curs := make([]rowCursor, len(segs))
+	se.Restrict(segs[0][0], segs[0][1])
+	curs[0] = probe
+	for w := 1; w < len(segs); w++ {
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		seg(c).Restrict(segs[w][0], segs[w][1])
+		curs[w] = c
+	}
+	return newParCursor(curs, desc), nil
+}
+
+// asSegmentable type-asserts an enumerator to the window surface,
+// returning nil for the pointer-based (legacy) enumerators.
+func asSegmentable(v any) segmentable {
+	se, ok := v.(segmentable)
+	if !ok {
+		return nil
+	}
+	return se
+}

@@ -1,0 +1,294 @@
+package engine
+
+// Parallel-execution suite (run under -race in CI): parallel execution
+// must produce byte-identical output to the serial path for the whole
+// workload query set at every parallelism level, join all segment
+// workers on every exit path, and hand pooled stores back exactly once
+// under cancellation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+// forceParallelThresholds lowers the size floors so that scale-1 test
+// data exercises every parallel path, restoring them on cleanup.
+func forceParallelThresholds(t *testing.T) {
+	t.Helper()
+	oldEval := frep.MinParallelEvalValues
+	oldRebuild := fops.MinParallelRebuildValues
+	oldEnum := MinParallelEnumRows
+	frep.MinParallelEvalValues = 1
+	fops.MinParallelRebuildValues = 1
+	MinParallelEnumRows = 1
+	t.Cleanup(func() {
+		frep.MinParallelEvalValues = oldEval
+		fops.MinParallelRebuildValues = oldRebuild
+		MinParallelEnumRows = oldEnum
+	})
+}
+
+// TestGoldenParallelMatchesSerialView runs the workload's view queries
+// (AGG Q1–Q5, AGG+ORD Q6–Q9, ORD Q10–Q13 ± LIMIT) serially and at
+// P ∈ {2, 8}; outputs must be identical row for row.
+func TestGoldenParallelMatchesSerialView(t *testing.T) {
+	forceParallelThresholds(t)
+	ds := workload.Generate(workload.Config{Scale: 1})
+	cat := ds.Catalog()
+	r1, err := ds.FactorisedR1Arena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ds.FactorisedR3Arena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tc struct {
+		name  string
+		mk    func() *query.Query
+		aview *fops.ARel
+	}
+	var cases []tc
+	for i := 1; i <= 5; i++ {
+		i := i
+		cases = append(cases, tc{
+			name: fmt.Sprintf("Q%d", i),
+			mk: func() *query.Query {
+				q, err := workload.AggQuery(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return q
+			},
+			aview: r1,
+		})
+	}
+	cases = append(cases,
+		tc{name: "Q6", mk: workload.Q6, aview: r1},
+		tc{name: "Q7", mk: workload.Q7, aview: r1},
+		tc{name: "Q8", mk: workload.Q8, aview: r1},
+		tc{name: "Q9", mk: workload.Q9, aview: r1},
+	)
+	for _, limit := range []int{0, 10} {
+		limit := limit
+		cases = append(cases,
+			tc{name: fmt.Sprintf("Q10/limit=%d", limit), mk: func() *query.Query { return workload.Q10(limit) }, aview: r1},
+			tc{name: fmt.Sprintf("Q11/limit=%d", limit), mk: func() *query.Query { return workload.Q11(limit) }, aview: r1},
+			tc{name: fmt.Sprintf("Q12/limit=%d", limit), mk: func() *query.Query { return workload.Q12(limit) }, aview: r1},
+			tc{name: fmt.Sprintf("Q13/limit=%d", limit), mk: func() *query.Query { return workload.Q13(limit) }, aview: r3},
+		)
+	}
+	serial := &Engine{PartialAgg: true, Parallelism: 1}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := collectRows(t, func() (*Result, error) { return serial.RunOnARel(c.mk(), c.aview, cat) })
+			for _, par := range []int{2, 8} {
+				eng := &Engine{PartialAgg: true, Parallelism: par}
+				got := collectRows(t, func() (*Result, error) { return eng.RunOnARel(c.mk(), c.aview, cat) })
+				diffOrdered(t, fmt.Sprintf("%s/P=%d", c.name, par), want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenParallelMatchesSerialFlat runs the flat-input AGG queries
+// (joins included, so the parallel merge/absorb/γ operator paths all
+// fire) serially and at P ∈ {2, 8}.
+func TestGoldenParallelMatchesSerialFlat(t *testing.T) {
+	forceParallelThresholds(t)
+	ds := workload.Generate(workload.Config{Scale: 1})
+	db := DB(ds.DB())
+	serial := &Engine{PartialAgg: true, Parallelism: 1}
+	for i := 1; i <= 5; i++ {
+		q, err := workload.FlatAggQuery(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := collectRows(t, func() (*Result, error) { return serial.Run(q, db) })
+		for _, par := range []int{2, 8} {
+			eng := &Engine{PartialAgg: true, Parallelism: par}
+			q2, _ := workload.FlatAggQuery(i)
+			got := collectRows(t, func() (*Result, error) { return eng.Run(q2, db) })
+			diffOrdered(t, fmt.Sprintf("flat-Q%d/P=%d", i, par), want, got)
+		}
+	}
+}
+
+// TestParallelDescAndOffset covers the drain-order edge (DESC outer
+// order reverses the segment drain) and OFFSET over a parallel stream.
+func TestParallelDescAndOffset(t *testing.T) {
+	forceParallelThresholds(t)
+	db := bigDB(t, 5000)
+	q := func(desc bool, offset, limit int) *query.Query {
+		return &query.Query{
+			Relations: []string{"Big"},
+			OrderBy:   []query.OrderItem{{Attr: "k", Desc: desc}},
+			Offset:    offset,
+			Limit:     limit,
+		}
+	}
+	serial := &Engine{PartialAgg: true, Parallelism: 1}
+	par8 := &Engine{PartialAgg: true, Parallelism: 8}
+	for _, c := range []struct {
+		desc          bool
+		offset, limit int
+	}{
+		{false, 0, 0}, {true, 0, 0},
+		{false, 1234, 100}, {true, 1234, 100},
+		{false, 4999, 0}, {true, 4999, 0},
+	} {
+		name := fmt.Sprintf("desc=%v/offset=%d/limit=%d", c.desc, c.offset, c.limit)
+		want := collectRows(t, func() (*Result, error) { return serial.Run(q(c.desc, c.offset, c.limit), db) })
+		got := collectRows(t, func() (*Result, error) { return par8.Run(q(c.desc, c.offset, c.limit), db) })
+		diffOrdered(t, name, want, got)
+	}
+}
+
+// TestParallelConcurrentSegmentWorkers runs parallel queries from many
+// goroutines against one shared snapshot (the server's shape), under
+// -race, and balances the store pool.
+func TestParallelConcurrentSegmentWorkers(t *testing.T) {
+	forceParallelThresholds(t)
+	db := bigDB(t, 8000)
+	eng := &Engine{PartialAgg: true, Parallelism: 4}
+	prep, err := eng.Prepare(groupedQuery(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := storeReturns.Load()
+	const workers, reps = 4, 5
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				res, err := prep.ExecShared(db)
+				if err != nil {
+					errc <- err
+					return
+				}
+				n, err := res.Count()
+				res.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if n != 8000 {
+					errc <- fmt.Errorf("got %d groups, want 8000", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if d := storeReturns.Load() - before; d != workers*reps {
+		t.Fatalf("store returned %d times for %d executions", d, workers*reps)
+	}
+}
+
+// TestParallelCancelMidMerge cancels mid-stream on every parallel
+// cursor path: the stream must stop with context.Canceled, segment
+// workers must be joined by Close, and the pooled store returned
+// exactly once.
+func TestParallelCancelMidMerge(t *testing.T) {
+	forceParallelThresholds(t)
+	db := bigDB(t, 20000)
+	eng := &Engine{PartialAgg: true, Parallelism: 4}
+	cases := []struct {
+		name string
+		mk   func() *query.Query
+	}{
+		{"flat-ordered", spjQuery},
+		{"grouped", groupedQuery},
+		{"agg-ordered", aggOrderedQuery},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cancelMidStream(t, c.name, func(ctx context.Context) (*Result, error) {
+				return eng.RunContext(ctx, c.mk(), db)
+			})
+		})
+	}
+}
+
+// TestParallelResultCloseJoinsWorkers closes the Result while a
+// parallel Rows is still open: the segment workers must be joined
+// before the store is recycled (meaningful under -race), and the open
+// Rows must refuse with ErrClosed.
+func TestParallelResultCloseJoinsWorkers(t *testing.T) {
+	forceParallelThresholds(t)
+	db := bigDB(t, 20000)
+	eng := &Engine{PartialAgg: true, Parallelism: 4}
+	prep, err := eng.Prepare(spjQuery(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := storeReturns.Load()
+	res, err := prep.Exec(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended after %d rows", i)
+		}
+	}
+	res.Close() // store recycles now; workers must already be joined
+	if rows.Next() {
+		t.Fatal("Next succeeded on a closed Result")
+	}
+	if !errors.Is(rows.Err(), ErrClosed) {
+		t.Fatalf("rows.Err() = %v, want ErrClosed", rows.Err())
+	}
+	rows.Close()
+	if d := storeReturns.Load() - before; d != 1 {
+		t.Fatalf("store returned %d times, want exactly 1", d)
+	}
+}
+
+// TestParallelEarlyStopJoinsWorkers stops a ForEach stream early (the
+// LIMIT-style exit) at every parallelism level; workers must be joined
+// and the pool balanced.
+func TestParallelEarlyStopJoinsWorkers(t *testing.T) {
+	forceParallelThresholds(t)
+	db := bigDB(t, 20000)
+	for _, par := range []int{1, 2, 8} {
+		eng := &Engine{PartialAgg: true, Parallelism: par}
+		before := storeReturns.Load()
+		res, err := eng.Run(spjQuery(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		err = res.ForEach(func(relation.Tuple) bool {
+			n++
+			return n < 10
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Close()
+		if d := storeReturns.Load() - before; d != 1 {
+			t.Fatalf("P=%d: store returned %d times, want exactly 1", par, d)
+		}
+	}
+}

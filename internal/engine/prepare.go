@@ -240,10 +240,11 @@ func (p *Prepared) finish(ctx context.Context, ar *fops.ARel) (*Result, error) {
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
 	}
-	if err := p.Plan.ExecuteContext(ctx, ar); err != nil {
+	if err := p.Plan.ExecuteParallel(ctx, ar, p.eng.par()); err != nil {
 		putStore(ar.Store)
 		return nil, err
 	}
+	noteParallelExec(ar)
 	return &Result{Query: p.Query, ARel: ar, Plan: p.Plan, eng: p.eng, pooled: true}, nil
 }
 

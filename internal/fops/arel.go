@@ -57,6 +57,13 @@ type ARel struct {
 	Tree  *ftree.Forest
 	Store *frep.Store
 	Roots []frep.NodeID
+	// Par is the intra-operator parallelism hint: operators whose
+	// occurrence loop runs below a root union of at least
+	// MinParallelRebuildValues values fan it across up to Par workers
+	// (per-worker overlay arenas, merged back in segment order). 0 or 1
+	// executes serially. Par is advisory — results are identical either
+	// way.
+	Par int
 }
 
 // FromRelationStore factorises a relation into the store over the
@@ -104,7 +111,7 @@ func (ar *ARel) Forest() *ftree.Forest { return ar.Tree }
 // correspond to the original's via the second return value.
 func (ar *ARel) Clone() (*ARel, map[*ftree.Node]*ftree.Node) {
 	t, corr := ar.Tree.Clone()
-	return &ARel{Tree: t, Store: ar.Store.Clone(), Roots: append([]frep.NodeID{}, ar.Roots...)}, corr
+	return &ARel{Tree: t, Store: ar.Store.Clone(), Roots: append([]frep.NodeID{}, ar.Roots...), Par: ar.Par}, corr
 }
 
 // Snapshot returns an O(1) immutable view sharing the store's slabs:
@@ -113,7 +120,7 @@ func (ar *ARel) Clone() (*ARel, map[*ftree.Node]*ftree.Node) {
 // materialised base representation across concurrent queries.
 func (ar *ARel) Snapshot() *ARel {
 	t, _ := ar.Tree.Clone()
-	return &ARel{Tree: t, Store: ar.Store.Snapshot(), Roots: append([]frep.NodeID{}, ar.Roots...)}
+	return &ARel{Tree: t, Store: ar.Store.Snapshot(), Roots: append([]frep.NodeID{}, ar.Roots...), Par: ar.Par}
 }
 
 // IsEmpty reports whether the represented relation is empty (some root
@@ -163,39 +170,64 @@ func (ar *ARel) GroupEnumerator(g []frep.OrderSpec, fields []ftree.AggField) (fr
 	return frep.NewStoreGroupEnumerator(ar.Tree, ar.Store, ar.Roots, g, fields)
 }
 
-// rebuildAt applies fn to every occurrence of the node identified by
-// (rootIdx, path), pruning values whose transformed subtree became
-// empty. fn receives an occurrence union and returns its replacement
-// (which may be EmptyNode to delete the context).
-func (ar *ARel) rebuildAt(rootIdx int, path []int, fn func(frep.NodeID) frep.NodeID) {
-	ar.Roots[rootIdx] = ar.rebuild(ar.Roots[rootIdx], path, fn)
+// rebuildFn transforms one occurrence of a target union, returning its
+// replacement (which may be EmptyNode to delete the context). Instances
+// are bound to one store by their factory; see rebuildAt.
+type rebuildFn func(id frep.NodeID) (frep.NodeID, error)
+
+// rebuildAt applies the transform built by mk to every occurrence of
+// the node identified by (rootIdx, path), pruning values whose
+// transformed subtree became empty. mk is called once per executing
+// store — once for a serial rebuild, once per worker overlay for a
+// parallel one — so a transform instance may hold builder and evaluator
+// scratch bound to its store. When path is non-empty, ar.Par > 1 and
+// the root union is large enough, the occurrence loop fans across
+// segment workers (parallelRebuild); results are identical either way.
+func (ar *ARel) rebuildAt(rootIdx int, path []int, mk func(st *frep.Store) rebuildFn) error {
+	root := ar.Roots[rootIdx]
+	var nr frep.NodeID
+	var err error
+	if len(path) > 0 && ar.Par > 1 && ar.Store.Len(root) >= MinParallelRebuildValues {
+		nr, err = ar.parallelRebuild(root, path, mk)
+	} else {
+		nr, err = rebuildIn(ar.Store, root, path, mk(ar.Store))
+	}
+	if err != nil {
+		return err
+	}
+	ar.Roots[rootIdx] = nr
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
 	}
+	return nil
 }
 
-func (ar *ARel) rebuild(id frep.NodeID, path []int, fn func(frep.NodeID) frep.NodeID) frep.NodeID {
+// rebuildIn is the serial occurrence recursion of rebuildAt, reading
+// and appending through st (the base store, or one worker's overlay).
+func rebuildIn(st *frep.Store, id frep.NodeID, path []int, fn rebuildFn) (frep.NodeID, error) {
 	if len(path) == 0 {
 		return fn(id)
 	}
 	p := path[0]
-	s := ar.Store
-	n := s.Len(id)
-	arity := s.Arity(id)
+	n := st.Len(id)
+	arity := st.Arity(id)
 	vals := make([]values.Value, 0, n)
 	kids := make([]frep.NodeID, 0, n*arity)
 	for i := 0; i < n; i++ {
-		row := s.KidRow(id, i)
-		nk := ar.rebuild(row[p], path[1:], fn)
-		if s.Len(nk) == 0 {
+		row := st.KidRow(id, i)
+		nk, err := rebuildIn(st, row[p], path[1:], fn)
+		if err != nil {
+			return frep.EmptyNode, err
+		}
+		if st.Len(nk) == 0 {
 			continue // prune this value
 		}
-		vals = append(vals, s.Val(id, i))
+		vals = append(vals, st.Val(id, i))
 		off := len(kids)
 		kids = append(kids, row...)
 		kids[off+p] = nk
 	}
-	return s.Add(vals, arity, kids)
+	return st.Add(vals, arity, kids), nil
 }
 
 // Product combines two arena factorised relations into one representing

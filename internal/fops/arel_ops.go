@@ -3,7 +3,11 @@ package fops
 // Arena ports of the f-plan operators. Each is the same algorithm as its
 // pointer-based counterpart in select.go / gamma.go, but reads and
 // writes store slabs: new nodes are appended, untouched subtrees are
-// referenced by id, and no per-node heap objects are created.
+// referenced by id, and no per-node heap objects are created. Operators
+// express their per-occurrence transform as a rebuildFn factory so the
+// occurrence loop can fan across segment workers (arel_parallel.go):
+// the factory runs once per executing store and binds that instance's
+// builder and evaluator scratch to it.
 
 import (
 	"fmt"
@@ -26,24 +30,24 @@ func (ar *ARel) SelectConst(attr string, op CmpOp, c values.Value) error {
 	if err != nil {
 		return err
 	}
-	s := ar.Store
-	var b frep.UnionBuilder
-	ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
-		arity := s.Arity(id)
-		b.Reset(s, arity)
-		for i, v := range s.Vals(id) {
-			if !op.Holds(v, c) {
-				continue
+	return ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+		var b frep.UnionBuilder
+		return func(id frep.NodeID) (frep.NodeID, error) {
+			arity := st.Arity(id)
+			b.Reset(st, arity)
+			for i, v := range st.Vals(id) {
+				if !op.Holds(v, c) {
+					continue
+				}
+				if arity > 0 {
+					b.Append(v, st.KidRow(id, i))
+				} else {
+					b.Append(v, nil)
+				}
 			}
-			if arity > 0 {
-				b.Append(v, s.KidRow(id, i))
-			} else {
-				b.Append(v, nil)
-			}
+			return b.Finish(), nil
 		}
-		return b.Finish()
 	})
-	return nil
 }
 
 // Merge implements the equality selection attrA = attrB when the two
@@ -61,15 +65,18 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 	if err != nil {
 		return err
 	}
-	s := ar.Store
-	var ib, b frep.UnionBuilder
-	mergeData := func(row []frep.NodeID) ([]frep.NodeID, bool) {
-		merged := ar.intersectUnions(&ib, row[plan.XIdx], row[plan.YIdx])
+	if plan.Parent == nil {
+		s := ar.Store
+		var ib frep.UnionBuilder
+		merged := intersectUnionsIn(s, &ib, ar.Roots[plan.XIdx], ar.Roots[plan.YIdx])
 		if s.Len(merged) == 0 {
-			return nil, false
+			ar.Tree.ApplyMerge(plan)
+			ar.Roots = ar.Roots[:len(ar.Roots)-1]
+			ar.MakeEmpty()
+			return nil
 		}
-		out := make([]frep.NodeID, 0, len(row)-1)
-		for k, u := range row {
+		out := make([]frep.NodeID, 0, len(ar.Roots)-1)
+		for k, u := range ar.Roots {
 			switch k {
 			case plan.XIdx:
 				out = append(out, merged)
@@ -79,34 +86,43 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 				out = append(out, u)
 			}
 		}
-		return out, true
-	}
-	if plan.Parent == nil {
-		row, ok := mergeData(ar.Roots)
-		if !ok {
-			ar.Tree.ApplyMerge(plan)
-			ar.Roots = ar.Roots[:len(ar.Roots)-1]
-			ar.MakeEmpty()
-			return nil
-		}
-		ar.Roots = row
+		ar.Roots = out
 	} else {
 		ri, path, err := ar.pathFromRoot(plan.Parent)
 		if err != nil {
 			return err
 		}
-		ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
-			arity := s.Arity(id) - 1
-			b.Reset(s, arity)
-			for i, v := range s.Vals(id) {
-				row, ok := mergeData(s.KidRow(id, i))
-				if !ok {
-					continue
+		err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+			var ib, b frep.UnionBuilder
+			var scratch []frep.NodeID
+			return func(id frep.NodeID) (frep.NodeID, error) {
+				arity := st.Arity(id) - 1
+				b.Reset(st, arity)
+				for i, v := range st.Vals(id) {
+					row := st.KidRow(id, i)
+					merged := intersectUnionsIn(st, &ib, row[plan.XIdx], row[plan.YIdx])
+					if st.Len(merged) == 0 {
+						continue
+					}
+					scratch = scratch[:0]
+					for k, u := range row {
+						switch k {
+						case plan.XIdx:
+							scratch = append(scratch, merged)
+						case plan.YIdx:
+							// dropped
+						default:
+							scratch = append(scratch, u)
+						}
+					}
+					b.Append(v, scratch)
 				}
-				b.Append(v, row)
+				return b.Finish(), nil
 			}
-			return b.Finish()
 		})
+		if err != nil {
+			return err
+		}
 	}
 	ar.Tree.ApplyMerge(plan)
 	if ar.IsEmpty() {
@@ -115,15 +131,14 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 	return nil
 }
 
-// intersectUnions intersects two sorted unions; for each common value
-// the children of both sides are concatenated (x's children first),
-// matching the merged node's child order. b is the caller's reused
-// builder scratch.
-func (ar *ARel) intersectUnions(b *frep.UnionBuilder, x, y frep.NodeID) frep.NodeID {
-	s := ar.Store
-	arity := s.Arity(x) + s.Arity(y)
-	b.Reset(s, arity)
-	xv, yv := s.Vals(x), s.Vals(y)
+// intersectUnionsIn intersects two sorted unions of st; for each common
+// value the children of both sides are concatenated (x's children
+// first), matching the merged node's child order. b is the caller's
+// reused builder scratch.
+func intersectUnionsIn(st *frep.Store, b *frep.UnionBuilder, x, y frep.NodeID) frep.NodeID {
+	arity := st.Arity(x) + st.Arity(y)
+	b.Reset(st, arity)
+	xv, yv := st.Vals(x), st.Vals(y)
 	var row []frep.NodeID
 	i, j := 0, 0
 	for i < len(xv) && j < len(yv) {
@@ -136,11 +151,11 @@ func (ar *ARel) intersectUnions(b *frep.UnionBuilder, x, y frep.NodeID) frep.Nod
 		default:
 			if arity > 0 {
 				row = row[:0]
-				if s.Arity(x) > 0 {
-					row = append(row, s.KidRow(x, i)...)
+				if st.Arity(x) > 0 {
+					row = append(row, st.KidRow(x, i)...)
 				}
-				if s.Arity(y) > 0 {
-					row = append(row, s.KidRow(y, j)...)
+				if st.Arity(y) > 0 {
+					row = append(row, st.KidRow(y, j)...)
 				}
 				b.Append(xv[i], row)
 			} else {
@@ -173,30 +188,34 @@ func (ar *ARel) Absorb(attrAnc, attrDesc string) error {
 	if err != nil {
 		return err
 	}
-	s := ar.Store
 	dLeaf := d.IsLeaf()
 	dn := 0 // hoisted children of the descendant
 	if !dLeaf {
 		dn = len(d.Children)
 	}
-	var b frep.UnionBuilder
-	ar.rebuildAt(ri, path, func(ua frep.NodeID) frep.NodeID {
-		// The row width changes only at the descendant's parent: it loses
-		// the descendant and gains its hoisted children.
-		newArity := s.Arity(ua)
-		if len(plan.Path) == 1 {
-			newArity += dn - 1
-		}
-		b.Reset(s, newArity)
-		for i, v := range s.Vals(ua) {
-			row, ok := ar.absorbRow(s.KidRow(ua, i), plan.Path, v, dLeaf, dn)
-			if !ok {
-				continue
+	err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+		var b frep.UnionBuilder
+		return func(ua frep.NodeID) (frep.NodeID, error) {
+			// The row width changes only at the descendant's parent: it loses
+			// the descendant and gains its hoisted children.
+			newArity := st.Arity(ua)
+			if len(plan.Path) == 1 {
+				newArity += dn - 1
 			}
-			b.Append(v, row)
+			b.Reset(st, newArity)
+			for i, v := range st.Vals(ua) {
+				row, ok := absorbRowIn(st, st.KidRow(ua, i), plan.Path, v, dLeaf, dn)
+				if !ok {
+					continue
+				}
+				b.Append(v, row)
+			}
+			return b.Finish(), nil
 		}
-		return b.Finish()
 	})
+	if err != nil {
+		return err
+	}
 	ar.Tree.ApplyAbsorb(plan)
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
@@ -204,15 +223,14 @@ func (ar *ARel) Absorb(attrAnc, attrDesc string) error {
 	return nil
 }
 
-// absorbRow restricts the descendant (reached through path) to value v
+// absorbRowIn restricts the descendant (reached through path) to value v
 // and splices its children into the containing row. ok=false when the
 // value is absent (context pruned).
-func (ar *ARel) absorbRow(row []frep.NodeID, path []int, v values.Value, dLeaf bool, dn int) ([]frep.NodeID, bool) {
-	s := ar.Store
+func absorbRowIn(st *frep.Store, row []frep.NodeID, path []int, v values.Value, dLeaf bool, dn int) ([]frep.NodeID, bool) {
 	p := path[0]
 	if len(path) == 1 {
 		du := row[p]
-		dv := s.Vals(du)
+		dv := st.Vals(du)
 		pos := sort.Search(len(dv), func(k int) bool {
 			return values.Compare(dv[k], v) >= 0
 		})
@@ -221,7 +239,7 @@ func (ar *ARel) absorbRow(row []frep.NodeID, path []int, v values.Value, dLeaf b
 		}
 		var hoist []frep.NodeID
 		if !dLeaf {
-			hoist = s.KidRow(du, pos)
+			hoist = st.KidRow(du, pos)
 		}
 		out := make([]frep.NodeID, 0, len(row)-1+len(hoist))
 		out = append(out, row[:p]...)
@@ -234,20 +252,20 @@ func (ar *ARel) absorbRow(row []frep.NodeID, path []int, v values.Value, dLeaf b
 	// The intermediate node's rows keep their width unless the next hop
 	// is the descendant itself, in which case they lose the descendant
 	// and gain its hoisted children.
-	width := s.Arity(mid)
+	width := st.Arity(mid)
 	if len(path) == 2 {
 		width += dn - 1
 	}
-	b.Reset(s, width)
-	for j, w := range s.Vals(mid) {
-		r2, ok := ar.absorbRow(s.KidRow(mid, j), path[1:], v, dLeaf, dn)
+	b.Reset(st, width)
+	for j, w := range st.Vals(mid) {
+		r2, ok := absorbRowIn(st, st.KidRow(mid, j), path[1:], v, dLeaf, dn)
 		if !ok {
 			continue
 		}
 		b.Append(w, r2)
 	}
 	nm := b.Finish()
-	if s.Len(nm) == 0 {
+	if st.Len(nm) == 0 {
 		return nil, false
 	}
 	out := make([]frep.NodeID, len(row))
@@ -280,21 +298,25 @@ func (ar *ARel) RemoveLeaf(attr string) error {
 		if err != nil {
 			return err
 		}
-		s := ar.Store
-		var b frep.UnionBuilder
-		var scratch []frep.NodeID
-		ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
-			arity := s.Arity(id)
-			b.Reset(s, arity-1)
-			for i, v := range s.Vals(id) {
-				row := s.KidRow(id, i)
-				scratch = scratch[:0]
-				scratch = append(scratch, row[:plan.Idx]...)
-				scratch = append(scratch, row[plan.Idx+1:]...)
-				b.Append(v, scratch)
+		err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+			var b frep.UnionBuilder
+			var scratch []frep.NodeID
+			return func(id frep.NodeID) (frep.NodeID, error) {
+				arity := st.Arity(id)
+				b.Reset(st, arity-1)
+				for i, v := range st.Vals(id) {
+					row := st.KidRow(id, i)
+					scratch = scratch[:0]
+					scratch = append(scratch, row[:plan.Idx]...)
+					scratch = append(scratch, row[plan.Idx+1:]...)
+					b.Append(v, scratch)
+				}
+				return b.Finish(), nil
 			}
-			return b.Finish()
 		})
+		if err != nil {
+			return err
+		}
 	}
 	ar.Tree.ApplyRemoveLeaf(plan)
 	if wasEmpty {
@@ -339,8 +361,9 @@ func (ar *ARel) GammaNode(u *ftree.Node, fields []ftree.AggField) error {
 	if err != nil {
 		return err
 	}
-	ev, err := frep.NewEvaluator(u, fields)
-	if err != nil {
+	// Compile once up front so composition errors (Proposition 2)
+	// surface even when the occurrence loop never runs.
+	if _, err := frep.NewEvaluator(u, fields); err != nil {
 		return err
 	}
 	ri, path, err := ar.pathFromRoot(u)
@@ -348,28 +371,45 @@ func (ar *ARel) GammaNode(u *ftree.Node, fields []ftree.AggField) error {
 		return err
 	}
 	wasEmpty := ar.IsEmpty()
-	s := ar.Store
-	var evalErr error
-	vals := make([]values.Value, len(fields))
-	var one [1]values.Value
-	ar.rebuildAt(ri, path, func(sub frep.NodeID) frep.NodeID {
-		if evalErr != nil {
-			return frep.EmptyNode
+	if len(path) == 0 && ar.Par > 1 {
+		// γ at a root: a single occurrence covering the whole tree, so
+		// the parallelism lives inside the evaluation — segments of the
+		// root union evaluate independently and merge associatively.
+		out := make([]values.Value, len(fields))
+		if err := frep.ParallelEvalStore(u, fields, ar.Store, ar.Roots[ri], ar.Par, out); err != nil {
+			return err
 		}
-		if err := ev.EvalStoreInto(s, sub, vals); err != nil {
-			evalErr = err
-			return frep.EmptyNode
-		}
-		if len(vals) == 1 {
-			one[0] = vals[0]
+		var one [1]values.Value
+		if len(out) == 1 {
+			one[0] = out[0]
 		} else {
-			// NewVec retains its argument; copy out of the reused scratch.
-			one[0] = values.NewVec(append([]values.Value{}, vals...))
+			one[0] = values.NewVec(out)
 		}
-		return s.AddLeaf(one[:])
-	})
-	if evalErr != nil {
-		return evalErr
+		ar.Roots[ri] = ar.Store.AddLeaf(one[:])
+	} else {
+		err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+			ev, evErr := frep.NewEvaluator(u, fields)
+			vals := make([]values.Value, len(fields))
+			var one [1]values.Value
+			return func(sub frep.NodeID) (frep.NodeID, error) {
+				if evErr != nil {
+					return frep.EmptyNode, evErr
+				}
+				if err := ev.EvalStoreInto(st, sub, vals); err != nil {
+					return frep.EmptyNode, err
+				}
+				if len(vals) == 1 {
+					one[0] = vals[0]
+				} else {
+					// NewVec retains its argument; copy out of the reused scratch.
+					one[0] = values.NewVec(append([]values.Value{}, vals...))
+				}
+				return st.AddLeaf(one[:]), nil
+			}
+		})
+		if err != nil {
+			return err
+		}
 	}
 	ar.Tree.ApplyAgg(plan)
 	if wasEmpty {
@@ -396,24 +436,28 @@ func (ar *ARel) ComputeScalar(attr, newName string, fn func(values.Value) values
 	if err != nil {
 		return err
 	}
-	s := ar.Store
-	var mapped []values.Value
-	var b frep.UnionBuilder
-	ar.rebuildAt(ri, path, func(id frep.NodeID) frep.NodeID {
-		mapped = mapped[:0]
-		for _, v := range s.Vals(id) {
-			mapped = append(mapped, fn(v))
-		}
-		sort.Slice(mapped, func(a, c int) bool { return values.Less(mapped[a], mapped[c]) })
-		b.Reset(s, 0)
-		for k, v := range mapped {
-			if k > 0 && values.Compare(mapped[k-1], v) == 0 {
-				continue
+	err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+		var mapped []values.Value
+		var b frep.UnionBuilder
+		return func(id frep.NodeID) (frep.NodeID, error) {
+			mapped = mapped[:0]
+			for _, v := range st.Vals(id) {
+				mapped = append(mapped, fn(v))
 			}
-			b.Append(v, nil)
+			sort.Slice(mapped, func(a, c int) bool { return values.Less(mapped[a], mapped[c]) })
+			b.Reset(st, 0)
+			for k, v := range mapped {
+				if k > 0 && values.Compare(mapped[k-1], v) == 0 {
+					continue
+				}
+				b.Append(v, nil)
+			}
+			return b.Finish(), nil
 		}
-		return b.Finish()
 	})
+	if err != nil {
+		return err
+	}
 	n.Agg = nil
 	n.Alias = ""
 	n.Attrs = []string{newName}

@@ -42,9 +42,14 @@ func (ar *ARel) SwapNode(b *ftree.Node) error {
 			aOther = append(aOther, i)
 		}
 	}
-	ar.rebuildAt(ri, path, func(ua frep.NodeID) frep.NodeID {
-		return ar.swapUnion(ua, plan, aOther)
+	err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
+		return func(ua frep.NodeID) (frep.NodeID, error) {
+			return swapUnionIn(st, ua, plan, aOther), nil
+		}
 	})
+	if err != nil {
+		return err
+	}
 	ar.Tree.ApplySwap(plan)
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
@@ -52,8 +57,7 @@ func (ar *ARel) SwapNode(b *ftree.Node) error {
 	return nil
 }
 
-func (ar *ARel) swapUnion(ua frep.NodeID, plan *ftree.SwapPlan, aOther []int) frep.NodeID {
-	s := ar.Store
+func swapUnionIn(s *frep.Store, ua frep.NodeID, plan *ftree.SwapPlan, aOther []int) frep.NodeID {
 	aVals := s.Vals(ua)
 	// Gather all (a, b) pairs as packed indices (aIdx<<32 | bIdx): the
 	// sort then moves 8-byte words and each comparison looks the b-value

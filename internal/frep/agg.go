@@ -393,11 +393,22 @@ func (ev *Evaluator) EvalStore(s *Store, id NodeID) ([]values.Value, error) {
 // EvalStoreInto is EvalStore writing into a caller-provided slice of
 // length len(fields), avoiding the output allocation on hot paths.
 func (ev *Evaluator) EvalStoreInto(s *Store, id NodeID, out []values.Value) error {
+	return ev.EvalStoreRangeInto(s, id, 0, s.Len(id), out)
+}
+
+// EvalStoreRangeInto is EvalStoreInto restricted to the value window
+// [lo, hi) of the root union id: one segment of a parallel evaluation.
+// The fields of the paper's aggregation algebra are associative, so
+// partial results over contiguous segments combine with MergePartials
+// into exactly the full-union result (bit-identically for integer data;
+// float sums may differ from the serial fold in the last bits of
+// rounding).
+func (ev *Evaluator) EvalStoreRangeInto(s *Store, id NodeID, lo, hi int, out []values.Value) error {
 	if ev.rootRes.vals == nil {
 		ev.rootRes.vals = make([]values.Value, len(ev.fields))
 	}
 	res := ev.rootRes
-	ev.evalStore(ev.root, s, id, 0, &res)
+	ev.evalStore(ev.root, s, id, lo, hi, 0, &res)
 	for i, fl := range ev.fields {
 		if fl.Fn == ftree.Count {
 			if res.count < 0 {
@@ -416,8 +427,10 @@ func (ev *Evaluator) EvalStoreInto(s *Store, id NodeID, out []values.Value) erro
 
 // evalStore mirrors eval over the arena representation: same recursion,
 // same per-depth scratch frames, but values and kid rows come from the
-// store slabs instead of per-union heap objects.
-func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, depth int, res *result) {
+// store slabs instead of per-union heap objects. The [lo, hi) window
+// restricts the top-level value loop only; recursive calls always cover
+// their whole union.
+func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, lo, hi int, depth int, res *result) {
 	p := ev.plans[n]
 	res.count = 0
 	for i := range res.vals {
@@ -429,14 +442,14 @@ func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, depth int, re
 		kidRes = ev.frame(depth, nc).kids[:nc]
 	}
 	uVals := s.Vals(id)
-	for i := range uVals {
+	for i := lo; i < hi; i++ {
 		var row []NodeID
 		if nc > 0 {
 			row = s.KidRow(id, i)
 		}
 		mult := int64(1)
 		for j := 0; j < nc; j++ {
-			ev.evalStore(n.Children[j], s, row[j], depth+1, &kidRes[j])
+			ev.evalStore(n.Children[j], s, row[j], 0, s.Len(row[j]), depth+1, &kidRes[j])
 			if kidRes[j].count < 0 || mult < 0 {
 				mult = -1
 			} else {

@@ -1,0 +1,141 @@
+package frep
+
+// Parallel aggregation over segmented arena forests. The root union of
+// a representation partitions into contiguous value windows; the
+// Section 3.2 aggregation algebra is associative field by field (count
+// and sum add, min and max take the extremum), so each window evaluates
+// independently — a Store is freely readable from any number of
+// goroutines — and the partial results merge in segment order into
+// exactly the serial result. Integer aggregates merge bit-identically;
+// float sums may differ from the serial left-to-right fold in the last
+// bits of rounding.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// MinParallelEvalValues is the smallest root union for which parallel
+// aggregate evaluation fans out; below it the evaluation runs serially
+// (goroutine fan-out would cost more than it saves). Exported so tests
+// and benchmarks can force either path.
+var MinParallelEvalValues = 2048
+
+// evalWorkers counts aggregate-evaluation workers spawned by this
+// package, for the server's per-query worker accounting.
+var evalWorkers atomic.Int64
+
+// ParallelEvalWorkers returns the cumulative number of parallel
+// aggregate-evaluation workers spawned.
+func ParallelEvalWorkers() int64 { return evalWorkers.Load() }
+
+// Segments splits [0, n) into at most p non-empty contiguous windows of
+// near-equal size, in ascending order.
+func Segments(n, p int) [][2]int {
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, p)
+	size, rem := n/p, n%p
+	lo := 0
+	for w := 0; w < p; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// MergePartials folds the segment result src into the running result
+// dst, field by field: count and sum add, min and max take the
+// extremum. Null — the value of a non-count field over an empty
+// segment — is the identity of every merge, so dst may start as all
+// Nulls.
+func MergePartials(fields []ftree.AggField, dst, src []values.Value) {
+	for i, fl := range fields {
+		switch fl.Fn {
+		case ftree.Count, ftree.Sum:
+			dst[i] = values.Add(dst[i], src[i])
+		case ftree.Min:
+			dst[i] = values.Min(dst[i], src[i])
+		case ftree.Max:
+			dst[i] = values.Max(dst[i], src[i])
+		}
+	}
+}
+
+// ParallelEvalStore computes the fields over union id of store s by
+// fanning contiguous root segments across at most par workers — each
+// with its own compiled Evaluator, all reading the shared store — and
+// merging the partial results in segment order. par ≤ 0 means
+// GOMAXPROCS; the evaluation runs serially when the effective
+// parallelism is 1 or the union is smaller than MinParallelEvalValues.
+func ParallelEvalStore(n *ftree.Node, fields []ftree.AggField, s *Store, id NodeID, par int, out []values.Value) error {
+	nv := s.Len(id)
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 2 || nv < MinParallelEvalValues {
+		ev, err := NewEvaluator(n, fields)
+		if err != nil {
+			return err
+		}
+		return ev.EvalStoreInto(s, id, out)
+	}
+	segs := Segments(nv, par)
+	partials := make([][]values.Value, len(segs))
+	errs := make([]error, len(segs))
+	evalWorkers.Add(int64(len(segs)))
+	var wg sync.WaitGroup
+	for w, sg := range segs {
+		w, sg := w, sg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev, err := NewEvaluator(n, fields)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			buf := make([]values.Value, len(fields))
+			if err := ev.EvalStoreRangeInto(s, id, sg[0], sg[1], buf); err != nil {
+				errs[w] = err
+				return
+			}
+			partials[w] = buf
+		}()
+	}
+	wg.Wait()
+	for i := range out {
+		out[i] = values.Value{}
+	}
+	for w := range segs {
+		if errs[w] != nil {
+			return errs[w]
+		}
+		MergePartials(fields, out, partials[w])
+	}
+	return nil
+}
+
+// ParallelCountStore is CountStore with segment parallelism.
+func ParallelCountStore(n *ftree.Node, s *Store, id NodeID, par int) (int64, error) {
+	var out [1]values.Value
+	if err := ParallelEvalStore(n, []ftree.AggField{{Fn: ftree.Count}}, s, id, par, out[:]); err != nil {
+		return 0, err
+	}
+	return out[0].Int(), nil
+}

@@ -43,11 +43,60 @@ type nodeHdr struct {
 // Store holds the unions of one or more forests in contiguous slabs.
 // It is append-only; nodes are immutable once added. A Store must not
 // be appended to concurrently, but any number of goroutines may read it
-// (or append to private Snapshots of it) in parallel.
+// (or append to private Snapshots or Overlays of it) in parallel.
+//
+// A Store created by Overlay is a two-tier view: node ids and slab
+// offsets below the base lengths resolve into the base store's slabs in
+// place, while appends land in the overlay's private slabs, continuing
+// the base's address space. Plain stores have base == nil and all three
+// base lengths zero, so the tier checks below reduce to always-false
+// compares on the hot read path.
 type Store struct {
 	nodes []nodeHdr
 	vals  []values.Value
 	kids  []NodeID
+
+	// Overlay state: the read-only lower tier and its slab lengths at
+	// the time the overlay was taken. Nil/zero for plain stores.
+	base      *Store
+	baseNodes uint32
+	baseVals  uint32
+	baseKids  uint32
+}
+
+// hdr resolves a node header across the two tiers.
+func (s *Store) hdr(id NodeID) *nodeHdr {
+	if uint32(id) < s.baseNodes {
+		return &s.base.nodes[id]
+	}
+	return &s.nodes[uint32(id)-s.baseNodes]
+}
+
+// valSlice resolves a value range across the two tiers. A node's values
+// never span tiers (nodes are appended whole), so one compare picks the
+// slab.
+func (s *Store) valSlice(off, n uint32) []values.Value {
+	if off < s.baseVals {
+		return s.base.vals[off : off+n : off+n]
+	}
+	o := off - s.baseVals
+	return s.vals[o : o+n : o+n]
+}
+
+// kidSlice resolves a kid-reference range across the two tiers.
+func (s *Store) kidSlice(off, n uint32) []NodeID {
+	if off < s.baseKids {
+		return s.base.kids[off : off+n : off+n]
+	}
+	o := off - s.baseKids
+	return s.kids[o : o+n : o+n]
+}
+
+// counts returns the absolute slab lengths (base plus private tiers).
+func (s *Store) counts() (nodes, vals, kids int) {
+	return int(s.baseNodes) + len(s.nodes),
+		int(s.baseVals) + len(s.vals),
+		int(s.baseKids) + len(s.kids)
 }
 
 // NewStore returns an empty store containing only the canonical empty
@@ -60,6 +109,9 @@ func NewStore() *Store {
 // capacity for reuse (the engine pools stores across queries). The value
 // slab is cleared so pooled stores do not pin string or vector memory.
 func (s *Store) Reset() {
+	if s.base != nil {
+		panic("frep: Reset of an overlay store")
+	}
 	clear(s.vals[:cap(s.vals)])
 	s.nodes = append(s.nodes[:0], nodeHdr{})
 	s.vals = s.vals[:0]
@@ -67,46 +119,48 @@ func (s *Store) Reset() {
 }
 
 // Len returns the number of values in union id.
-func (s *Store) Len(id NodeID) int { return int(s.nodes[id].nVals) }
+func (s *Store) Len(id NodeID) int { return int(s.hdr(id).nVals) }
 
 // Arity returns the number of child references per value of union id.
-func (s *Store) Arity(id NodeID) int { return int(s.nodes[id].arity) }
+func (s *Store) Arity(id NodeID) int { return int(s.hdr(id).arity) }
 
 // Vals returns the value slice of union id as a view into the value
 // slab. The caller must not modify it.
 func (s *Store) Vals(id NodeID) []values.Value {
-	h := &s.nodes[id]
-	return s.vals[h.valOff : h.valOff+h.nVals : h.valOff+h.nVals]
+	h := s.hdr(id)
+	return s.valSlice(h.valOff, h.nVals)
 }
 
 // Val returns value i of union id.
 func (s *Store) Val(id NodeID, i int) values.Value {
-	h := &s.nodes[id]
-	return s.vals[h.valOff+uint32(i)]
+	h := s.hdr(id)
+	return s.valSlice(h.valOff, h.nVals)[i]
 }
 
 // KidRow returns the child references for value i of union id as a view
 // into the kid slab. The caller must not modify it.
 func (s *Store) KidRow(id NodeID, i int) []NodeID {
-	h := &s.nodes[id]
-	off := h.kidOff + uint32(i)*h.arity
-	return s.kids[off : off+h.arity : off+h.arity]
+	h := s.hdr(id)
+	return s.kidSlice(h.kidOff+uint32(i)*h.arity, h.arity)
 }
 
 // Kid returns the j-th child reference of value i of union id.
 func (s *Store) Kid(id NodeID, i, j int) NodeID {
-	h := &s.nodes[id]
-	return s.kids[h.kidOff+uint32(i)*h.arity+uint32(j)]
+	h := s.hdr(id)
+	off := h.kidOff + uint32(i)*h.arity + uint32(j)
+	if off < s.baseKids {
+		return s.base.kids[off]
+	}
+	return s.kids[off-s.baseKids]
 }
 
 // NodeCount returns the number of nodes in the store (including the
-// empty node).
-func (s *Store) NodeCount() int { return len(s.nodes) }
+// empty node, and the base tier for overlays).
+func (s *Store) NodeCount() int { return int(s.baseNodes) + len(s.nodes) }
 
-// MemStats reports the slab sizes, for diagnostics.
-func (s *Store) MemStats() (nodes, vals, kids int) {
-	return len(s.nodes), len(s.vals), len(s.kids)
-}
+// MemStats reports the slab sizes (base plus private tiers), for
+// diagnostics.
+func (s *Store) MemStats() (nodes, vals, kids int) { return s.counts() }
 
 // Add appends a union node holding the given sorted values; kids holds
 // the concatenated child rows (arity references per value, value-major)
@@ -121,15 +175,16 @@ func (s *Store) Add(vals []values.Value, arity int, kids []NodeID) NodeID {
 	if len(kids) != len(vals)*arity {
 		panic(fmt.Sprintf("frep: Store.Add: %d kid refs for %d values × arity %d", len(kids), len(vals), arity))
 	}
-	if len(s.nodes) >= math.MaxUint32 ||
-		len(s.vals)+len(vals) > math.MaxUint32 ||
-		len(s.kids)+len(kids) > math.MaxUint32 {
+	nNodes, nVals, nKids := s.counts()
+	if nNodes >= math.MaxUint32 ||
+		nVals+len(vals) > math.MaxUint32 ||
+		nKids+len(kids) > math.MaxUint32 {
 		panic("frep: Store slab overflow (2^32 entries)")
 	}
-	id := NodeID(len(s.nodes))
+	id := NodeID(uint32(nNodes))
 	s.nodes = append(s.nodes, nodeHdr{
-		valOff: uint32(len(s.vals)),
-		kidOff: uint32(len(s.kids)),
+		valOff: uint32(nVals),
+		kidOff: uint32(nKids),
 		nVals:  uint32(len(vals)),
 		arity:  uint32(arity),
 	})
@@ -153,6 +208,9 @@ func (s *Store) Clone() *Store {
 // CloneInto copies the store's slabs into dst, reusing dst's capacity
 // (dst typically comes from a sync.Pool).
 func (s *Store) CloneInto(dst *Store) {
+	if s.base != nil || dst.base != nil {
+		panic("frep: Clone of or into an overlay store")
+	}
 	dst.nodes = append(dst.nodes[:0], s.nodes...)
 	dst.vals = append(dst.vals[:0], s.vals...)
 	dst.kids = append(dst.kids[:0], s.kids...)
@@ -166,6 +224,9 @@ func (s *Store) CloneInto(dst *Store) {
 // place, a snapshot is safe to read (and grow) from other goroutines
 // while the original keeps appending.
 func (s *Store) Snapshot() *Store {
+	if s.base != nil {
+		panic("frep: Snapshot of an overlay store")
+	}
 	return &Store{
 		nodes: s.nodes[:len(s.nodes):len(s.nodes)],
 		vals:  s.vals[:len(s.vals):len(s.vals)],
@@ -173,10 +234,105 @@ func (s *Store) Snapshot() *Store {
 	}
 }
 
+// Overlay returns a store that reads s's current contents in place and
+// appends into private slabs, continuing s's node-id and slab address
+// space. It is the per-worker append arena of parallel execution: any
+// number of overlays may be taken over one base and used concurrently
+// (each from a single goroutine), provided the base is not appended to
+// while they live. Taking an overlay copies nothing; merging its appends
+// back costs AdoptOverlay, which is linear in the overlay's own output
+// only. Overlays must not be Reset, Cloned, Snapshotted, Grafted or
+// pooled.
+func (s *Store) Overlay() *Store {
+	if s.base != nil {
+		panic("frep: Overlay of an overlay store")
+	}
+	return &Store{
+		base:      s,
+		baseNodes: uint32(len(s.nodes)),
+		baseVals:  uint32(len(s.vals)),
+		baseKids:  uint32(len(s.kids)),
+	}
+}
+
+// AdoptOverlay appends the overlay's private slabs into s (which must be
+// the overlay's base) and returns a remapping from overlay node ids to
+// their ids in s. Ids below the overlay's base length name s's own nodes
+// and map to themselves. Overlays are adopted one at a time; the base
+// may have grown through earlier adoptions, the remap accounts for the
+// shift. The overlay must not be used after adoption.
+func (s *Store) AdoptOverlay(o *Store) func(NodeID) NodeID {
+	if o.base != s {
+		panic("frep: AdoptOverlay of a foreign overlay")
+	}
+	if len(s.nodes)+len(o.nodes) > math.MaxUint32 ||
+		len(s.vals)+len(o.vals) > math.MaxUint32 ||
+		len(s.kids)+len(o.kids) > math.MaxUint32 {
+		panic("frep: Store slab overflow (2^32 entries)")
+	}
+	nodeBase := uint32(len(s.nodes))
+	valBase := uint32(len(s.vals))
+	kidBase := uint32(len(s.kids))
+	remap := func(id NodeID) NodeID {
+		if uint32(id) < o.baseNodes {
+			return id
+		}
+		return NodeID(uint32(id) - o.baseNodes + nodeBase)
+	}
+	for _, h := range o.nodes {
+		// Headers pointing into the base tier (segment views) keep their
+		// offsets; private-tier offsets shift to the adoption point.
+		if h.valOff >= o.baseVals {
+			h.valOff = h.valOff - o.baseVals + valBase
+		}
+		if h.kidOff >= o.baseKids {
+			h.kidOff = h.kidOff - o.baseKids + kidBase
+		}
+		s.nodes = append(s.nodes, h)
+	}
+	s.vals = append(s.vals, o.vals...)
+	for _, k := range o.kids {
+		s.kids = append(s.kids, remap(k))
+	}
+	return remap
+}
+
+// ViewOf appends a node aliasing the value window [lo, hi) of node id:
+// an O(1) segment view (no value or kid copies) used to hand contiguous
+// root slices to parallel workers. The whole window returns id itself
+// and an empty window returns EmptyNode; neither appends.
+func (s *Store) ViewOf(id NodeID, lo, hi int) NodeID {
+	h := s.hdr(id)
+	if lo < 0 || hi > int(h.nVals) || lo > hi {
+		panic(fmt.Sprintf("frep: ViewOf window [%d,%d) out of range for %d values", lo, hi, h.nVals))
+	}
+	if lo >= hi {
+		return EmptyNode
+	}
+	if lo == 0 && hi == int(h.nVals) {
+		return id
+	}
+	nNodes, _, _ := s.counts()
+	if nNodes >= math.MaxUint32 {
+		panic("frep: Store slab overflow (2^32 entries)")
+	}
+	nid := NodeID(uint32(nNodes))
+	s.nodes = append(s.nodes, nodeHdr{
+		valOff: h.valOff + uint32(lo),
+		kidOff: h.kidOff + uint32(lo)*h.arity,
+		nVals:  uint32(hi - lo),
+		arity:  h.arity,
+	})
+	return nid
+}
+
 // Graft appends the contents of other into s and returns a remapping
 // function from other's node ids to s's. Used by Product when the two
 // factorised relations live in different stores. other is unchanged.
 func (s *Store) Graft(other *Store) func(NodeID) NodeID {
+	if s.base != nil || other.base != nil {
+		panic("frep: Graft of or into an overlay store")
+	}
 	if len(s.nodes)+len(other.nodes) > math.MaxUint32 ||
 		len(s.vals)+len(other.vals) > math.MaxUint32 ||
 		len(s.kids)+len(other.kids) > math.MaxUint32 {

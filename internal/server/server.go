@@ -61,6 +61,13 @@ type Config struct {
 	// Workers bounds the number of concurrently executing queries;
 	// defaults to GOMAXPROCS.
 	Workers int
+	// Parallelism bounds the intra-query parallelism of each executing
+	// query (segment workers over the factorised representation; see
+	// fdb.Engine.Parallelism): 0 means GOMAXPROCS, 1 disables. On a
+	// loaded server inter-query concurrency (Workers) usually saturates
+	// the cores already; raise this for latency-sensitive workloads
+	// with few concurrent heavy queries.
+	Parallelism int
 	// CacheSize is the per-database plan cache capacity in entries;
 	// defaults to 256.
 	CacheSize int
@@ -113,8 +120,10 @@ func New(cfg Config) (*Server, error) {
 	if cacheSize <= 0 {
 		cacheSize = 256
 	}
+	eng := fdb.NewEngine()
+	eng.Parallelism = cfg.Parallelism
 	s := &Server{
-		eng:       fdb.NewEngine(),
+		eng:       eng,
 		dbs:       make(map[string]*database, len(cfg.Databases)),
 		defaultDB: defaultDB,
 		sem:       make(chan struct{}, workers),
@@ -269,6 +278,10 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 		fail(err)
 		return
 	}
+	// The cursor is closed before the result on every exit path below
+	// (deferred LIFO), which joins any parallel segment workers and only
+	// then recycles the pooled store — a client abort mid-stream must
+	// never leave workers reading a store that went back to the pool.
 	defer res.Close()
 	rows, err := res.Rows(r.Context())
 	if err != nil {
@@ -293,6 +306,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 	flush() // first bytes (and shortly after, the first row) leave now
 
 	trailer := ndjsonTrailer{}
+	wroteErr := false
 	row := make([]any, 0, len(rows.Columns()))
 	for rows.Next() {
 		if s.maxRows > 0 && trailer.RowCount >= s.maxRows {
@@ -304,14 +318,21 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 			row = append(row, valueJSON(v))
 		}
 		if err := enc.Encode(row); err != nil {
-			// The client went away mid-stream; nothing left to tell it.
-			s.met.record(time.Since(start), true)
-			return
+			// The client went away mid-stream (possibly mid-row): stop
+			// enumerating and write nothing further — a trailer after a
+			// partial row would corrupt the line protocol for any proxy
+			// still reading.
+			wroteErr = true
+			break
 		}
 		trailer.RowCount++
 		if trailer.RowCount%flushEvery == 0 {
 			flush()
 		}
+	}
+	if wroteErr {
+		s.met.record(time.Since(start), true)
+		return
 	}
 	if err := rows.Err(); err != nil {
 		trailer.Error = err.Error()
@@ -407,7 +428,11 @@ type DBStats struct {
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	Snapshot
-	Workers   int                `json:"workers"`
+	Workers int `json:"workers"`
+	// Parallel is the per-query worker accounting: cumulative counts of
+	// queries run with an intra-query parallelism budget and of segment
+	// workers spawned per engine layer.
+	Parallel  fdb.ParStats       `json:"parallel"`
 	Databases map[string]DBStats `json:"databases"`
 }
 
@@ -416,6 +441,7 @@ func (s *Server) Stats() StatsResponse {
 	out := StatsResponse{
 		Snapshot:  s.met.snapshot(),
 		Workers:   cap(s.sem),
+		Parallel:  fdb.ParallelStats(),
 		Databases: make(map[string]DBStats, len(s.dbs)),
 	}
 	for name, d := range s.dbs {

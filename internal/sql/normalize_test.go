@@ -26,3 +26,35 @@ func TestNormalize(t *testing.T) {
 		t.Error("identifier case must be preserved")
 	}
 }
+
+// TestNormalizeKeepsLimitOffsetLiterals asserts statements differing
+// only in a LIMIT or OFFSET literal normalise to distinct keys: the
+// plan cache keys on Normalize, so a collision here would serve a
+// cached λk+m plan across different k or m.
+func TestNormalizeKeepsLimitOffsetLiterals(t *testing.T) {
+	base := "SELECT a FROM R ORDER BY a"
+	variants := []string{
+		base,
+		base + " LIMIT 5",
+		base + " LIMIT 10",
+		base + " LIMIT 5 OFFSET 10",
+		base + " LIMIT 5 OFFSET 20",
+		base + " LIMIT 10 OFFSET 5",
+		base + " OFFSET 5",
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		key := Normalize(v)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("Normalize conflates %q and %q (both %q)", prev, v, key)
+		}
+		seen[key] = v
+	}
+	// Other literal kinds must stay distinct too.
+	if Normalize("SELECT a FROM R WHERE a = 1") == Normalize("SELECT a FROM R WHERE a = 2") {
+		t.Error("Normalize conflates distinct numeric comparison literals")
+	}
+	if Normalize("SELECT a FROM R WHERE a = 'x'") == Normalize("SELECT a FROM R WHERE a = 'y'") {
+		t.Error("Normalize conflates distinct string literals")
+	}
+}
