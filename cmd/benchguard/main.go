@@ -1,0 +1,191 @@
+// Command benchguard compares machine-readable benchmark results
+// (BENCH_<exp>.json files written by fdbbench -json) against a committed
+// baseline and fails when a series regresses beyond the tolerance — the
+// CI bench-regression gate.
+//
+// Usage:
+//
+//	benchguard -baseline bench_baseline.json BENCH_*.json          # check
+//	benchguard -baseline bench_baseline.json -update BENCH_*.json  # rewrite baseline
+//
+// The baseline maps "<experiment>/<series>" to ns/op. Only series
+// present in both the baseline and the current results are compared, so
+// adding a new benchmark never fails the guard until the baseline is
+// updated (-update); a series that disappears from the current results
+// fails the guard unless -allow-missing is set, so benchmarks cannot be
+// dropped silently.
+//
+// CI timing is noisy; pick the tolerance (and baseline values) with
+// headroom. The default tolerance fails on >25% ns/op regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors fdbbench's BENCH_<exp>.json layout (the fields the
+// guard needs).
+type benchFile struct {
+	Experiment string `json:"experiment"`
+	Results    []struct {
+		Name    string  `json:"name"`
+		NsPerOp int64   `json:"ns_op"`
+		Speedup float64 `json:"speedup"`
+	} `json:"results"`
+}
+
+// speedupFloors collects repeated -min-speedup key=N flags: a series'
+// reported speedup ratio must stay at or above N. Ratios are measured
+// within one run on one machine, so unlike the ns/op comparison they
+// are hardware-independent — the right shape for hard product
+// guarantees (e.g. "snapshot load ≥5× faster than rebuild").
+type speedupFloors map[string]float64
+
+func (s speedupFloors) String() string { return fmt.Sprint(map[string]float64(s)) }
+
+func (s speedupFloors) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want key=minimum, got %q", v)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	s[key] = f
+	return nil
+}
+
+// baseline is the committed reference: series key → ns/op.
+type baseline struct {
+	// Note explains the file's provenance to humans editing it.
+	Note    string           `json:"note,omitempty"`
+	Entries map[string]int64 `json:"entries"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "bench_baseline.json", "baseline file (committed)")
+	tolerance := flag.Float64("tolerance", 25, "max allowed ns/op regression in percent")
+	update := flag.Bool("update", false, "rewrite the baseline from the current results instead of checking")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline series is absent from the current results")
+	floors := speedupFloors{}
+	flag.Var(floors, "min-speedup", "series whose reported speedup must stay ≥ the floor, as experiment/name=N (repeatable; machine-independent ratio check)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no BENCH_*.json files given")
+		os.Exit(2)
+	}
+
+	current := map[string]int64{}
+	speedups := map[string]float64{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var bf benchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for _, r := range bf.Results {
+			key := bf.Experiment + "/" + r.Name
+			if r.Speedup > 0 {
+				speedups[key] = r.Speedup
+			}
+			if r.NsPerOp <= 0 {
+				continue // throughput-only series (qps) are not guarded
+			}
+			if prev, dup := current[key]; dup && prev != r.NsPerOp {
+				fatal(fmt.Errorf("duplicate series %q across inputs", key))
+			}
+			current[key] = r.NsPerOp
+		}
+	}
+
+	if *update {
+		b := baseline{
+			Note:    "ns/op reference for benchguard; regenerate with: go run ./cmd/benchguard -update -baseline bench_baseline.json BENCH_*.json",
+			Entries: current,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %s (%d series)\n", *basePath, len(current))
+		return
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *basePath, err))
+	}
+
+	keys := make([]string, 0, len(base.Entries))
+	for k := range base.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, key := range keys {
+		baseNs := base.Entries[key]
+		got, ok := current[key]
+		if !ok {
+			if *allowMissing {
+				fmt.Printf("SKIP  %-40s baseline %dns, no current measurement\n", key, baseNs)
+				continue
+			}
+			fmt.Printf("MISS  %-40s baseline %dns, no current measurement\n", key, baseNs)
+			failed = true
+			continue
+		}
+		change := 100 * (float64(got) - float64(baseNs)) / float64(baseNs)
+		status := "ok  "
+		if change > *tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-40s %12dns -> %12dns  (%+.1f%%, limit +%.0f%%)\n",
+			status, key, baseNs, got, change, *tolerance)
+	}
+	floorKeys := make([]string, 0, len(floors))
+	for k := range floors {
+		floorKeys = append(floorKeys, k)
+	}
+	sort.Strings(floorKeys)
+	for _, key := range floorKeys {
+		got, ok := speedups[key]
+		switch {
+		case !ok:
+			fmt.Printf("MISS  %-40s no speedup reported (floor %.1f×)\n", key, floors[key])
+			failed = true
+		case got < floors[key]:
+			fmt.Printf("FAIL  %-40s speedup %.2f× below floor %.1f×\n", key, got, floors[key])
+			failed = true
+		default:
+			fmt.Printf("ok    %-40s speedup %.2f× (floor %.1f×)\n", key, got, floors[key])
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: ns/op regression beyond tolerance, speedup below floor, or missing series; update bench_baseline.json deliberately if this is expected")
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d series within +%.0f%% of baseline, %d speedup floors held\n", len(keys), *tolerance, len(floorKeys))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+package main
+
+// The coldstart experiment measures what catalogue persistence buys at
+// boot by timing fdbserver's two boot paths end to end:
+//
+//	rebuild    the no-snapshot path — parse every relation from CSV and
+//	           factorise it (sort-based) into its arena store
+//	load       the snapshot path — read catalog.fdbcat with one
+//	           contiguous read and decode slabs in place
+//	load-mmap  the same, memory-mapped (zero-copy slabs)
+//
+// It also reports save time (build + atomic write) and snapshot size.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/factordb/fdb/internal/catalog"
+	"github.com/factordb/fdb/internal/engine"
+	"github.com/factordb/fdb/internal/relation"
+)
+
+// expColdstart measures rebuild vs snapshot load for the workload
+// database at the current scale.
+func (b *bench) expColdstart() {
+	header(fmt.Sprintf("Coldstart: CSV rebuild vs snapshot load (scale %d)", b.scale))
+	ds := b.dataset(b.scale)
+	db := engine.DB(ds.DB())
+	r1, err := ds.FlatR1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := ds.FlatR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r3, err := ds.R3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db["R1"], db["R2"], db["R3"] = r1, r2, r3
+
+	dir, err := os.MkdirTemp(".", "fdb-coldstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Untimed setup: materialise the CSV form of every relation (what a
+	// no-snapshot deployment keeps on disk) and the snapshot file.
+	for name, rel := range db {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rel.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(dir, "catalog.fdbcat")
+
+	// Rebuild: the CSV boot path — parse every *.csv and factorise each
+	// relation over its attribute path.
+	rebuild := b.timeIt(func() {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+		if err != nil || len(matches) == 0 {
+			log.Fatalf("coldstart: globbing CSVs: %v (%d files)", err, len(matches))
+		}
+		parsed := make(map[string]*relation.Relation, len(matches))
+		for _, path := range matches {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := filepath.Base(path)
+			name = name[:len(name)-len(".csv")]
+			rel, err := relation.ReadCSV(name, f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			parsed[name] = rel
+		}
+		if _, err := catalog.Build("workload", parsed); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Save: factorise plus the atomic snapshot write, for operational
+	// context (what POST /snapshot costs).
+	save := b.timeIt(func() {
+		if err := engine.SaveCatalogFile(snapPath, "workload", db); err != nil {
+			log.Fatal(err)
+		}
+	})
+	st, err := os.Stat(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loadOnce := func(mmap bool) {
+		cat, err := engine.LoadCatalogFile(snapPath, mmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Touch every relation so lazily faulted pages are charged to the
+		// load, not to the first query.
+		n := 0
+		for _, rel := range cat.DB {
+			n += rel.Cardinality()
+		}
+		if n == 0 {
+			log.Fatal("coldstart: loaded catalogue is empty")
+		}
+		if err := cat.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	load := b.timeIt(func() { loadOnce(false) })
+	loadMmap := b.timeIt(func() { loadOnce(true) })
+
+	speedup := func(m measurement) float64 {
+		if m.Dur <= 0 {
+			return 0
+		}
+		return float64(rebuild.Dur) / float64(m.Dur)
+	}
+
+	row("phase", "time", "speedup-vs-rebuild")
+	row("rebuild", rebuild.String(), "1.0×")
+	row("save", save.String(), "")
+	row("load", load.String(), fmt.Sprintf("%.1f×", speedup(load)))
+	row("load-mmap", loadMmap.String(), fmt.Sprintf("%.1f×", speedup(loadMmap)))
+	row("snapshot-size", fmt.Sprintf("%d bytes", st.Size()), "")
+
+	if b.jsonOut {
+		b.results = append(b.results,
+			benchResult{Name: "rebuild", Scale: b.scale, NsPerOp: rebuild.Dur.Nanoseconds(), AllocsOp: rebuild.Allocs, Speedup: 1},
+			benchResult{Name: "save", Scale: b.scale, NsPerOp: save.Dur.Nanoseconds(), AllocsOp: save.Allocs},
+			benchResult{Name: "load", Scale: b.scale, NsPerOp: load.Dur.Nanoseconds(), AllocsOp: load.Allocs, Speedup: speedup(load)},
+			benchResult{Name: "load-mmap", Scale: b.scale, NsPerOp: loadMmap.Dur.Nanoseconds(), AllocsOp: loadMmap.Allocs, Speedup: speedup(loadMmap)},
+		)
+	}
+}

@@ -1,31 +1,44 @@
-// Command fdbserver serves one or more CSV-backed databases over
-// HTTP/JSON, executing SQL with the factorised-database engine. The
-// data is loaded once into a shared read-only in-memory store; queries
-// run concurrently through a bounded worker pool, and a per-database
-// LRU plan cache lets repeated statements skip parsing and f-plan
-// optimisation.
+// Command fdbserver serves one or more databases over HTTP/JSON,
+// executing SQL with the factorised-database engine. The data is loaded
+// once into a shared read-only in-memory store; queries run concurrently
+// through a bounded worker pool, and a per-database LRU plan cache lets
+// repeated statements skip parsing and f-plan optimisation.
 //
 // Usage:
 //
 //	fdbserver -data ./data                      # one database ("data")
 //	fdbserver -data shop=./shop -data hr=./hr   # several, first is default
 //	fdbserver -data ./data -listen :9000 -workers 8 -cache 512
+//	fdbserver -data shop=./shop.fdbcat -mmap    # catalogue snapshot file
 //
-// Every *.csv file in a data directory becomes a relation named after
-// the file (header row = attribute names).
+// A -data argument may name a directory or a catalogue snapshot:
+//
+//   - a directory containing catalog.fdbcat boots from that snapshot —
+//     schema, tuples and prebuilt factorisations load with contiguous
+//     reads instead of CSV parsing and re-sorting;
+//   - otherwise every *.csv file in the directory becomes a relation
+//     named after the file (header row = attribute names);
+//   - a path ending in .fdbcat is loaded as a snapshot file directly.
+//
+// With -mmap, snapshots are memory-mapped and used in place (zero-copy:
+// boot cost is metadata only; data pages fault in on demand).
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "SELECT ...", "db": "shop"}
-//	GET  /healthz  liveness probe
-//	GET  /stats    query counts, latency percentiles, cache hit rates
+//	POST /query     {"sql": "SELECT ...", "db": "shop"}
+//	POST /snapshot  {"db": "shop"} (optional) — persist catalogues
+//	                atomically to their -data locations
+//	GET  /healthz   liveness probe (503 while draining)
+//	GET  /stats     query counts, latency percentiles, cache hit rates
 //
 // Example session:
 //
 //	curl -s localhost:8334/query -d '{"sql":"SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items WHERE package = package2 AND item = item2 GROUP BY customer ORDER BY revenue DESC LIMIT 3"}'
+//	curl -s -X POST localhost:8334/snapshot
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// queries before exiting.
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, new queries are refused, and the process exits only after
+// every in-flight query — including streaming responses — has drained.
 package main
 
 import (
@@ -46,6 +59,9 @@ import (
 	"github.com/factordb/fdb/internal/server"
 )
 
+// snapshotBase is the snapshot filename used inside -data directories.
+const snapshotBase = "catalog.fdbcat"
+
 // dataFlags collects repeated -data flags of the form "dir" or
 // "name=dir", preserving order (the first is the default database).
 type dataFlags struct {
@@ -65,6 +81,7 @@ func (d *dataFlags) Set(v string) error {
 	}
 	if name == "" {
 		name = filepath.Base(filepath.Clean(dir))
+		name = strings.TrimSuffix(name, ".fdbcat")
 	}
 	d.names = append(d.names, name)
 	d.dirs = append(d.dirs, dir)
@@ -75,24 +92,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbserver: ")
 	var data dataFlags
-	flag.Var(&data, "data", "data directory of *.csv relations, optionally name=dir (repeatable)")
+	flag.Var(&data, "data", "data directory of *.csv relations or a .fdbcat catalogue snapshot, optionally name=path (repeatable)")
 	listen := flag.String("listen", ":8334", "listen address")
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 256, "plan cache entries per database")
 	maxRows := flag.Int("maxrows", 0, "max rows returned per query (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "intra-query parallelism per executing query (0 = GOMAXPROCS, 1 = serial)")
+	useMmap := flag.Bool("mmap", false, "memory-map catalogue snapshots instead of reading them (zero-copy boot)")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	flag.Parse()
 
 	if len(data.dirs) == 0 {
 		log.Fatal("at least one -data directory is required")
 	}
 	dbs := make(map[string]fdb.Database, len(data.dirs))
+	snapshots := make(map[string]string, len(data.dirs))
 	for i, dir := range data.dirs {
 		name := data.names[i]
 		if _, dup := dbs[name]; dup {
 			log.Fatalf("duplicate database name %q", name)
 		}
-		db, err := loadDir(dir)
+		db, snapPath, how, err := loadData(dir, *useMmap)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,8 +120,9 @@ func main() {
 		for n, r := range db {
 			rels = append(rels, fmt.Sprintf("%s[%d]", n, r.Cardinality()))
 		}
-		log.Printf("database %q: %s", name, strings.Join(rels, " "))
+		log.Printf("database %q (%s): %s", name, how, strings.Join(rels, " "))
 		dbs[name] = db
+		snapshots[name] = snapPath
 	}
 
 	srv, err := server.New(server.Config{
@@ -111,6 +132,7 @@ func main() {
 		CacheSize:   *cacheSize,
 		MaxRows:     *maxRows,
 		Parallelism: *parallelism,
+		Snapshots:   snapshots,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,19 +141,72 @@ func main() {
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		log.Print("shutting down…")
-		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(shCtx); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
-	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (default database %q)", *listen, data.names[0])
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any shutdown was requested.
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+
+	// Shutdown ordering: flip the server into draining first — /healthz
+	// turns 503 so load balancers stop routing, and new queries on
+	// kept-alive connections get a clean refusal — then close the
+	// listener and wait for the HTTP layer, then drain the query layer:
+	// the process must not exit while a cursor is still streaming or a
+	// snapshot rename is pending.
+	log.Print("shutting down…")
+	srv.StartDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(shCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("drained; exiting")
+}
+
+// loadData loads one -data argument: a snapshot file, a directory with a
+// snapshot, or a directory of CSVs. It returns the database, the path
+// /snapshot should persist to, and a description of how the data was
+// loaded.
+func loadData(path string, useMmap bool) (fdb.Database, string, string, error) {
+	if strings.HasSuffix(path, ".fdbcat") {
+		cat, err := fdb.LoadCatalogFile(path, useMmap)
+		if err != nil {
+			return nil, "", "", err
+		}
+		return cat.DB, path, loadKind(useMmap), nil
+	}
+	snapPath := filepath.Join(path, snapshotBase)
+	if _, err := os.Stat(snapPath); err == nil {
+		cat, err := fdb.LoadCatalogFile(snapPath, useMmap)
+		if err != nil {
+			return nil, "", "", err
+		}
+		return cat.DB, snapPath, loadKind(useMmap), nil
+	}
+	db, err := loadDir(path)
+	if err != nil {
+		return nil, "", "", err
+	}
+	return db, snapPath, "csv", nil
+}
+
+func loadKind(useMmap bool) string {
+	if useMmap {
+		return "snapshot, mmap"
+	}
+	return "snapshot"
 }
 
 // loadDir reads every *.csv in dir as a relation named after the file.

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"github.com/factordb/fdb"
@@ -116,8 +117,21 @@ func (c *catalog) query(ctx context.Context, text string) (*rows, error) {
 }
 
 // Driver implements database/sql/driver.Driver and DriverContext over
-// registered catalogues; the DSN is the catalogue name.
+// registered catalogues. The DSN is a catalogue name, or — with a
+// "file:" prefix — the path of a catalogue snapshot written by
+// fdb.SaveCatalogFile (or fdbserver's /snapshot endpoint):
+//
+//	db, err := sql.Open("fdb", "file:/var/lib/fdb/shop.fdbcat")
+//
+// A file DSN loads the snapshot once per sql.Open: schema, tuples and
+// prebuilt factorisations come straight off the snapshot's slabs, so
+// opening is contiguous reads, not CSV parsing and re-sorting. The
+// loaded catalogue lives for the life of the sql.DB; closing the DB
+// releases it.
 type Driver struct{}
+
+// filePrefix marks a DSN that names a catalogue snapshot on disk.
+const filePrefix = "file:"
 
 // Open implements driver.Driver.
 func (d Driver) Open(dsn string) (driver.Conn, error) {
@@ -130,9 +144,16 @@ func (d Driver) Open(dsn string) (driver.Conn, error) {
 
 // OpenConnector implements driver.DriverContext.
 func (Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	if path, ok := strings.CutPrefix(dsn, filePrefix); ok {
+		loaded, err := fdb.LoadCatalogFile(path, false)
+		if err != nil {
+			return nil, fmt.Errorf("fdb driver: %w", err)
+		}
+		return &connector{cat: newCatalog(loaded.DB), loaded: loaded}, nil
+	}
 	v, ok := registry.Load(dsn)
 	if !ok {
-		return nil, fmt.Errorf("fdb driver: no catalogue registered under %q (call driver.Register)", dsn)
+		return nil, fmt.Errorf("fdb driver: no catalogue registered under %q (call driver.Register, or use a %q DSN)", dsn, filePrefix+"<path>")
 	}
 	return &connector{cat: v.(*catalog)}, nil
 }
@@ -146,6 +167,9 @@ func NewConnector(db fdb.Database) driver.Connector {
 
 type connector struct {
 	cat *catalog
+	// loaded is the snapshot behind a "file:" DSN, nil otherwise; the
+	// connector owns it and sql.DB.Close releases it through Close.
+	loaded *fdb.Catalog
 }
 
 // Connect implements driver.Connector. Connections are stateless
@@ -156,6 +180,15 @@ func (c *connector) Connect(context.Context) (driver.Conn, error) {
 
 // Driver implements driver.Connector.
 func (c *connector) Driver() driver.Driver { return Driver{} }
+
+// Close implements io.Closer: database/sql calls it from sql.DB.Close,
+// releasing a snapshot loaded through a "file:" DSN.
+func (c *connector) Close() error {
+	if c.loaded == nil {
+		return nil
+	}
+	return c.loaded.Close()
+}
 
 // conn is one database/sql connection: a stateless view of the
 // catalogue (all state lives in the catalogue and in open result

@@ -1,0 +1,94 @@
+package driver_test
+
+import (
+	"database/sql"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/factordb/fdb"
+)
+
+// collect runs a query and returns all rows as [][]any.
+func collect(t *testing.T, db *sql.DB, q string) [][]any {
+	t.Helper()
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]any
+	for rows.Next() {
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, vals)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const fileDSNQuery = `SELECT customer, SUM(price) AS revenue
+	FROM Orders, Pizzas, Items
+	WHERE pizza = pizza2 AND item = item2
+	GROUP BY customer ORDER BY revenue DESC, customer`
+
+func TestFileDSN(t *testing.T) {
+	data := pizzeria(t)
+	path := filepath.Join(t.TempDir(), "pizzeria.fdbcat")
+	if err := fdb.SaveCatalogFile(path, "pizzeria", data); err != nil {
+		t.Fatal(err)
+	}
+
+	live := openDB(t)
+	want := collect(t, live, fileDSNQuery)
+
+	loaded, err := sql.Open("fdb", "file:"+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, loaded, fileDSNQuery)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("file: DSN answers differently\nwant %v\ngot  %v", want, got)
+	}
+	// Closing the DB releases the loaded catalogue (connector Close).
+	if err := loaded.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDSNErrors(t *testing.T) {
+	// Missing file: sql.Open defers to the first use.
+	db, err := sql.Open("fdb", "file:"+filepath.Join(t.TempDir(), "absent.fdbcat"))
+	if err == nil {
+		defer db.Close()
+		if _, qerr := db.Query("SELECT customer FROM Orders"); qerr == nil {
+			t.Fatal("query against a missing snapshot succeeded")
+		}
+	}
+
+	// Corrupt file: must surface a load error, not a panic.
+	path := filepath.Join(t.TempDir(), "garbage.fdbcat")
+	if err := os.WriteFile(path, []byte("not a catalogue"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sql.Open("fdb", "file:"+path)
+	if err == nil {
+		defer db2.Close()
+		if _, qerr := db2.Query("SELECT customer FROM Orders"); qerr == nil {
+			t.Fatal("query against a corrupt snapshot succeeded")
+		}
+	}
+}

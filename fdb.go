@@ -217,6 +217,32 @@ func MaterialiseView(e *Engine, q *Query, db Database) (*Factorisation, error) {
 	return res.Factorisation(), nil
 }
 
+// Catalog is a database loaded from a catalogue snapshot: the flat
+// relations plus prebuilt factorised base relations that the engine
+// grafts instead of re-sorting (see SaveCatalog / LoadCatalogFile).
+// Close releases the snapshot's backing bytes and unregisters the
+// factorisations; mmap-loaded catalogues must not be used after Close.
+type Catalog = engine.Catalog
+
+// SaveCatalog factorises every relation of db and writes a versioned,
+// checksummed catalogue snapshot (schema, flat tuples, factorised arena
+// stores) to w. The encoding is canonical: saving the same data always
+// produces the same bytes.
+var SaveCatalog = engine.SaveCatalog
+
+// SaveCatalogFile is SaveCatalog writing atomically to path (temp file,
+// fsync, rename), so readers never observe a partial snapshot.
+var SaveCatalogFile = engine.SaveCatalogFile
+
+// LoadCatalog reads a catalogue snapshot from r; see LoadCatalogFile for
+// the zero-copy file path.
+var LoadCatalog = engine.LoadCatalog
+
+// LoadCatalogFile loads the catalogue snapshot at path. With mmap set
+// the slabs are used in place (load time is O(metadata); pages fault in
+// on demand); otherwise the file is read with one contiguous read.
+var LoadCatalogFile = engine.LoadCatalogFile
+
 // WriteView serialises a factorised view to w in a compact binary format,
 // so materialised views can be stored and reloaded without
 // re-factorising.

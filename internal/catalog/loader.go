@@ -1,0 +1,45 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+)
+
+// Loader produces the raw bytes of a catalogue snapshot and owns their
+// lifetime: the bytes must stay valid and immutable until Close. The
+// zero-copy load path aliases stores and strings straight into these
+// bytes, which is what makes an mmapped catalogue load in O(metadata)
+// instead of O(data).
+type Loader interface {
+	// Load returns the snapshot bytes. It is called once per Open.
+	Load() ([]byte, error)
+	// Close releases the bytes. Values loaded zero-copy must not be
+	// used after Close.
+	Close() error
+}
+
+// fileLoader reads the whole file into private memory — always safe,
+// no lifetime coupling to the filesystem.
+type fileLoader struct {
+	path string
+	b    []byte
+}
+
+// FileLoader returns a Loader that reads path into memory with one
+// contiguous read. The returned bytes are private, so Close is a no-op
+// and the loaded catalogue outlives any changes to the file.
+func FileLoader(path string) Loader { return &fileLoader{path: path} }
+
+func (l *fileLoader) Load() ([]byte, error) {
+	b, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	l.b = b
+	return b, nil
+}
+
+func (l *fileLoader) Close() error {
+	l.b = nil
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package catalog
+
+// MmapLoader falls back to FileLoader on platforms without Unix mmap;
+// the behaviour is identical apart from the up-front copy.
+func MmapLoader(path string) Loader { return FileLoader(path) }

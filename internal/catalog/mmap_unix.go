@@ -1,0 +1,64 @@
+//go:build unix
+
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapLoader maps the file read-only: the kernel pages catalogue data in
+// on demand, nothing is copied up front, and several processes serving
+// one catalogue share the page cache. The mapping is read-only, so a
+// stray write through an aliased slice faults instead of corrupting the
+// snapshot (and frozen stores forbid the one in-place write path,
+// Reset, outright).
+type mmapLoader struct {
+	path string
+	b    []byte
+}
+
+// MmapLoader returns a Loader that memory-maps path read-only. On
+// platforms without mmap support it falls back to FileLoader. The
+// catalogue must not be used after Close (the mapping is unmapped); use
+// WriteFile's atomic rename to replace a live file — the old mapping
+// keeps referencing the old inode.
+func MmapLoader(path string) Loader { return &mmapLoader{path: path} }
+
+func (l *mmapLoader) Load() ([]byte, error) {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("catalog: %s is empty", l.path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("catalog: %s too large to map (%d bytes)", l.path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: mmap %s: %w", l.path, err)
+	}
+	l.b = b
+	return b, nil
+}
+
+func (l *mmapLoader) Close() error {
+	if l.b == nil {
+		return nil
+	}
+	b := l.b
+	l.b = nil
+	if err := syscall.Munmap(b); err != nil {
+		return fmt.Errorf("catalog: munmap %s: %w", l.path, err)
+	}
+	return nil
+}

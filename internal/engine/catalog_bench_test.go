@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/factordb/fdb/internal/catalog"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+// benchDB builds the workload database once per benchmark run.
+func benchDB(b *testing.B) DB {
+	b.Helper()
+	ds := workload.Generate(workload.Config{Scale: 1})
+	db := DB(ds.DB())
+	r1, err := ds.FlatR1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r2, err := ds.FlatR2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r3, err := ds.R3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db["R1"], db["R2"], db["R3"] = r1, r2, r3
+	return db
+}
+
+// BenchmarkCatalogBuild is the no-snapshot boot path: factorise every
+// relation from flat tuples.
+func BenchmarkCatalogBuild(b *testing.B) {
+	db := benchDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := catalog.Build("bench", db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogLoad is the snapshot boot path: parse the container
+// out of one in-memory byte slice (zero-copy).
+func BenchmarkCatalogLoad(b *testing.B) {
+	db := benchDB(b)
+	var buf bytes.Buffer
+	if _, err := SaveCatalog(&buf, "bench", db); err != nil {
+		b.Fatal(err)
+	}
+	snap := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := catalog.Read(snap, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -134,8 +134,11 @@ func (e *Engine) PrepareContext(ctx context.Context, q *query.Query, db DB) (*Pr
 
 // buildForest factorises the query's relations in the prepared path
 // orders into the store, returning the fresh forest and one root per
-// relation. The context is checked between relations so huge base-data
-// builds honour cancellation.
+// relation. A relation whose catalogue snapshot carries a prebuilt
+// factorisation in the required order is grafted (three slab copies)
+// instead of re-sorted from flat tuples — the cold-start fast path for
+// databases loaded with LoadCatalog. The context is checked between
+// relations so huge base-data builds honour cancellation.
 func (p *Prepared) buildForest(ctx context.Context, db DB, st *frep.Store) (*ftree.Forest, []frep.NodeID, error) {
 	f := ftree.New()
 	var roots []frep.NodeID
@@ -148,6 +151,10 @@ func (p *Prepared) buildForest(ctx context.Context, db DB, st *frep.Store) (*ftr
 			return nil, nil, fmt.Errorf("engine: unknown relation %q", name)
 		}
 		f.NewRelationPath(p.Orders[i]...)
+		if fact := factFor(rel, p.Orders[i]); fact != nil {
+			roots = append(roots, graftFact(st, fact))
+			continue
+		}
 		sub := ftree.New()
 		sub.NewRelationPath(p.Orders[i]...)
 		rs, err := frep.BuildStoreUnchecked(st, rel, sub)

@@ -62,6 +62,13 @@ type Store struct {
 	baseNodes uint32
 	baseVals  uint32
 	baseKids  uint32
+
+	// frozen marks a store loaded from a snapshot (LoadSnapshot /
+	// ReadFrom): its slabs may alias read-only mapped memory, so Reset —
+	// the only operation that writes in place — is forbidden. All other
+	// operations append, and the slabs are capacity-clamped so appends
+	// reallocate instead of writing through.
+	frozen bool
 }
 
 // hdr resolves a node header across the two tiers.
@@ -111,6 +118,9 @@ func NewStore() *Store {
 func (s *Store) Reset() {
 	if s.base != nil {
 		panic("frep: Reset of an overlay store")
+	}
+	if s.frozen {
+		panic("frep: Reset of a frozen (snapshot-loaded) store")
 	}
 	clear(s.vals[:cap(s.vals)])
 	s.nodes = append(s.nodes[:0], nodeHdr{})
@@ -228,9 +238,10 @@ func (s *Store) Snapshot() *Store {
 		panic("frep: Snapshot of an overlay store")
 	}
 	return &Store{
-		nodes: s.nodes[:len(s.nodes):len(s.nodes)],
-		vals:  s.vals[:len(s.vals):len(s.vals)],
-		kids:  s.kids[:len(s.kids):len(s.kids)],
+		nodes:  s.nodes[:len(s.nodes):len(s.nodes)],
+		vals:   s.vals[:len(s.vals):len(s.vals)],
+		kids:   s.kids[:len(s.kids):len(s.kids)],
+		frozen: s.frozen,
 	}
 }
 

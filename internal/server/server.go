@@ -22,9 +22,15 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "...", "db": "name"} → columns + rows JSON
-//	GET  /healthz  liveness probe
-//	GET  /stats    query counters, latency percentiles, cache hit rates
+//	POST /query     {"sql": "...", "db": "name"} → columns + rows JSON
+//	POST /snapshot  persist catalogues atomically to their configured
+//	                snapshot paths (Config.Snapshots)
+//	GET  /healthz   liveness probe (503 once draining)
+//	GET  /stats     query counters, latency percentiles, cache hit rates
+//
+// Shutdown is ordered: Drain refuses new work and waits out in-flight
+// requests (streaming responses, snapshot writes) so the process can
+// exit without cutting a cursor off mid-row.
 //
 // A request with "Accept: application/x-ndjson" streams instead of
 // buffering: the response is newline-delimited JSON — a header object
@@ -36,12 +42,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/factordb/fdb"
@@ -74,6 +84,13 @@ type Config struct {
 	// MaxRows caps the number of rows returned per query (the response
 	// is marked truncated when it applies); 0 means unlimited.
 	MaxRows int
+	// Snapshots maps database names to catalogue snapshot paths. A
+	// database with a path here can be persisted through POST /snapshot:
+	// the catalogue (schema, flat tuples, factorised stores) is written
+	// atomically — temp file, fsync, rename — so a crash mid-write never
+	// clobbers the previous snapshot. Databases without a path are
+	// skipped by /snapshot.
+	Snapshots map[string]string
 }
 
 // database is one served database with its private plan cache.
@@ -91,8 +108,23 @@ type Server struct {
 	defaultDB string
 	sem       chan struct{}
 	maxRows   int
+	snapshots map[string]string
 	met       *metrics
 	mux       *http.ServeMux
+
+	// draining refuses new work once StartDrain/Drain has been called;
+	// inflight counts requests (including streaming responses and
+	// snapshot writes) that Drain must wait out before the process may
+	// exit. A mutex-guarded counter rather than a sync.WaitGroup: the
+	// counter legitimately reaches zero while new begin() calls race a
+	// waiting Drain, which is exactly the Add-concurrent-with-Wait
+	// pattern WaitGroup forbids.
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	inflight int
+	// idle is non-nil while a Drain waits for inflight to reach zero;
+	// the end() that takes the counter to zero closes it.
+	idle chan struct{}
 }
 
 // New builds a Server from the configuration.
@@ -128,8 +160,14 @@ func New(cfg Config) (*Server, error) {
 		defaultDB: defaultDB,
 		sem:       make(chan struct{}, workers),
 		maxRows:   cfg.MaxRows,
+		snapshots: cfg.Snapshots,
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
+	}
+	for name := range cfg.Snapshots {
+		if _, ok := cfg.Databases[name]; !ok {
+			return nil, fmt.Errorf("server: snapshot path for unknown database %q", name)
+		}
 	}
 	for name, db := range cfg.Databases {
 		s.dbs[name] = &database{name: name, db: db, plans: cache.New(cacheSize)}
@@ -137,8 +175,68 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	return s, nil
 }
+
+// begin registers one unit of in-flight work unless the server is
+// draining; it reports whether the caller may proceed (and must call
+// end when done).
+func (s *Server) begin() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) end() {
+	s.drainMu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.drainMu.Unlock()
+}
+
+// StartDrain transitions the server into shutdown without waiting: new
+// queries and snapshot writes are refused with 503 Service Unavailable
+// and /healthz turns unhealthy so load balancers stop routing. Call it
+// before closing the listener so clients on kept-alive connections get
+// a clean 503 instead of a reset; Drain calls it implicitly.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain is StartDrain plus the wait: it blocks until every in-flight
+// request — including streaming responses holding open cursors and
+// snapshot writes awaiting their atomic rename — has completed, or ctx
+// expires. The process must not exit until Drain returns: exiting
+// earlier would tear down enumerations mid-row. Drain is idempotent
+// and safe to call concurrently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	if s.inflight == 0 {
+		s.drainMu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.drainMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether StartDrain or Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +276,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
 	}
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.end()
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -412,10 +515,83 @@ func (s *Server) prepared(d *database, sqlText string) (*fdb.PreparedQuery, bool
 func valueJSON(v values.Value) any { return fdb.GoValue(v) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "draining",
+			"databases": len(s.dbs),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"databases": len(s.dbs),
 	})
+}
+
+// SnapshotRequest is the POST /snapshot body (optional: an empty body
+// snapshots every database that has a configured path).
+type SnapshotRequest struct {
+	// DB restricts the snapshot to one database.
+	DB string `json:"db,omitempty"`
+}
+
+// SnapshotResponse is the POST /snapshot success body.
+type SnapshotResponse struct {
+	// Snapshots maps each persisted database to its snapshot path.
+	Snapshots     map[string]string `json:"snapshots"`
+	ElapsedMillis float64           `json:"elapsedMillis"`
+}
+
+// handleSnapshot persists catalogues to their configured paths. Each
+// write is atomic (temp file + fsync + rename), and the write counts as
+// in-flight work, so a drain triggered mid-snapshot waits for the
+// rename rather than killing the process over a half-written temp file.
+// Relations are immutable by the server's contract, so the snapshot is
+// consistent without pausing queries.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.end()
+	var req SnapshotRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	targets := make(map[string]string)
+	if req.DB != "" {
+		path, ok := s.snapshots[req.DB]
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no snapshot path configured for database %q", req.DB)})
+			return
+		}
+		targets[req.DB] = path
+	} else {
+		for name, path := range s.snapshots {
+			targets[name] = path
+		}
+	}
+	if len(targets) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no snapshot paths configured"})
+		return
+	}
+	start := time.Now()
+	resp := SnapshotResponse{Snapshots: make(map[string]string, len(targets))}
+	for name, path := range targets {
+		if err := fdb.SaveCatalogFile(path, name, s.dbs[name].db); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		resp.Snapshots[name] = path
+	}
+	resp.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // DBStats describes one database in the /stats response.

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/factordb/fdb"
+)
+
+func postSnapshot(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/snapshot", strings.NewReader(body)))
+	return rec
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pizzeria.fdbcat")
+	db := pizzeria(t)
+	s := newTestServer(t, Config{
+		Databases: map[string]fdb.Database{"pizzeria": db},
+		Snapshots: map[string]string{"pizzeria": path},
+	})
+
+	// GET is rejected; POST with an empty body snapshots everything.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot: status %d", rec.Code)
+	}
+	rec = postSnapshot(t, s, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /snapshot: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp SnapshotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshots["pizzeria"] != path {
+		t.Fatalf("snapshot paths: %v", resp.Snapshots)
+	}
+
+	// The snapshot must load and answer queries identically to the live
+	// database.
+	cat, err := fdb.LoadCatalogFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	const q = "SELECT customer, SUM(price) AS total FROM Orders, Pizzas, Items WHERE pizza = pizza2 AND item = item2 GROUP BY customer ORDER BY total DESC"
+	want, rec1 := postQuery(t, s, QueryRequest{SQL: q})
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec1.Code, rec1.Body)
+	}
+	s2 := newTestServer(t, Config{Databases: map[string]fdb.Database{"pizzeria": cat.DB}})
+	got, rec2 := postQuery(t, s2, QueryRequest{SQL: q})
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("query on loaded snapshot: %d %s", rec2.Code, rec2.Body)
+	}
+	w, _ := json.Marshal(want.Rows)
+	g, _ := json.Marshal(got.Rows)
+	if !bytes.Equal(w, g) {
+		t.Fatalf("snapshot-backed server answers differently:\nlive: %s\nload: %s", w, g)
+	}
+
+	// Re-snapshotting overwrites atomically: no temp droppings.
+	if rec := postSnapshot(t, s, `{"db":"pizzeria"}`); rec.Code != http.StatusOK {
+		t.Fatalf("re-snapshot: %d %s", rec.Code, rec.Body)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot directory has %d entries, want 1", len(entries))
+	}
+
+	// Unknown database and unconfigured paths are 404s.
+	if rec := postSnapshot(t, s, `{"db":"nope"}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown db: status %d", rec.Code)
+	}
+	s3 := newTestServer(t, Config{})
+	if rec := postSnapshot(t, s3, ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("no paths configured: status %d", rec.Code)
+	}
+}
+
+func TestSnapshotPathForUnknownDB(t *testing.T) {
+	_, err := New(Config{
+		Databases: map[string]fdb.Database{"pizzeria": pizzeria(t)},
+		Snapshots: map[string]string{"ghost": "x.fdbcat"},
+	})
+	if err == nil {
+		t.Fatal("snapshot path for unknown database accepted")
+	}
+}
+
+// gatedWriter blocks the handler inside Write until released, modelling
+// a slow streaming client; it lets the drain test hold a query in
+// flight deterministically.
+type gatedWriter struct {
+	hdr     http.Header
+	started chan struct{} // closed on first Write
+	release chan struct{} // Write blocks until closed
+	once    sync.Once
+	mu      sync.Mutex
+	n       int
+}
+
+func newGatedWriter() *gatedWriter {
+	return &gatedWriter{
+		hdr:     make(http.Header),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gatedWriter) Header() http.Header  { return g.hdr }
+func (g *gatedWriter) WriteHeader(code int) {}
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	g.mu.Lock()
+	g.n += len(p)
+	g.mu.Unlock()
+	return len(p), nil
+}
+
+// TestDrainWaitsForInFlightQueries is the shutdown-ordering regression
+// test: Drain must refuse new work immediately but return only after
+// in-flight (streaming) queries have finished — the process exiting on
+// Drain's return must never cut a cursor off mid-stream.
+func TestDrainWaitsForInFlightQueries(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// StartDrain flips refusal without blocking (the pre-Shutdown step
+	// in fdbserver); on an idle server Drain then returns immediately.
+	s2 := newTestServer(t, Config{})
+	s2.StartDrain()
+	if !s2.Draining() {
+		t.Fatal("StartDrain did not mark the server draining")
+	}
+	if _, rec := postQuery(t, s2, QueryRequest{SQL: "SELECT customer FROM Orders"}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query after StartDrain: status %d", rec.Code)
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	gw := newGatedWriter()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"sql":"SELECT customer, date, pizza FROM Orders ORDER BY customer"}`))
+	req.Header.Set("Accept", "application/x-ndjson")
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		s.ServeHTTP(gw, req)
+	}()
+	<-gw.started // the streaming handler is now mid-response
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+
+	// While draining: new queries are refused, healthz reports draining.
+	waitFor(t, func() bool { return s.Draining() })
+	if _, rec := postQuery(t, s, QueryRequest{SQL: "SELECT customer FROM Orders"}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: status %d", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d", rec.Code)
+	}
+
+	// Drain must still be blocked on the in-flight stream.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned (%v) while a stream was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gw.release) // let the stream finish
+	<-handlerDone
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	gw.mu.Lock()
+	n := gw.n
+	gw.mu.Unlock()
+	if n == 0 {
+		t.Fatal("stream wrote nothing")
+	}
+	// Idempotent and immediate once drained.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainTimeout: a drain whose context expires reports the context
+// error instead of hanging.
+func TestDrainTimeout(t *testing.T) {
+	s := newTestServer(t, Config{})
+	gw := newGatedWriter()
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"sql":"SELECT customer FROM Orders"}`))
+	req.Header.Set("Accept", "application/x-ndjson")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(gw, req)
+	}()
+	<-gw.started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil despite a stuck stream")
+	}
+	close(gw.release)
+	<-done
+}
+
+// TestSnapshotDuringDrainRefused: snapshot writes are part of the
+// drained work — new ones are refused once draining.
+func TestSnapshotDuringDrainRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.fdbcat")
+	s := newTestServer(t, Config{
+		Databases: map[string]fdb.Database{"pizzeria": pizzeria(t)},
+		Snapshots: map[string]string{"pizzeria": path},
+	})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postSnapshot(t, s, ""); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot during drain: status %d", rec.Code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
