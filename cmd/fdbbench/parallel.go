@@ -53,6 +53,12 @@ func (b *bench) expParallel() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Rank the view like production catalogues and shared executions:
+	// weighted (count-balanced) parallel splits, ranked OFFSET seeks and
+	// the O(1) COUNT(*) path all key off the subtree-count index.
+	if err := view.Store.BuildRanks(); err != nil {
+		log.Fatal(err)
+	}
 	header(fmt.Sprintf("Parallel: intra-query scaling on the arena view R1 (scale %d, GOMAXPROCS %d)",
 		b.scale, runtime.GOMAXPROCS(0)))
 	row("workload", "P", "p50", "p99", "speedup")

@@ -167,6 +167,38 @@ func ExampleResult_Rows() {
 	// Pietro: 9
 }
 
+// ExampleResult_TotalCount paginates with a result-count header: the
+// cursor drains one LIMIT/OFFSET page while TotalCount reports how many
+// rows the query yields before paging — on ranked (snapshot-backed or
+// shared-prepared) results straight from the subtree-count index,
+// without enumerating the stream.
+func ExampleResult_TotalCount() {
+	db := exampleDB()
+	q, err := fdb.ParseSQL(`SELECT customer, pizza FROM Orders
+		ORDER BY customer, pizza LIMIT 2 OFFSET 2`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := fdb.NewEngine().Run(q, db)
+	if err != nil {
+		panic(err)
+	}
+	defer res.Close()
+	total, err := res.TotalCount()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rows 3–4 of %d\n", total)
+	res.ForEach(func(t fdb.Tuple) bool {
+		fmt.Printf("%s %s\n", t[0], t[1])
+		return true
+	})
+	// Output:
+	// rows 3–4 of 4
+	// Mario Margherita
+	// Pietro Hawaii
+}
+
 // ExampleMaterialiseView materialises a join once as a factorised view
 // and runs repeated aggregation queries against it — the paper's
 // read-optimised scenario.

@@ -183,6 +183,15 @@ type ParStats = engine.ParStats
 // counters (fdbserver surfaces them at /stats).
 var ParallelStats = engine.ParallelStats
 
+// OffsetStats are the cumulative OFFSET routing counters: how many
+// OFFSET clauses were applied by ranked direct Seek (O(depth × log
+// fanout) via the subtree-count index) versus the linear skip loop.
+type OffsetStats = engine.OffsetStats
+
+// SeekSkipStats returns the process-wide OFFSET routing counters
+// (fdbserver surfaces them at /stats).
+var SeekSkipStats = engine.SeekSkipStats
+
 // Factorisation is a factorised relation: an f-tree plus a
 // pointer-based representation over it. Obtain one with Factorise or
 // Result.Factorisation, and query it with Engine.RunOnView. (Engine

@@ -127,6 +127,9 @@ func Build(name string, db map[string]*relation.Relation) (*Catalog, error) {
 		if err != nil {
 			return nil, fmt.Errorf("catalog: factorising %q: %w", n, err)
 		}
+		if err := st.BuildRanks(); err != nil {
+			return nil, fmt.Errorf("catalog: ranking %q: %w", n, err)
+		}
 		c.Relations = append(c.Relations, &Relation{
 			Rel: rel,
 			Fact: &Fact{

@@ -190,7 +190,19 @@ func FuzzCatalogRead(f *testing.F) {
 			return
 		}
 		// Anything accepted must re-encode byte-identically and be
-		// fully readable.
+		// fully readable — including its rank sections, which must
+		// answer count queries without out-of-range access.
+		for _, r := range ld.Relations {
+			st := r.Fact.Store
+			for id := 0; id < st.NodeCount(); id++ {
+				_, _ = st.RankTotal(frep.NodeID(id))
+			}
+			if st.HasRanks() {
+				if _, ok := st.RankTotal(r.Fact.Root); !ok {
+					t.Fatalf("relation %q: complete ranks but root total unavailable", r.Rel.Name)
+				}
+			}
+		}
 		var out bytes.Buffer
 		if _, err := ld.WriteTo(&out); err != nil {
 			t.Fatalf("accepted catalogue failed to re-encode: %v", err)

@@ -142,11 +142,11 @@ func (r *Result) newSortedCursor() (rowCursor, error) {
 		}
 	}
 	var runs [][]relation.Tuple
-	par := r.parallelism()
+	par := enumFanout(r.parallelism())
 	se := asSegmentable(probe.ge)
 	var segs [][2]int
 	if par >= 2 && se != nil && se.SegmentUniverse() >= MinParallelEnumRows {
-		segs = frep.Segments(se.SegmentUniverse(), par)
+		segs = segmentsFor(se, se.SegmentUniverse(), par)
 	}
 	if len(segs) >= 2 {
 		// The probe has not been stepped; restrict it to serve as the

@@ -96,6 +96,10 @@ type Result struct {
 	// closers tracks open parallel cursors; Close joins their segment
 	// workers before recycling the store.
 	closers []rowCloser
+	// fastCount, when set, is the precomputed answer of a bare COUNT(*)
+	// query taken from the ranked root counts; enumeration yields this
+	// single row and the aggregation plan was never executed.
+	fastCount *int64
 }
 
 // dropCloser forgets a parallel cursor that has been closed.
@@ -324,6 +328,11 @@ func (e *Engine) execute(q *query.Query, fr fops.Rel, cat []ftree.CatalogRelatio
 	fplan, err := pl.Plan(fr.Forest(), q)
 	if err != nil {
 		return nil, err
+	}
+	if ar, ok := fr.(*fops.ARel); ok {
+		if n, ok := fastCountValue(q, ar); ok {
+			return &Result{Query: q, ARel: ar, Plan: fplan, eng: e, fastCount: &n}, nil
+		}
 	}
 	if err := fplan.ExecuteParallel(context.Background(), fr, e.par()); err != nil {
 		return nil, err

@@ -15,12 +15,14 @@ package engine
 // pooled store.
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/factordb/fdb/internal/fops"
 	"github.com/factordb/fdb/internal/frep"
 	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
 )
 
 // MinParallelEnumRows is the smallest outer-loop universe for which
@@ -90,6 +92,23 @@ func (r *Result) parallelism() int {
 	return 1
 }
 
+// MaxEnumFanout caps enumeration fan-out at the runnable cores. Unlike
+// operator and aggregate-evaluation fan-out (whose segmented passes
+// stay cheap even when time-sliced), enumeration fan-out pays a per-row
+// hand-off from worker to consumer; without a spare core to overlap
+// that hand-off with production it is pure overhead, so segments beyond
+// GOMAXPROCS can only slow the merge down. Package-visible so tests can
+// exercise the merge machinery on small machines.
+var MaxEnumFanout = runtime.GOMAXPROCS(0)
+
+// enumFanout clamps a parallelism budget to MaxEnumFanout.
+func enumFanout(par int) int {
+	if par > MaxEnumFanout {
+		return MaxEnumFanout
+	}
+	return par
+}
+
 // segmentable is the window surface of the arena enumerators
 // (frep.StoreEnumerator / frep.StoreGroupEnumerator).
 type segmentable interface {
@@ -147,6 +166,11 @@ func newParCursor(curs []rowCursor, reverse bool) *parCursor {
 			defer pc.wg.Done()
 			defer close(seg.ch)
 			chunk := make([]relation.Tuple, 0, parChunkRows)
+			// One backing array per chunk: rows are copied into buf and
+			// sliced out of it, so a chunk costs one allocation instead of
+			// one Clone per row. The consumer owns the chunk after the
+			// hand-off, so buf is abandoned (never appended to) once sent.
+			var buf []values.Value
 			flush := func() bool {
 				if len(chunk) == 0 {
 					return true
@@ -154,6 +178,7 @@ func newParCursor(curs []rowCursor, reverse bool) *parCursor {
 				select {
 				case seg.ch <- chunk:
 					chunk = make([]relation.Tuple, 0, parChunkRows)
+					buf = nil
 					return true
 				case <-pc.quit:
 					return false
@@ -170,7 +195,12 @@ func newParCursor(curs []rowCursor, reverse bool) *parCursor {
 					_ = flush()
 					return
 				}
-				chunk = append(chunk, t.Clone())
+				if buf == nil {
+					buf = make([]values.Value, 0, parChunkRows*len(t))
+				}
+				start := len(buf)
+				buf = append(buf, t...)
+				chunk = append(chunk, relation.Tuple(buf[start:len(buf):len(buf)]))
 				if len(chunk) == parChunkRows && !flush() {
 					return
 				}
@@ -232,7 +262,7 @@ func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(row
 	if err != nil {
 		return nil, err
 	}
-	par := r.parallelism()
+	par := enumFanout(r.parallelism())
 	if par < 2 {
 		return probe, nil
 	}
@@ -244,7 +274,7 @@ func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(row
 	if n < MinParallelEnumRows {
 		return probe, nil
 	}
-	segs := frep.Segments(n, par)
+	segs := segmentsFor(se, n, par)
 	if len(segs) < 2 {
 		return probe, nil
 	}

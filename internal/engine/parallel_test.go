@@ -27,13 +27,16 @@ func forceParallelThresholds(t *testing.T) {
 	oldEval := frep.MinParallelEvalValues
 	oldRebuild := fops.MinParallelRebuildValues
 	oldEnum := MinParallelEnumRows
+	oldFan := MaxEnumFanout
 	frep.MinParallelEvalValues = 1
 	fops.MinParallelRebuildValues = 1
 	MinParallelEnumRows = 1
+	MaxEnumFanout = 64 // exercise the merge machinery even on 1-core CI
 	t.Cleanup(func() {
 		frep.MinParallelEvalValues = oldEval
 		fops.MinParallelRebuildValues = oldRebuild
 		MinParallelEnumRows = oldEnum
+		MaxEnumFanout = oldFan
 	})
 }
 

@@ -225,6 +225,13 @@ func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error
 			p.shared.mu.Unlock()
 			return nil, err
 		}
+		// Rank the shared base once: every execution clones the snapshot,
+		// so ranked OFFSET seeks, COUNT(*) fast paths and weighted
+		// parallel splits come for free on all of them.
+		if err := bst.BuildRanks(); err != nil {
+			p.shared.mu.Unlock()
+			return nil, err
+		}
 		p.shared.store = bst.Snapshot()
 		p.shared.roots = roots
 		p.shared.built = true
@@ -246,6 +253,9 @@ func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error
 func (p *Prepared) finish(ctx context.Context, ar *fops.ARel) (*Result, error) {
 	if ar.IsEmpty() {
 		ar.MakeEmpty()
+	}
+	if n, ok := fastCountValue(p.Query, ar); ok {
+		return &Result{Query: p.Query, ARel: ar, Plan: p.Plan, eng: p.eng, pooled: true, fastCount: &n}, nil
 	}
 	if err := p.Plan.ExecuteParallel(ctx, ar, p.eng.par()); err != nil {
 		putStore(ar.Store)

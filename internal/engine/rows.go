@@ -159,6 +159,21 @@ func (rs *Rows) Next() bool {
 		if !rs.checkCtx(true) {
 			return false
 		}
+		// Ranked route first: position directly on the offset target via
+		// subtree counts instead of stepping the odometer rs.toSkip times.
+		if sk, ok := rs.cur.(rowSeeker); ok {
+			if k, handled := sk.seekRows(rs.toSkip); handled {
+				seekOffsets.Add(1)
+				if k < rs.toSkip { // exhausted inside the skipped prefix
+					rs.done = true
+					return false
+				}
+				rs.toSkip = 0
+			}
+		}
+		if rs.toSkip > 0 {
+			skipOffsets.Add(1)
+		}
 		for rs.toSkip > 0 {
 			chunk := rs.toSkip
 			if chunk > ctxCheckEvery {
@@ -292,6 +307,11 @@ func GoValue(v values.Value) any {
 // order is by group attributes, and the materialised-aggregate path
 // (with its flat-sort fallback) when ordering by an aggregate output.
 func (r *Result) newCursor() (rowCursor, error) {
+	if r.fastCount != nil {
+		// Bare COUNT(*) answered from the ranked root counts; the
+		// aggregation plan never executed (see fastCountValue).
+		return &sliceCursor{rows: []relation.Tuple{{values.NewInt(*r.fastCount)}}}, nil
+	}
 	if !r.Query.IsAggregate() {
 		return r.newSPJCursor()
 	}

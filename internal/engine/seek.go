@@ -1,0 +1,216 @@
+package engine
+
+// Ranked direct access at the engine layer: OFFSET routes through the
+// arena enumerators' Seek (O(depth × log fanout) on ranked stores)
+// instead of stepping the odometer row by row, bare COUNT(*) queries
+// are answered from the ranked root counts without executing the
+// aggregation plan, and Result.TotalCount reports the pre-OFFSET row
+// count from the same index. Process-wide counters record which route
+// each OFFSET took, for the server's /stats accounting.
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/query"
+)
+
+// SeekFallbackMin is the smallest OFFSET worth routing through Seek on
+// an unranked store, where counting falls back to a memoized recursion
+// over (slot, node) pairs: below it the plain linear skip is cheaper
+// than building the memo. Ranked stores always seek. Package-visible so
+// fdbbench can pin OFFSET routing per benchmark arm.
+var SeekFallbackMin = 1024
+
+// Cumulative OFFSET routing counters; see SeekSkipStats.
+var (
+	seekOffsets atomic.Int64
+	skipOffsets atomic.Int64
+)
+
+// OffsetStats are cumulative counters of how OFFSET clauses were
+// applied: by ranked (or memoized) direct Seek, or by the linear
+// skip loop.
+type OffsetStats struct {
+	SeekOffsets int64 `json:"seekOffsets"`
+	SkipOffsets int64 `json:"skipOffsets"`
+}
+
+// SeekSkipStats returns the process-wide OFFSET routing counters.
+func SeekSkipStats() OffsetStats {
+	return OffsetStats{
+		SeekOffsets: seekOffsets.Load(),
+		SkipOffsets: skipOffsets.Load(),
+	}
+}
+
+// directSeeker is the ranked direct-access surface of the arena
+// enumerators (frep.StoreEnumerator / frep.StoreGroupEnumerator); the
+// pointer-based legacy enumerators do not implement it.
+type directSeeker interface {
+	Seek(k int) int
+	SeekRanked() bool
+}
+
+// enumTotaler is the pre-enumeration counting surface of the arena
+// enumerators.
+type enumTotaler interface{ Total() int64 }
+
+// rowSeeker is implemented by cursors that can apply an OFFSET by
+// direct positioning. seekRows returns (skipped, true) when it handled
+// the skip — skipped < n means the stream is exhausted — and
+// (0, false) when the caller must fall back to the linear skip.
+type rowSeeker interface {
+	seekRows(n int) (int, bool)
+}
+
+// rowTotaler is implemented by cursors that can count their stream
+// without enumerating it.
+type rowTotaler interface {
+	totalRows() (int64, bool)
+}
+
+// enumSeek routes a skip through an enumerator's Seek when profitable:
+// always on the ranked path, only past SeekFallbackMin on the memoized
+// fallback.
+func enumSeek(en any, n int) (int, bool) {
+	ds, ok := en.(directSeeker)
+	if !ok {
+		return 0, false
+	}
+	if !ds.SeekRanked() && n < SeekFallbackMin {
+		return 0, false
+	}
+	return ds.Seek(n), true
+}
+
+// enumTotal reads an enumerator's stream count when available.
+func enumTotal(en any) (int64, bool) {
+	tt, ok := en.(enumTotaler)
+	if !ok {
+		return 0, false
+	}
+	return tt.Total(), true
+}
+
+func (c *projCursor) seekRows(n int) (int, bool) { return enumSeek(c.en, n) }
+func (c *projCursor) totalRows() (int64, bool)   { return enumTotal(c.en) }
+func (c *sliceCursor) totalRows() (int64, bool)  { return int64(len(c.rows)), true }
+
+// A HAVING filter makes output positions diverge from enumerator
+// positions, so the grouped cursors only seek and count without one.
+
+func (c *groupCursor) seekRows(n int) (int, bool) {
+	if c.having != nil {
+		return 0, false
+	}
+	return enumSeek(c.ge, n)
+}
+
+func (c *groupCursor) totalRows() (int64, bool) {
+	if c.having != nil {
+		return 0, false
+	}
+	return enumTotal(c.ge)
+}
+
+func (c *matCursor) seekRows(n int) (int, bool) {
+	if c.having != nil {
+		return 0, false
+	}
+	return enumSeek(c.en, n)
+}
+
+func (c *matCursor) totalRows() (int64, bool) {
+	if c.having != nil {
+		return 0, false
+	}
+	return enumTotal(c.en)
+}
+
+// TotalCount returns the number of rows the query yields before OFFSET
+// and LIMIT are applied (HAVING included) — the denominator a paginating
+// caller needs. On ranked arena results it is answered from the
+// subtree-count index without enumerating; otherwise the stream is
+// counted. It does not advance any open Rows.
+func (r *Result) TotalCount() (int64, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	cur, err := r.newCursor()
+	if err != nil {
+		return 0, err
+	}
+	if cl, ok := cur.(rowCloser); ok {
+		defer cl.close()
+	}
+	if tt, ok := cur.(rowTotaler); ok {
+		if n, ok := tt.totalRows(); ok {
+			return n, nil
+		}
+	}
+	var n int64
+	for {
+		_, ok, err := cur.step()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// fastCountQuery reports whether q is a bare COUNT(*): one count
+// aggregate over everything, with no grouping, filtering, joining or
+// ordering that would make the answer differ from the input size.
+func fastCountQuery(q *query.Query) bool {
+	return len(q.Aggregates) == 1 &&
+		q.Aggregates[0].Fn == query.Count && q.Aggregates[0].Arg == "" &&
+		len(q.GroupBy) == 0 && len(q.Having) == 0 && len(q.OrderBy) == 0 &&
+		len(q.Filters) == 0 && len(q.Equalities) == 0
+}
+
+// fastCountValue answers a bare COUNT(*) from the ranked root counts of
+// the (unexecuted) arena input: the flat result of a forest is the
+// product of its root subtree counts. It declines — and the normal
+// aggregation plan runs — when any root lacks the index or the product
+// overflows.
+func fastCountValue(q *query.Query, ar *fops.ARel) (int64, bool) {
+	if ar == nil || !fastCountQuery(q) {
+		return 0, false
+	}
+	total := uint64(1)
+	for _, root := range ar.Roots {
+		t, ok := ar.Store.RankTotal(root)
+		if !ok {
+			return 0, false
+		}
+		hi, lo := bits.Mul64(total, uint64(t))
+		if hi != 0 {
+			return 0, false
+		}
+		total = lo
+	}
+	if total > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(total), true
+}
+
+// segmentsFor returns the Restrict windows for fanning an enumeration
+// out: count-balanced via the ranked index when the enumerator offers
+// it (so a hot outer value no longer serialises the merge behind one
+// worker), uniform otherwise.
+func segmentsFor(se segmentable, n, par int) [][2]int {
+	if ws, ok := se.(interface{ WeightedSegments(p int) [][2]int }); ok {
+		if segs := ws.WeightedSegments(par); segs != nil {
+			return segs
+		}
+	}
+	return frep.Segments(n, par)
+}

@@ -40,7 +40,10 @@ func ParallelRebuildWorkers() int64 { return rebuildWorkers.Load() }
 // under one root. The caller guarantees len(path) > 0.
 func (ar *ARel) parallelRebuild(root frep.NodeID, path []int, mk func(st *frep.Store) rebuildFn) (frep.NodeID, error) {
 	s := ar.Store
-	segs := frep.Segments(s.Len(root), ar.Par)
+	// Count-balanced windows when the store carries a ranked index (so a
+	// hot root value does not serialise the rebuild on one worker), with
+	// the uniform split as the unranked fallback.
+	segs := frep.WeightedSegments(s, root, ar.Par)
 	if len(segs) < 2 {
 		return rebuildIn(s, root, path, mk(s))
 	}

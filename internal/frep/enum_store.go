@@ -37,6 +37,9 @@ type StoreEnumerator struct {
 	// Segment window on slot 0, for parallel enumeration; see Restrict.
 	segLo, segHi int
 	restricted   bool
+
+	// Lazily built ranked direct-access state; see seek.go.
+	seekst *seekState
 }
 
 // Restrict confines the outermost enumeration loop (slot 0) to value

@@ -1,0 +1,310 @@
+package frep
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb/internal/values"
+)
+
+// TestBuildRanksTotals pins the ranked totals against CountPlain on
+// random forests: the index must reproduce every subtree cardinality
+// exactly, and cover the whole store.
+func TestBuildRanksTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 100; iter++ {
+		f, rel := randForest(rng)
+		s := NewStore()
+		roots, err := BuildStoreUnchecked(s, rel, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NodeRanked(roots[0]) && s.Len(roots[0]) > 0 {
+			t.Fatalf("iter %d: non-trivial node ranked before BuildRanks", iter)
+		}
+		if err := s.BuildRanks(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.HasRanks() {
+			t.Fatalf("iter %d: BuildRanks left the store incompletely ranked", iter)
+		}
+		for id := 0; id < s.NodeCount(); id++ {
+			if !s.NodeRanked(NodeID(id)) {
+				t.Fatalf("iter %d: node %d not ranked after BuildRanks", iter, id)
+			}
+			got, ok := s.RankTotal(NodeID(id))
+			if !ok {
+				t.Fatalf("iter %d: RankTotal(%d) not available", iter, id)
+			}
+			if want := s.CountPlain(NodeID(id)); got != want {
+				t.Fatalf("iter %d: RankTotal(%d) = %d, want CountPlain %d", iter, id, got, want)
+			}
+		}
+		// Appending after BuildRanks keeps the prefix valid but clears
+		// completeness; the old roots stay ranked.
+		nid := s.AddLeaf(ivs(1, 2, 3))
+		if s.HasRanks() {
+			t.Fatalf("iter %d: HasRanks true after post-rank append", iter)
+		}
+		if s.NodeRanked(nid) {
+			t.Fatalf("iter %d: post-rank node reports ranked", iter)
+		}
+		for _, r := range roots {
+			if !s.NodeRanked(r) {
+				t.Fatalf("iter %d: pre-rank root lost its ranking", iter)
+			}
+		}
+	}
+}
+
+// TestRanksSnapshotRoundTrip: a ranked store persists as version 2 and
+// round-trips (zero-copy and copying) with its index intact and
+// canonical bytes; an unranked store persists as the byte-stable
+// version 1.
+func TestRanksSnapshotRoundTrip(t *testing.T) {
+	rel, f := testRel(t)
+	s := NewStore()
+	roots, err := BuildStoreUnchecked(s, rel, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := s.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(v1[8:10]); got != 1 {
+		t.Fatalf("unranked store encoded as version %d, want 1", got)
+	}
+
+	if err := s.BuildRanks(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(v2[8:10]); got != 2 {
+		t.Fatalf("ranked store encoded as version %d, want 2", got)
+	}
+	if len(v2) != len(v1)+8*len(s.vals) {
+		t.Fatalf("v2 snapshot is %d bytes, want v1 %d + %d rank bytes", len(v2), len(v1), 8*len(s.vals))
+	}
+
+	for _, zeroCopy := range []bool{false, true} {
+		ld, err := LoadSnapshot(v2, zeroCopy)
+		if err != nil {
+			t.Fatalf("zeroCopy=%v: %v", zeroCopy, err)
+		}
+		if !ld.HasRanks() {
+			t.Fatalf("zeroCopy=%v: loaded store lost its ranks", zeroCopy)
+		}
+		for i, r := range roots {
+			got, ok := ld.RankTotal(r)
+			if !ok || got != s.CountPlain(r) {
+				t.Fatalf("zeroCopy=%v: root %d RankTotal = %d (ok=%v), want %d", zeroCopy, i, got, ok, s.CountPlain(r))
+			}
+		}
+		re, err := ld.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, v2) {
+			t.Fatalf("zeroCopy=%v: re-encoded snapshot is not canonical", zeroCopy)
+		}
+	}
+
+	// The v1 bytes of the same store still load — rank-less — and
+	// re-encode to themselves.
+	ld, err := LoadSnapshot(v1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.HasRanks() || ld.NodeRanked(roots[0]) {
+		t.Fatal("v1 snapshot loaded with ranks out of nowhere")
+	}
+	re, err := ld.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, v1) {
+		t.Fatal("v1 snapshot did not re-encode canonically")
+	}
+}
+
+// patchSnap clones a snapshot, applies mut to its payload, and reseals
+// both checksums so the corruption reaches the structural validators.
+func patchSnap(b []byte, mut func(payload []byte)) []byte {
+	out := append([]byte(nil), b...)
+	payload := out[snapHeaderLen:]
+	mut(payload)
+	binary.LittleEndian.PutUint32(out[56:60], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(out[60:64], crc32.Checksum(out[0:60], crcTable))
+	return out
+}
+
+// TestHostileRankSections: corrupt, truncated or inconsistent rank
+// sections must error (never panic) even with valid checksums.
+func TestHostileRankSections(t *testing.T) {
+	rel, f := testRel(t)
+	s := NewStore()
+	if _, err := BuildStoreUnchecked(s, rel, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildRanks(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranksOff := len(v2) - snapHeaderLen - 8*len(s.vals)
+
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"truncated", v2[:len(v2)-8], "snapshot"},
+		{"flipped-rank-bit-no-reseal", func() []byte {
+			b := append([]byte(nil), v2...)
+			b[snapHeaderLen+ranksOff] ^= 1
+			return b
+		}(), "checksum"},
+		{"inflated-count", patchSnap(v2, func(p []byte) {
+			r := binary.LittleEndian.Uint64(p[ranksOff:])
+			binary.LittleEndian.PutUint64(p[ranksOff:], r+5)
+		}), "rank"},
+		{"decreasing-prefix", patchSnap(v2, func(p []byte) {
+			binary.LittleEndian.PutUint64(p[ranksOff+8:], 0)
+		}), "decrease"},
+		{"over-cap", patchSnap(v2, func(p []byte) {
+			for i := 0; i < len(s.vals); i++ {
+				binary.LittleEndian.PutUint64(p[ranksOff+8*i:], maxRankTotal+uint64(i)+1)
+			}
+		}), "rank"},
+		{"v2-without-flag", func() []byte {
+			b := append([]byte(nil), v2...)
+			binary.LittleEndian.PutUint16(b[10:12], 0)
+			binary.LittleEndian.PutUint32(b[60:64], crc32.Checksum(b[0:60], crcTable))
+			return b
+		}(), "flags"},
+	}
+	for _, tc := range cases {
+		for _, zeroCopy := range []bool{false, true} {
+			_, err := LoadSnapshot(tc.b, zeroCopy)
+			if err == nil {
+				t.Fatalf("%s (zeroCopy=%v): hostile snapshot accepted", tc.name, zeroCopy)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s (zeroCopy=%v): error %q does not mention %q", tc.name, zeroCopy, err, tc.want)
+			}
+		}
+	}
+}
+
+// TestGraftExtendsRanks: grafting a completely ranked store into a
+// completely ranked target keeps the target complete, so grafted fact
+// roots stay directly seekable; grafting into a store with unranked
+// appends leaves the grafted nodes unranked but the prefix intact.
+func TestGraftExtendsRanks(t *testing.T) {
+	mkRanked := func() (*Store, NodeID) {
+		rel, f := testRel(t)
+		s := NewStore()
+		roots, err := BuildStoreUnchecked(s, rel, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BuildRanks(); err != nil {
+			t.Fatal(err)
+		}
+		return s, roots[0]
+	}
+	src, root := mkRanked()
+	want, _ := src.RankTotal(root)
+
+	dst := NewStore() // fresh stores are trivially completely ranked
+	remap := dst.Graft(src)
+	if !dst.HasRanks() {
+		t.Fatal("graft of ranked into fresh store lost completeness")
+	}
+	got, ok := dst.RankTotal(remap(root))
+	if !ok || got != want {
+		t.Fatalf("grafted root RankTotal = %d (ok=%v), want %d", got, ok, want)
+	}
+
+	// Graft again: still complete, totals independent per grafted tree.
+	remap2 := dst.Graft(src)
+	if !dst.HasRanks() {
+		t.Fatal("second graft lost completeness")
+	}
+	if got, ok := dst.RankTotal(remap2(root)); !ok || got != want {
+		t.Fatalf("second grafted root RankTotal = %d (ok=%v), want %d", got, ok, want)
+	}
+
+	// An unranked append breaks completeness; a following graft must not
+	// extend, and the grafted nodes report unranked.
+	dst.AddLeaf(ivs(9))
+	remap3 := dst.Graft(src)
+	if dst.HasRanks() {
+		t.Fatal("graft after unranked append claims completeness")
+	}
+	if dst.NodeRanked(remap3(root)) {
+		t.Fatal("graft after unranked append produced a ranked node")
+	}
+	if _, ok := dst.RankTotal(remap(root)); !ok {
+		t.Fatal("earlier grafted root lost its ranking")
+	}
+}
+
+// TestWeightedSegments: quantile splits cover the window exactly, never
+// exceed p, collapse under skew, and fall back to uniform splits on
+// unranked stores.
+func TestWeightedSegments(t *testing.T) {
+	s := NewStore()
+	// Root with a hot first value: kid 0 has 1000 tuples, the 7 others 1.
+	big := make([]values.Value, 1000)
+	for i := range big {
+		big[i] = values.NewInt(int64(i))
+	}
+	hot := s.AddLeaf(big)
+	one := s.AddLeaf(ivs(42))
+	rootVals := ivs(0, 1, 2, 3, 4, 5, 6, 7)
+	kids := []NodeID{hot, one, one, one, one, one, one, one}
+	root := s.Add(rootVals, 1, kids)
+
+	// Unranked: must be exactly the uniform split.
+	if segs, uniform := WeightedSegments(s, root, 4), Segments(8, 4); len(segs) != len(uniform) {
+		t.Fatalf("unranked WeightedSegments = %v, want uniform %v", segs, uniform)
+	}
+
+	if err := s.BuildRanks(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 4, 8, 16} {
+		segs := WeightedSegments(s, root, p)
+		if len(segs) == 0 || len(segs) > p && p >= 1 {
+			t.Fatalf("p=%d: %d segments", p, len(segs))
+		}
+		lo := 0
+		for _, sg := range segs {
+			if sg[0] != lo || sg[1] <= sg[0] {
+				t.Fatalf("p=%d: segments %v do not tile [0,8)", p, segs)
+			}
+			lo = sg[1]
+		}
+		if lo != 8 {
+			t.Fatalf("p=%d: segments %v do not cover [0,8)", p, segs)
+		}
+		if p >= 2 {
+			// The hot value dominates: the first segment must be just it.
+			if segs[0] != [2]int{0, 1} {
+				t.Fatalf("p=%d: first segment %v, want the hot value alone (segments %v)", p, segs[0], segs)
+			}
+		}
+	}
+}

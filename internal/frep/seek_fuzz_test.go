@@ -1,0 +1,198 @@
+package frep
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/factordb/fdb/internal/ftree"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// FuzzSeek drives ranked direct access with decoded snapshots: any store
+// the loader accepts (including ones with rank sections the fuzzer
+// mutated into strange-but-valid shapes) must support Total, Seek and
+// WeightedSegments without panics or out-of-range access, and Seek(k)
+// must still agree with Skip(k) wherever an enumerator can be built.
+func FuzzSeek(f *testing.F) {
+	seed := func(ranked bool) {
+		s := NewStore()
+		leaf := s.AddLeaf([]values.Value{values.NewInt(1), values.NewInt(2), values.NewInt(3)})
+		mid := s.Add([]values.Value{values.NewInt(10), values.NewInt(11)}, 1, []NodeID{leaf, leaf})
+		s.Add([]values.Value{values.NewInt(0)}, 2, []NodeID{mid, leaf})
+		if ranked {
+			if err := s.BuildRanks(); err != nil {
+				f.Fatal(err)
+			}
+		}
+		b, err := s.SnapshotBytes()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b, uint8(2), uint16(3))
+	}
+	seed(false)
+	seed(true)
+
+	f.Fuzz(func(t *testing.T, data []byte, rootPick uint8, k16 uint16) {
+		st, err := LoadSnapshot(data, true)
+		if err != nil {
+			return
+		}
+		// Rank reads must stay in-bounds on every node, ranked or not.
+		for id := 0; id < st.NodeCount(); id++ {
+			n := NodeID(id)
+			_, _ = st.RankTotal(n)
+			_ = WeightedSegments(st, n, 4)
+		}
+		if st.NodeCount() == 0 {
+			return
+		}
+		root := NodeID(int(rootPick) % st.NodeCount())
+		shape, ok := uniformShape(st, root)
+		if !ok {
+			return
+		}
+		fr := ftree.New()
+		attrSeq := 0
+		budget := 64
+		rootNode := buildShapeTree(fr, shape, &attrSeq, &budget)
+		if rootNode == nil {
+			return // structure too large to mirror; nothing to check
+		}
+		fr.Roots = append(fr.Roots, rootNode)
+
+		mk := func() *StoreEnumerator {
+			en, err := NewStoreEnumerator(fr, st, []NodeID{root}, nil)
+			if err != nil {
+				t.Fatalf("enumerator over mirrored shape: %v", err)
+			}
+			return en
+		}
+		total := mk().Total()
+		k := int(k16)
+		a, b := mk(), mk()
+		na, nb := a.Skip(k), b.Seek(k)
+		if na != nb {
+			t.Fatalf("k=%d total=%d: Skip = %d, Seek = %d", k, total, na, nb)
+		}
+		for i := 0; i < 4; i++ {
+			oka, okb := a.Next(), b.Next()
+			if oka != okb {
+				t.Fatalf("k=%d row %d: Skip stream Next=%v, Seek stream Next=%v", k, i, oka, okb)
+			}
+			if !oka {
+				break
+			}
+			if relation.Compare(a.Tuple(), b.Tuple()) != 0 {
+				t.Fatalf("k=%d row %d: Skip %v, Seek %v", k, i, a.Tuple(), b.Tuple())
+			}
+		}
+	})
+}
+
+// shapeNode is the interned kid structure of a store subtree.
+type shapeNode struct {
+	kids []int // handles into the interner's table
+}
+
+// uniformShape checks that every value of every node in id's subtree has
+// kids of identical shape and no empty unions below the root — the
+// structural invariants real builders guarantee and the enumerator's
+// planned slots rely on. It returns an interned handle tree for id.
+// Handles keep the check linear even on heavily shared DAGs.
+func uniformShape(s *Store, root NodeID) (*shapeTable, bool) {
+	tb := &shapeTable{
+		s:      s,
+		byID:   map[NodeID]int{},
+		intern: map[string]int{},
+	}
+	if s.Len(root) == 0 {
+		tb.root = -2 // empty root: fine, stream is empty
+		return tb, true
+	}
+	h := tb.sig(root, true)
+	if h < 0 {
+		return nil, false
+	}
+	tb.root = h
+	return tb, true
+}
+
+type shapeTable struct {
+	s      *Store
+	byID   map[NodeID]int
+	intern map[string]int
+	nodes  []shapeNode
+	root   int
+}
+
+// sig returns the interned shape handle of id, or −1 when the subtree is
+// non-uniform or contains an empty union (top permits emptiness).
+func (tb *shapeTable) sig(id NodeID, top bool) int {
+	if h, ok := tb.byID[id]; ok {
+		return h
+	}
+	n := tb.s.Len(id)
+	if n == 0 {
+		if top {
+			return -2
+		}
+		return -1
+	}
+	row0 := tb.s.KidRow(id, 0)
+	kids := make([]int, len(row0))
+	for j, kid := range row0 {
+		if kids[j] = tb.sig(kid, false); kids[j] < 0 {
+			return -1
+		}
+	}
+	for v := 1; v < n; v++ {
+		for j, kid := range tb.s.KidRow(id, v) {
+			if tb.sig(kid, false) != kids[j] {
+				return -1
+			}
+		}
+	}
+	key := fmt.Sprint(kids)
+	h, ok := tb.intern[key]
+	if !ok {
+		h = len(tb.nodes)
+		tb.nodes = append(tb.nodes, shapeNode{kids: kids})
+		tb.intern[key] = h
+	}
+	tb.byID[id] = h
+	return h
+}
+
+// buildShapeTree mirrors an interned shape as an f-tree (one fresh
+// attribute per node). Shared shapes expand into distinct tree nodes, so
+// budget caps the expansion on adversarial DAGs.
+func buildShapeTree(fr *ftree.Forest, tb *shapeTable, attrSeq *int, budget *int) *ftree.Node {
+	tok := fr.NewToken()
+	var build func(h int) *ftree.Node
+	build = func(h int) *ftree.Node {
+		if *budget <= 0 {
+			return nil
+		}
+		*budget--
+		n := &ftree.Node{
+			Attrs: []string{fmt.Sprintf("a%d", *attrSeq)},
+			Deps:  ftree.NewTokenSet(tok),
+		}
+		*attrSeq++
+		if h < 0 { // empty root: a bare single-attribute loop
+			return n
+		}
+		for _, kh := range tb.nodes[h].kids {
+			c := build(kh)
+			if c == nil {
+				return nil
+			}
+			c.Parent = n
+			n.Children = append(n.Children, c)
+		}
+		return n
+	}
+	return build(tb.root)
+}

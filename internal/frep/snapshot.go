@@ -14,6 +14,15 @@ package frep
 //	kids     nKids × 4 bytes (LE u32 node ids), padded to 8
 //	vals     nVals × 16-byte value records
 //	heap     string bytes and nested vector records
+//	ranks    nVals × 8 bytes (LE u64 prefix sums) — version 2 only,
+//	         present iff header flag 0x1 is set (see ranks.go)
+//
+// A store without a ranked index encodes exactly as version 1 — byte
+// for byte the pre-ranks format — so old readers and old files stay
+// interchangeable with new ones; a store whose index covers it encodes
+// as version 2 with the ranks section appended after the heap. Version
+// 2 without the ranks flag is rejected, keeping encodings canonical
+// (every accepted snapshot re-encodes to identical bytes).
 //
 // Every section starts 8-byte aligned relative to the snapshot start, so
 // a loader that has the whole snapshot as one contiguous byte slice (one
@@ -41,14 +50,23 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"math/bits"
 	"unsafe"
 
 	"github.com/factordb/fdb/internal/values"
 )
 
 const (
-	snapMagic   = "FDBSNAP\n"
-	snapVersion = 1
+	snapMagic = "FDBSNAP\n"
+	// snapVersionV1 is the pre-ranks format (three sections); it is still
+	// written for stores without a ranked index and always readable.
+	snapVersionV1 = 1
+	// snapVersion is the current format: version 2 adds the optional
+	// ranks section, flagged by snapFlagRanks.
+	snapVersion = 2
+	// snapFlagRanks marks the presence of the ranks section; it is the
+	// only defined flag, and exactly it must be set in a v2 header.
+	snapFlagRanks = 0x1
 	// snapHeaderLen is the fixed header size; sections follow immediately
 	// and the header length is a multiple of 8, so in-file section offsets
 	// keep their alignment relative to the snapshot start.
@@ -83,22 +101,30 @@ type snapHeader struct {
 // align8 rounds n up to the next multiple of 8.
 func align8(n uint64) uint64 { return (n + 7) &^ 7 }
 
+// hasRanks reports whether the header declares a ranks section.
+func (h *snapHeader) hasRanks() bool { return h.flags&snapFlagRanks != 0 }
+
 // sectionLayout computes the payload-relative section offsets implied by
 // the header counts, verifying they are consistent with payloadLen.
-func (h *snapHeader) sectionLayout() (nodesOff, kidsOff, valsOff, heapOff uint64, err error) {
+// ranksOff is meaningful only when the header declares a ranks section.
+func (h *snapHeader) sectionLayout() (nodesOff, kidsOff, valsOff, heapOff, ranksOff uint64, err error) {
 	const maxEntries = math.MaxUint32 // slabs are uint32-addressed
 	if h.nNodes == 0 || h.nNodes > maxEntries || h.nVals > maxEntries || h.nKids > maxEntries {
-		return 0, 0, 0, 0, fmt.Errorf("frep: snapshot: implausible slab counts (%d nodes, %d vals, %d kids)", h.nNodes, h.nVals, h.nKids)
+		return 0, 0, 0, 0, 0, fmt.Errorf("frep: snapshot: implausible slab counts (%d nodes, %d vals, %d kids)", h.nNodes, h.nVals, h.nKids)
 	}
 	nodesOff = 0
 	kidsOff = nodesOff + h.nNodes*nodeRecLen
 	valsOff = align8(kidsOff + h.nKids*4)
 	heapOff = valsOff + h.nVals*valRecLen
 	want := align8(heapOff + h.heapLen)
-	if want != h.payloadLen {
-		return 0, 0, 0, 0, fmt.Errorf("frep: snapshot: payload length %d inconsistent with slab counts (want %d)", h.payloadLen, want)
+	if h.hasRanks() {
+		ranksOff = want
+		want += h.nVals * 8 // ranksOff is 8-aligned, so want stays aligned
 	}
-	return nodesOff, kidsOff, valsOff, heapOff, nil
+	if want != h.payloadLen {
+		return 0, 0, 0, 0, 0, fmt.Errorf("frep: snapshot: payload length %d inconsistent with slab counts (want %d)", h.payloadLen, want)
+	}
+	return nodesOff, kidsOff, valsOff, heapOff, ranksOff, nil
 }
 
 // encodeHeader writes the fixed header into b (which must be
@@ -138,11 +164,23 @@ func decodeSnapHeader(b []byte) (*snapHeader, error) {
 		payloadLen: binary.LittleEndian.Uint64(b[48:56]),
 		payloadCRC: binary.LittleEndian.Uint32(b[56:60]),
 	}
-	if h.version != snapVersion {
-		return nil, fmt.Errorf("frep: snapshot: unsupported version %d (this build reads version %d)", h.version, snapVersion)
-	}
-	if h.flags != 0 {
-		return nil, fmt.Errorf("frep: snapshot: unknown flags %#x", h.flags)
+	switch h.version {
+	case snapVersionV1:
+		if h.flags != 0 {
+			return nil, fmt.Errorf("frep: snapshot: unknown flags %#x for version 1", h.flags)
+		}
+	case snapVersion:
+		// Version 2 exists only to carry the ranks section; requiring the
+		// flag (and a non-empty value slab for it to rank) keeps every
+		// accepted snapshot canonical under re-encoding.
+		if h.flags != snapFlagRanks {
+			return nil, fmt.Errorf("frep: snapshot: version 2 flags %#x, want %#x", h.flags, snapFlagRanks)
+		}
+		if h.nVals == 0 {
+			return nil, fmt.Errorf("frep: snapshot: version 2 with an empty value slab")
+		}
+	default:
+		return nil, fmt.Errorf("frep: snapshot: unsupported version %d (this build reads versions %d and %d)", h.version, snapVersionV1, snapVersion)
 	}
 	return h, nil
 }
@@ -330,17 +368,29 @@ func (s *Store) SnapshotBytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A complete ranked index is persisted as the version-2 ranks
+	// section; anything less (no index, or a stale prefix from appends
+	// after BuildRanks) encodes as plain version 1.
+	withRanks := s.HasRanks() && len(s.vals) > 0
 	h := snapHeader{
-		version: snapVersion,
+		version: snapVersionV1,
 		nNodes:  uint64(len(s.nodes)),
 		nVals:   uint64(len(s.vals)),
 		nKids:   uint64(len(s.kids)),
 		heapLen: uint64(len(heap)),
 	}
+	if withRanks {
+		h.version = snapVersion
+		h.flags = snapFlagRanks
+	}
 	nodesOff, kidsOff, valsOff, heapOff := uint64(0), uint64(len(s.nodes)*nodeRecLen), uint64(0), uint64(0)
 	valsOff = align8(kidsOff + uint64(len(s.kids))*4)
 	heapOff = valsOff + uint64(len(recs))
-	h.payloadLen = align8(heapOff + uint64(len(heap)))
+	ranksOff := align8(heapOff + uint64(len(heap)))
+	h.payloadLen = ranksOff
+	if withRanks {
+		h.payloadLen += uint64(len(s.ranks)) * 8
+	}
 
 	buf := make([]byte, snapHeaderLen+h.payloadLen)
 	payload := buf[snapHeaderLen:]
@@ -356,6 +406,11 @@ func (s *Store) SnapshotBytes() ([]byte, error) {
 	}
 	copy(payload[valsOff:], recs)
 	copy(payload[heapOff:], heap)
+	if withRanks {
+		for i, r := range s.ranks {
+			binary.LittleEndian.PutUint64(payload[ranksOff+uint64(i)*8:], r)
+		}
+	}
 	h.payloadCRC = crc32.Checksum(payload, crcTable)
 	h.encode(buf[:snapHeaderLen])
 	return buf, nil
@@ -398,7 +453,7 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return int64(n), err
 	}
-	if _, _, _, _, err := h.sectionLayout(); err != nil {
+	if _, _, _, _, _, err := h.sectionLayout(); err != nil {
 		return int64(n), err
 	}
 	// Read the payload in bounded chunks: the layout check above ties
@@ -459,14 +514,14 @@ func SnapshotLen(b []byte) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, _, _, _, err := h.sectionLayout(); err != nil {
+	if _, _, _, _, _, err := h.sectionLayout(); err != nil {
 		return 0, err
 	}
 	return int64(snapHeaderLen + h.payloadLen), nil
 }
 
 func loadSnapshotPayload(h *snapHeader, payload []byte, zeroCopy bool) (*Store, error) {
-	nodesOff, kidsOff, valsOff, heapOff, err := h.sectionLayout()
+	nodesOff, kidsOff, valsOff, heapOff, ranksOff, err := h.sectionLayout()
 	if err != nil {
 		return nil, err
 	}
@@ -514,6 +569,19 @@ func loadSnapshotPayload(h *snapHeader, payload []byte, zeroCopy bool) (*Store, 
 		return nil, err
 	}
 	st.vals = vals[:len(vals):len(vals)]
+	if h.hasRanks() {
+		ranksB := payload[ranksOff : ranksOff+h.nVals*8]
+		if zeroCopy && hostLittle && uintptr(unsafe.Pointer(&ranksB[0]))%8 == 0 {
+			n := int(h.nVals)
+			st.ranks = unsafe.Slice((*uint64)(unsafe.Pointer(&ranksB[0])), n)[:n:n]
+		} else {
+			st.ranks = make([]uint64, h.nVals)
+			for i := range st.ranks {
+				st.ranks[i] = binary.LittleEndian.Uint64(ranksB[uint64(i)*8:])
+			}
+		}
+		st.rankedKids = uint32(h.nKids)
+	}
 	if err := st.validateSlabs(); err != nil {
 		return nil, err
 	}
@@ -525,9 +593,22 @@ func loadSnapshotPayload(h *snapHeader, payload []byte, zeroCopy bool) (*Store, 
 // node, every node's value and kid ranges lie inside the slabs, and
 // every kid reference names a strictly earlier node (stores are
 // append-only, so a well-formed store is a backwards-pointing DAG).
+// When a ranks section was loaded, every covered prefix sum is verified
+// exactly against the recomputed subtree products, so a hostile count
+// can never mislead Seek or COUNT(*) — at worst it is rejected here.
 func (s *Store) validateSlabs() error {
 	if s.nodes[0] != (nodeHdr{}) {
 		return fmt.Errorf("frep: snapshot: node 0 is not the empty node")
+	}
+	if len(s.ranks) > 0 {
+		for a := 1; a < len(s.ranks); a++ {
+			if s.ranks[a] < s.ranks[a-1] {
+				return fmt.Errorf("frep: snapshot: rank prefix sums decrease at value %d", a)
+			}
+		}
+		if last := s.ranks[len(s.ranks)-1]; last > maxRankTotal {
+			return fmt.Errorf("frep: snapshot: rank total %d exceeds the representable maximum", last)
+		}
 	}
 	nVals, nKids := uint64(len(s.vals)), uint64(len(s.kids))
 	for i, h := range s.nodes {
@@ -542,6 +623,42 @@ func (s *Store) validateSlabs() error {
 			if uint32(k) >= uint32(i) {
 				return fmt.Errorf("frep: snapshot: node %d references kid %d (kids must point backwards)", i, k)
 			}
+		}
+		if len(s.ranks) > 0 {
+			if err := s.validateNodeRanks(NodeID(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateNodeRanks recomputes the per-value weights of node id from
+// its kids' (already validated, backwards-pointing) rank windows and
+// checks them against the loaded prefix sums. Loaded ranks cover the
+// whole slab, so every node is checked.
+func (s *Store) validateNodeRanks(id NodeID) error {
+	h := &s.nodes[id]
+	for v := uint64(0); v < uint64(h.nVals); v++ {
+		a := uint64(h.valOff) + v
+		got := s.ranks[a] - rankBefore(s.ranks, a)
+		want, overflow := uint64(1), false
+		for j := uint64(0); j < uint64(h.arity); j++ {
+			kh := &s.nodes[s.kids[uint64(h.kidOff)+v*uint64(h.arity)+j]]
+			kt := uint64(0)
+			if kh.nVals > 0 {
+				end := uint64(kh.valOff) + uint64(kh.nVals)
+				kt = s.ranks[end-1] - rankBefore(s.ranks, uint64(kh.valOff))
+			}
+			hi, lo := bits.Mul64(want, kt)
+			if hi != 0 {
+				overflow = true
+				break
+			}
+			want = lo
+		}
+		if overflow || got != want {
+			return fmt.Errorf("frep: snapshot: node %d value %d has rank weight %d, want %d", id, v, got, want)
 		}
 	}
 	return nil

@@ -23,7 +23,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		f.Add(b)
 	}
 	seed(func(s *Store) {}) // empty store
-	seed(func(s *Store) {
+	build := func(s *Store) {
 		leaf := s.AddLeaf([]values.Value{values.NewInt(1), values.NewInt(2)})
 		strs := s.AddLeaf([]values.Value{
 			values.NewString("a"), values.NewString("bb"),
@@ -31,6 +31,13 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		})
 		s.Add([]values.Value{values.NewInt(0), values.NewBool(true)}, 2,
 			[]NodeID{leaf, strs, strs, leaf})
+	}
+	seed(build)
+	seed(func(s *Store) { // same store with a ranks section (version 2)
+		build(s)
+		if err := s.BuildRanks(); err != nil {
+			f.Fatal(err)
+		}
 	})
 	// Structurally plausible garbage so the fuzzer starts near the
 	// format's edge cases, not at random noise.

@@ -56,6 +56,13 @@ type Store struct {
 	vals  []values.Value
 	kids  []NodeID
 
+	// Ranked index (see ranks.go): per-value subtree tuple prefix sums
+	// over the leading len(ranks) entries of the value slab, plus the
+	// kid-slab length covered when the index was built. Empty when no
+	// index has been built.
+	ranks      []uint64
+	rankedKids uint32
+
 	// Overlay state: the read-only lower tier and its slab lengths at
 	// the time the overlay was taken. Nil/zero for plain stores.
 	base      *Store
@@ -126,6 +133,8 @@ func (s *Store) Reset() {
 	s.nodes = append(s.nodes[:0], nodeHdr{})
 	s.vals = s.vals[:0]
 	s.kids = s.kids[:0]
+	s.ranks = s.ranks[:0]
+	s.rankedKids = 0
 }
 
 // Len returns the number of values in union id.
@@ -224,6 +233,8 @@ func (s *Store) CloneInto(dst *Store) {
 	dst.nodes = append(dst.nodes[:0], s.nodes...)
 	dst.vals = append(dst.vals[:0], s.vals...)
 	dst.kids = append(dst.kids[:0], s.kids...)
+	dst.ranks = append(dst.ranks[:0], s.ranks...)
+	dst.rankedKids = s.rankedKids
 }
 
 // Snapshot returns an O(1) immutable view of the store's current
@@ -238,10 +249,12 @@ func (s *Store) Snapshot() *Store {
 		panic("frep: Snapshot of an overlay store")
 	}
 	return &Store{
-		nodes:  s.nodes[:len(s.nodes):len(s.nodes)],
-		vals:   s.vals[:len(s.vals):len(s.vals)],
-		kids:   s.kids[:len(s.kids):len(s.kids)],
-		frozen: s.frozen,
+		nodes:      s.nodes[:len(s.nodes):len(s.nodes)],
+		vals:       s.vals[:len(s.vals):len(s.vals)],
+		kids:       s.kids[:len(s.kids):len(s.kids)],
+		ranks:      s.ranks[:len(s.ranks):len(s.ranks)],
+		rankedKids: s.rankedKids,
+		frozen:     s.frozen,
 	}
 }
 
@@ -349,6 +362,11 @@ func (s *Store) Graft(other *Store) func(NodeID) NodeID {
 		len(s.kids)+len(other.kids) > math.MaxUint32 {
 		panic("frep: Store slab overflow (2^32 entries)")
 	}
+	// When both sides carry a complete ranked index, the graft extends
+	// it (grafted windows keep their internal sums, shifted by s's
+	// running total), so fact roots grafted out of ranked catalogues
+	// stay directly seekable.
+	extendRanks := s.HasRanks() && other.HasRanks()
 	nodeBase := uint32(len(s.nodes))
 	valBase := uint32(len(s.vals))
 	kidBase := uint32(len(s.kids))
@@ -369,6 +387,9 @@ func (s *Store) Graft(other *Store) func(NodeID) NodeID {
 	s.vals = append(s.vals, other.vals...)
 	for _, k := range other.kids {
 		s.kids = append(s.kids, remap(k))
+	}
+	if extendRanks {
+		s.extendRanksForGraft(other)
 	}
 	return remap
 }

@@ -608,7 +608,10 @@ type StatsResponse struct {
 	// Parallel is the per-query worker accounting: cumulative counts of
 	// queries run with an intra-query parallelism budget and of segment
 	// workers spawned per engine layer.
-	Parallel  fdb.ParStats       `json:"parallel"`
+	Parallel fdb.ParStats `json:"parallel"`
+	// Offsets reports how OFFSET clauses were applied: by ranked direct
+	// seek over the subtree-count index, or by the linear skip loop.
+	Offsets   fdb.OffsetStats    `json:"offsets"`
 	Databases map[string]DBStats `json:"databases"`
 }
 
@@ -618,6 +621,7 @@ func (s *Server) Stats() StatsResponse {
 		Snapshot:  s.met.snapshot(),
 		Workers:   cap(s.sem),
 		Parallel:  fdb.ParallelStats(),
+		Offsets:   fdb.SeekSkipStats(),
 		Databases: make(map[string]DBStats, len(s.dbs)),
 	}
 	for name, d := range s.dbs {

@@ -304,6 +304,34 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.Queries != 1 || st.P50Millis < 0 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// An OFFSET query through the shared (ranked) execution path must
+	// surface in the seek-vs-skip routing counters.
+	if resp, r := postQuery(t, s, QueryRequest{SQL: `SELECT * FROM Items OFFSET 1`}); resp == nil {
+		t.Fatalf("status %d: %s", r.Code, r.Body)
+	}
+	st2 := serveStats(t, s)
+	if before, after := st.Offsets.SeekOffsets+st.Offsets.SkipOffsets,
+		st2.Offsets.SeekOffsets+st2.Offsets.SkipOffsets; after <= before {
+		t.Fatalf("OFFSET query did not advance the routing counters: %+v -> %+v", st.Offsets, st2.Offsets)
+	}
+	if st2.Offsets.SeekOffsets <= st.Offsets.SeekOffsets {
+		t.Fatalf("ranked shared execution did not take the seek route: %+v -> %+v", st.Offsets, st2.Offsets)
+	}
+}
+
+// serveStats fetches and decodes /stats.
+func serveStats(t *testing.T, s *Server) StatsResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats body: %v\n%s", err, rec.Body)
+	}
+	return st
 }
 
 func TestNormalizeKeysMatch(t *testing.T) {
