@@ -34,9 +34,10 @@ import (
 type benchFile struct {
 	Experiment string `json:"experiment"`
 	Results    []struct {
-		Name    string  `json:"name"`
-		NsPerOp int64   `json:"ns_op"`
-		Speedup float64 `json:"speedup"`
+		Name     string  `json:"name"`
+		NsPerOp  int64   `json:"ns_op"`
+		AllocsOp uint64  `json:"allocs_op"`
+		Speedup  float64 `json:"speedup"`
 	} `json:"results"`
 }
 
@@ -62,16 +63,22 @@ func (s speedupFloors) Set(v string) error {
 	return nil
 }
 
-// baseline is the committed reference: series key → ns/op.
+// baseline is the committed reference: series key → ns/op, plus — for
+// series that report it — allocations per op. Unlike ns/op, allocs/op is
+// deterministic on a given code path, so its tolerance can be much
+// tighter: a kernel rewrite that sneaks a per-value allocation back into
+// a hot loop shows up as a crisp counter jump, not timer noise.
 type baseline struct {
 	// Note explains the file's provenance to humans editing it.
-	Note    string           `json:"note,omitempty"`
-	Entries map[string]int64 `json:"entries"`
+	Note    string            `json:"note,omitempty"`
+	Entries map[string]int64  `json:"entries"`
+	Allocs  map[string]uint64 `json:"allocs,omitempty"`
 }
 
 func main() {
 	basePath := flag.String("baseline", "bench_baseline.json", "baseline file (committed)")
 	tolerance := flag.Float64("tolerance", 25, "max allowed ns/op regression in percent")
+	allocTolerance := flag.Float64("alloc-tolerance", 10, "max allowed allocs/op regression in percent (small counts get an absolute grace of +8 allocs)")
 	update := flag.Bool("update", false, "rewrite the baseline from the current results instead of checking")
 	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline series is absent from the current results")
 	floors := speedupFloors{}
@@ -83,6 +90,7 @@ func main() {
 	}
 
 	current := map[string]int64{}
+	currentAllocs := map[string]uint64{}
 	speedups := map[string]float64{}
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
@@ -105,13 +113,19 @@ func main() {
 				fatal(fmt.Errorf("duplicate series %q across inputs", key))
 			}
 			current[key] = r.NsPerOp
+			if r.AllocsOp > 0 {
+				currentAllocs[key] = r.AllocsOp
+			}
 		}
 	}
 
 	if *update {
 		b := baseline{
-			Note:    "ns/op reference for benchguard; regenerate with: go run ./cmd/benchguard -update -baseline bench_baseline.json BENCH_*.json",
+			Note:    "ns/op (and allocs/op where reported) reference for benchguard; regenerate with: go run ./cmd/benchguard -update -baseline bench_baseline.json BENCH_*.json",
 			Entries: current,
+		}
+		if len(currentAllocs) > 0 {
+			b.Allocs = currentAllocs
 		}
 		data, err := json.MarshalIndent(&b, "", "  ")
 		if err != nil {
@@ -159,6 +173,36 @@ func main() {
 		}
 		fmt.Printf("%s  %-40s %12dns -> %12dns  (%+.1f%%, limit +%.0f%%)\n",
 			status, key, baseNs, got, change, *tolerance)
+	}
+	allocKeys := make([]string, 0, len(base.Allocs))
+	for k := range base.Allocs {
+		allocKeys = append(allocKeys, k)
+	}
+	sort.Strings(allocKeys)
+	for _, key := range allocKeys {
+		baseAllocs := base.Allocs[key]
+		got, ok := currentAllocs[key]
+		if !ok {
+			if *allowMissing {
+				fmt.Printf("SKIP  %-40s baseline %d allocs, no current measurement\n", key, baseAllocs)
+				continue
+			}
+			fmt.Printf("MISS  %-40s baseline %d allocs, no current measurement\n", key, baseAllocs)
+			failed = true
+			continue
+		}
+		// Allocation counts are deterministic per code path, so the
+		// percentage tolerance is tight; the +8 absolute grace keeps
+		// tiny-count series (e.g. 3 → 5 allocs) from tripping on
+		// incidental runtime variation like map growth timing.
+		limit := float64(baseAllocs) * (1 + *allocTolerance/100)
+		status := "ok  "
+		if float64(got) > limit && got > baseAllocs+8 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-40s %8d allocs -> %8d allocs  (limit +%.0f%% or +8)\n",
+			status, key, baseAllocs, got, *allocTolerance)
 	}
 	floorKeys := make([]string, 0, len(floors))
 	for k := range floors {

@@ -131,7 +131,7 @@ func (b *bench) flushJSON(exp string) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|scale|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -158,14 +158,14 @@ func main() {
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
 		"ablation": b.expAblation, "http": b.expHTTP, "stream": b.expStream,
 		"parallel": b.expParallel, "coldstart": b.expColdstart,
-		"offset": b.expOffset,
+		"offset": b.expOffset, "scale": b.expScale,
 	}
 	doOne := func(name string, fn func()) {
 		fn()
 		b.flushJSON(name)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream", "parallel", "coldstart", "offset"} {
+		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream", "parallel", "coldstart", "offset", "scale"} {
 			doOne(name, run[name])
 		}
 		return

@@ -445,7 +445,7 @@ func (r *Result) newMaterialisedCursor() (rowCursor, error) {
 	desc := len(specs) > 0 && specs[0].Desc
 	return r.maybeParallelEnum(build, func(c rowCursor) segmentable {
 		return asSegmentable(c.(*matCursor).en)
-	}, desc)
+	}, desc, MinParallelEnumRows)
 }
 
 // singleNonGroupSubtree finds the unique maximal subtree containing no

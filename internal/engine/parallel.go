@@ -31,6 +31,15 @@ import (
 // force either path.
 var MinParallelEnumRows = 4096
 
+// MinParallelGroupRows is the fan-out floor for the grouped-aggregation
+// cursor specifically. Its universe counts groups, not rows: every group
+// already amortises a whole γ evaluation, and each segment worker clones
+// evaluator state per group, so the crossover where fan-out wins sits
+// far above the plain-enumeration floor (the scale-1 benchmark workload,
+// ~100 groups, regressed at P≥2 under the shared floor — see
+// bench_baseline.json's parallel/sum-grouped series).
+var MinParallelGroupRows = 65536
+
 const (
 	// parChunkRows is how many rows a worker batches per hand-off.
 	parChunkRows = 256
@@ -253,11 +262,13 @@ func (pc *parCursor) close() {
 // maybeParallelEnum decides whether to fan an enumeration out: build
 // returns one cursor over the full stream (the probe, also the serial
 // fallback) whose inner enumerator must satisfy segmentable; when the
-// universe is large enough, fresh per-segment cursors are built with
+// universe is at least floor, fresh per-segment cursors are built with
 // Restrict windows and merged by a parCursor. seg extracts the
 // segmentable from a built cursor, and desc reports whether the outer
-// loop runs descending (drain order reverses).
-func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(rowCursor) segmentable, desc bool) (rowCursor, error) {
+// loop runs descending (drain order reverses). floor is
+// MinParallelEnumRows for row-universe cursors and MinParallelGroupRows
+// for the grouped cursor, whose universe counts groups.
+func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(rowCursor) segmentable, desc bool, floor int) (rowCursor, error) {
 	probe, err := build()
 	if err != nil {
 		return nil, err
@@ -271,7 +282,7 @@ func (r *Result) maybeParallelEnum(build func() (rowCursor, error), seg func(row
 		return probe, nil
 	}
 	n := se.SegmentUniverse()
-	if n < MinParallelEnumRows {
+	if n < floor {
 		return probe, nil
 	}
 	segs := segmentsFor(se, n, par)

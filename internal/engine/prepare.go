@@ -193,6 +193,10 @@ func (p *Prepared) ExecContext(ctx context.Context, db DB) (*Result, error) {
 		putStore(st)
 		return nil, err
 	}
+	// One pass over the fresh base slab makes every operator's value
+	// windows kernel-eligible (the column index is a prefix property, so
+	// nodes the operators append later simply fall back to scalar).
+	st.BuildCols()
 	ar := &fops.ARel{Tree: f, Store: st, Roots: roots}
 	return p.finish(ctx, ar)
 }
@@ -232,6 +236,9 @@ func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error
 			p.shared.mu.Unlock()
 			return nil, err
 		}
+		// Likewise the column index: built once here, shared by pointer
+		// into every per-execution clone.
+		bst.BuildCols()
 		p.shared.store = bst.Snapshot()
 		p.shared.roots = roots
 		p.shared.built = true

@@ -366,7 +366,7 @@ func (r *Result) newSPJCursor() (rowCursor, error) {
 	desc := len(specs) > 0 && specs[0].Desc
 	return r.maybeParallelEnum(build, func(c rowCursor) segmentable {
 		return asSegmentable(c.(*projCursor).en)
-	}, desc)
+	}, desc, MinParallelEnumRows)
 }
 
 // groupCursor streams one output row per group from a grouped
@@ -437,7 +437,7 @@ func (r *Result) newGroupedCursor(applyOrder bool) (rowCursor, error) {
 	desc := applyOrder && len(r.Query.OrderBy) > 0 && r.Query.OrderBy[0].Desc
 	return r.maybeParallelEnum(build, func(c rowCursor) segmentable {
 		return asSegmentable(c.(*groupCursor).ge)
-	}, desc)
+	}, desc, MinParallelGroupRows)
 }
 
 // buildGroupedCursor constructs one (serial) grouped cursor; the

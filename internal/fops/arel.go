@@ -185,9 +185,15 @@ type rebuildFn func(id frep.NodeID) (frep.NodeID, error)
 // segment workers (parallelRebuild); results are identical either way.
 func (ar *ARel) rebuildAt(rootIdx int, path []int, mk func(st *frep.Store) rebuildFn) error {
 	root := ar.Roots[rootIdx]
+	par := len(path) > 0 && ar.Par > 1 && ar.Store.Len(root) >= MinParallelRebuildValues
+	if par {
+		if t, ok := ar.Store.RankTotal(root); ok && t < MinParallelRebuildWork {
+			par = false
+		}
+	}
 	var nr frep.NodeID
 	var err error
-	if len(path) > 0 && ar.Par > 1 && ar.Store.Len(root) >= MinParallelRebuildValues {
+	if par {
 		nr, err = ar.parallelRebuild(root, path, mk)
 	} else {
 		nr, err = rebuildIn(ar.Store, root, path, mk(ar.Store))

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/frep/kernel"
 	"github.com/factordb/fdb/internal/ftree"
 	"github.com/factordb/fdb/internal/values"
 )
@@ -32,7 +33,15 @@ func (ar *ARel) SelectConst(attr string, op CmpOp, c values.Value) error {
 	}
 	return ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
 		var b frep.UnionBuilder
+		var bits []uint64
+		kop := kernel.Op(op) // CmpOp and kernel.Op share their numbering
 		return func(id frep.NodeID) (frep.NodeID, error) {
+			// Vectorised path: compare the whole value run through a
+			// kernel and compact by bitmap runs; falls through to the
+			// scalar loop for mixed-kind or non-numeric runs.
+			if out, ok := st.SelectConstKernel(id, kop, c, &bits); ok {
+				return out, nil
+			}
 			arity := st.Arity(id)
 			b.Reset(st, arity)
 			for i, v := range st.Vals(id) {
@@ -68,7 +77,8 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 	if plan.Parent == nil {
 		s := ar.Store
 		var ib frep.UnionBuilder
-		merged := intersectUnionsIn(s, &ib, ar.Roots[plan.XIdx], ar.Roots[plan.YIdx])
+		var pairs [][2]int32
+		merged := intersectUnionsIn(s, &ib, &pairs, ar.Roots[plan.XIdx], ar.Roots[plan.YIdx])
 		if s.Len(merged) == 0 {
 			ar.Tree.ApplyMerge(plan)
 			ar.Roots = ar.Roots[:len(ar.Roots)-1]
@@ -95,12 +105,13 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 		err = ar.rebuildAt(ri, path, func(st *frep.Store) rebuildFn {
 			var ib, b frep.UnionBuilder
 			var scratch []frep.NodeID
+			var pairs [][2]int32
 			return func(id frep.NodeID) (frep.NodeID, error) {
 				arity := st.Arity(id) - 1
 				b.Reset(st, arity)
 				for i, v := range st.Vals(id) {
 					row := st.KidRow(id, i)
-					merged := intersectUnionsIn(st, &ib, row[plan.XIdx], row[plan.YIdx])
+					merged := intersectUnionsIn(st, &ib, &pairs, row[plan.XIdx], row[plan.YIdx])
 					if st.Len(merged) == 0 {
 						continue
 					}
@@ -133,13 +144,35 @@ func (ar *ARel) Merge(attrA, attrB string) error {
 
 // intersectUnionsIn intersects two sorted unions of st; for each common
 // value the children of both sides are concatenated (x's children
-// first), matching the merged node's child order. b is the caller's
-// reused builder scratch.
-func intersectUnionsIn(st *frep.Store, b *frep.UnionBuilder, x, y frep.NodeID) frep.NodeID {
+// first), matching the merged node's child order. b and pairs are the
+// caller's reused scratch.
+func intersectUnionsIn(st *frep.Store, b *frep.UnionBuilder, pairs *[][2]int32, x, y frep.NodeID) frep.NodeID {
 	arity := st.Arity(x) + st.Arity(y)
 	b.Reset(st, arity)
 	xv, yv := st.Vals(x), st.Vals(y)
 	var row []frep.NodeID
+	// Vectorised path: when both runs are kind-homogeneous the kernel
+	// two-pointer merge finds the matching index pairs without per-value
+	// Compare dispatch; the kid rows are then spliced per pair.
+	if ps, ok := st.IntersectPairs(x, y, (*pairs)[:0]); ok {
+		*pairs = ps
+		for _, p := range ps {
+			i, j := int(p[0]), int(p[1])
+			if arity > 0 {
+				row = row[:0]
+				if st.Arity(x) > 0 {
+					row = append(row, st.KidRow(x, i)...)
+				}
+				if st.Arity(y) > 0 {
+					row = append(row, st.KidRow(y, j)...)
+				}
+				b.Append(xv[i], row)
+			} else {
+				b.Append(xv[i], nil)
+			}
+		}
+		return b.Finish()
+	}
 	i, j := 0, 0
 	for i < len(xv) && j < len(yv) {
 		c := values.Compare(xv[i], yv[j])
@@ -230,11 +263,10 @@ func absorbRowIn(st *frep.Store, row []frep.NodeID, path []int, v values.Value, 
 	p := path[0]
 	if len(path) == 1 {
 		du := row[p]
-		dv := st.Vals(du)
-		pos := sort.Search(len(dv), func(k int) bool {
-			return values.Compare(dv[k], v) >= 0
-		})
-		if pos >= len(dv) || values.Compare(dv[pos], v) != 0 {
+		// FindValue binary-searches through a kernel when the union's run
+		// is kind-homogeneous, and via scalar sort.Search otherwise.
+		pos, found := st.FindValue(du, v)
+		if !found {
 			return nil, false
 		}
 		var hoist []frep.NodeID
@@ -302,6 +334,15 @@ func (ar *ARel) RemoveLeaf(attr string) error {
 			var b frep.UnionBuilder
 			var scratch []frep.NodeID
 			return func(id frep.NodeID) (frep.NodeID, error) {
+				if st.Len(id) == 0 {
+					return frep.EmptyNode, nil
+				}
+				if frep.EnableKernels {
+					// Every value survives; only the kid rows narrow. Copy
+					// the slab windows wholesale instead of building per
+					// value.
+					return st.RemoveKidColumn(id, plan.Idx), nil
+				}
 				arity := st.Arity(id)
 				b.Reset(st, arity-1)
 				for i, v := range st.Vals(id) {

@@ -26,6 +26,13 @@ import (
 // Exported so tests and benchmarks can force either path.
 var MinParallelRebuildValues = 2048
 
+// MinParallelRebuildWork is the smallest represented tuple count (from
+// the ranked index, when it covers the root) for which the occurrence
+// loop fans out: a wide but shallow root clears the value floor yet
+// holds too little work per value to amortise the overlay fan-out. When
+// the root is not ranked, only the value floor applies.
+var MinParallelRebuildWork = int64(1) << 17
+
 // rebuildWorkers counts operator segment workers spawned, for the
 // server's per-query worker accounting.
 var rebuildWorkers atomic.Int64

@@ -1,0 +1,37 @@
+package fops
+
+// The SelectConst fast path converts fops.CmpOp to kernel.Op by value
+// (kernel.Op(op)), so the two enumerations must stay in the same order.
+// This test pins that correspondence semantically: for every operator
+// and a grid of value pairs, op.Holds must agree with
+// kernel.Op(op).HoldsCmp over values.Compare.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/factordb/fdb/internal/frep/kernel"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func TestCmpOpMatchesKernelOp(t *testing.T) {
+	pool := []values.Value{
+		{}, // NULL
+		values.NewBool(false), values.NewBool(true),
+		values.NewInt(-3), values.NewInt(0), values.NewInt(7),
+		values.NewFloat(-1.5), values.NewFloat(0), values.NewFloat(3.5),
+		values.NewFloat(math.Inf(1)), values.NewFloat(math.Copysign(0, -1)),
+		values.NewString(""), values.NewString("zz"),
+	}
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	for _, op := range ops {
+		kop := kernel.Op(op)
+		for _, a := range pool {
+			for _, b := range pool {
+				if got, want := kop.HoldsCmp(values.Compare(a, b)), op.Holds(a, b); got != want {
+					t.Fatalf("%v: kernel says %v, fops says %v for (%v, %v)", op, got, want, a, b)
+				}
+			}
+		}
+	}
+}

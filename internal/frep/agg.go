@@ -3,6 +3,7 @@ package frep
 import (
 	"fmt"
 
+	"github.com/factordb/fdb/internal/frep/kernel"
 	"github.com/factordb/fdb/internal/ftree"
 	"github.com/factordb/fdb/internal/values"
 )
@@ -35,6 +36,13 @@ type nodePlan struct {
 	// unknowable and poisons counting).
 	countFieldIdx int
 	actions       []fieldAction
+
+	// leafKernel marks atomic leaf nodes (no children, not an aggregate
+	// node): every value has multiplicity 1, so the whole value loop of
+	// evalStore reduces to a count plus straight folds over the value
+	// window — exactly what the vectorised kernels compute when the
+	// window is a kind-homogeneous Int or Float run.
+	leafKernel bool
 }
 
 // Evaluator computes a fixed list of aggregation functions over
@@ -214,6 +222,7 @@ func (ev *Evaluator) compile(n *ftree.Node) error {
 		}
 		p.actions[fi] = act
 	}
+	p.leafKernel = len(n.Children) == 0 && !n.IsAgg()
 	ev.plans[n] = p
 	for _, c := range n.Children {
 		if err := ev.compile(c); err != nil {
@@ -432,6 +441,9 @@ func (ev *Evaluator) EvalStoreRangeInto(s *Store, id NodeID, lo, hi int, out []v
 // their whole union.
 func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, lo, hi int, depth int, res *result) {
 	p := ev.plans[n]
+	if p.leafKernel && EnableKernels && ev.evalLeafStoreKernel(p, s, id, lo, hi, res) {
+		return
+	}
 	res.count = 0
 	for i := range res.vals {
 		res.vals[i] = values.Value{}
@@ -531,6 +543,78 @@ func (ev *Evaluator) evalStore(n *ftree.Node, s *Store, id NodeID, lo, hi int, d
 			}
 		}
 	}
+}
+
+// evalLeafStoreKernel evaluates an atomic leaf node's aggregates through
+// the vectorised kernels when the value window [lo, hi) is a
+// kind-homogeneous Int or Float run of the column index. It reports
+// false — leaving res untouched beyond its reset — when the window does
+// not qualify (unindexed, mixed-kind, or a kind the kernels skip: Bool
+// sums promote to Float through the scalar AsFloat path, and
+// String/Vec/Null never carry numeric aggregates), in which case the
+// caller runs the scalar loop.
+//
+// Byte-identity with the scalar fold: every value has multiplicity 1, so
+// the scalar fold is acc = Add(acc, MulInt(v, 1)) left to right from a
+// Null accumulator. For Int runs that is a wrapping int64 sum (any
+// association); for Float runs it is v0·1.0 then += vi·1.0 — and
+// multiplication by 1.0 is exact for every float64 including -0.0 and
+// NaN payloads, so kernel.SumFloatBits' strict left-to-right fold from
+// the first element reproduces it bit for bit. Min/Max kernels move only
+// on strict </>, matching values.Min/Max keeping the earlier operand on
+// Compare ties, and the winning stored value is emitted verbatim.
+func (ev *Evaluator) evalLeafStoreKernel(p *nodePlan, s *Store, id NodeID, lo, hi int, res *result) bool {
+	h := s.hdr(id)
+	n := hi - lo
+	if n <= 0 {
+		res.count = 0
+		for i := range res.vals {
+			res.vals[i] = values.Value{}
+		}
+		return true
+	}
+	k, pay, ok := s.colRun(h.valOff+uint32(lo), uint32(n))
+	if !ok || (k != values.Int && k != values.Float) {
+		if KernelStatsEnabled {
+			kstats.aggFallback.Add(1)
+		}
+		return false
+	}
+	res.count = int64(n)
+	for i := range res.vals {
+		res.vals[i] = values.Value{}
+	}
+	minIdx, maxIdx := -1, -1
+	for fi, act := range p.actions {
+		if act.kind != actHere {
+			continue // actAbsent: count-only or carried elsewhere, stays Null
+		}
+		switch ev.fields[fi].Fn {
+		case ftree.Sum:
+			if k == values.Int {
+				res.vals[fi] = values.NewInt(kernel.SumInt64(pay))
+			} else {
+				res.vals[fi] = values.NewFloat(kernel.SumFloatBits(pay))
+			}
+		case ftree.Min, ftree.Max:
+			if minIdx < 0 {
+				if k == values.Int {
+					minIdx, maxIdx = kernel.MinMaxInt64(pay)
+				} else {
+					minIdx, maxIdx = kernel.MinMaxFloatBits(pay)
+				}
+			}
+			idx := minIdx
+			if ev.fields[fi].Fn == ftree.Max {
+				idx = maxIdx
+			}
+			res.vals[fi] = s.valSlice(h.valOff, h.nVals)[lo+idx]
+		}
+	}
+	if KernelStatsEnabled {
+		kstats.aggKernel.Add(1)
+	}
+	return true
 }
 
 // CountStore is Count over the arena representation.

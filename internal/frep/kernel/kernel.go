@@ -1,0 +1,497 @@
+// Package kernel provides the vectorised execution primitives of the
+// arena engine: tight, branch-light loops over kind-homogeneous runs of
+// the value slab, operating on raw []int64 payloads (ints directly,
+// floats as their IEEE-754 bit patterns) instead of per-value tagged
+// unions. The frep columnar index (Store.BuildCols) exposes such runs;
+// callers fall back to the scalar values.Value path for mixed-kind,
+// String or Vec runs, so kernel and scalar results are byte-identical.
+//
+// Float semantics deliberately mirror values.Compare's cmpFloat, which
+// orders with < and > only: NaN compares equal to everything, so every
+// float kernel is expressed through strict < / > (never == or >=).
+// Float sums fold strictly left to right starting from the first
+// element — never from 0.0, because 0.0 + (-0.0) is +0.0 and would
+// differ from the scalar fold in the sign bit.
+//
+// The package is dependency-free so the compiler sees plain slice loops
+// it can bounds-check-hoist and unroll.
+package kernel
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Op is a comparison operator for selection kernels. The numbering
+// matches fops.CmpOp (EQ NE LT LE GT GE), so the operator of a σ_{A op c}
+// converts by plain integer conversion; fops asserts the correspondence
+// in its tests.
+type Op uint8
+
+// The supported comparison operators.
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// HoldsCmp reports whether "a op b" holds given c = Compare(a, b) ∈
+// {-1, 0, 1}. It is the three-way-comparison form of fops.CmpOp.Holds,
+// used for uniform verdicts over runs whose kind rank differs from the
+// constant's (every value of the run compares the same way).
+func (op Op) HoldsCmp(c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Bitmap returns buf resized to hold n bits, cleared. The backing array
+// is reused when large enough, so a caller-owned scratch bitmap
+// allocates only on high-water-mark growth.
+func Bitmap(buf []uint64, n int) []uint64 {
+	w := (n + 63) / 64
+	if cap(buf) < w {
+		return make([]uint64, w)
+	}
+	buf = buf[:w]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// OnesCount returns the number of set bits in the bitmap.
+func OnesCount(bm []uint64) int {
+	n := 0
+	for _, w := range bm {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// NextRun returns the next maximal run [start, end) of set bits at or
+// after position from, in a bitmap of n bits. When no set bit remains,
+// start == end == n. Compaction walks these runs and copies whole value
+// and kid-row windows per run instead of per value.
+func NextRun(bm []uint64, from, n int) (start, end int) {
+	start = nextSet(bm, from, n)
+	if start >= n {
+		return n, n
+	}
+	end = nextClear(bm, start+1, n)
+	return start, end
+}
+
+// nextSet returns the position of the first set bit at or after from.
+func nextSet(bm []uint64, from, n int) int {
+	if from >= n {
+		return n
+	}
+	wi := from >> 6
+	w := bm[wi] >> uint(from&63) << uint(from&63)
+	for {
+		if w != 0 {
+			p := wi<<6 + bits.TrailingZeros64(w)
+			if p >= n {
+				return n
+			}
+			return p
+		}
+		wi++
+		if wi >= len(bm) {
+			return n
+		}
+		w = bm[wi]
+	}
+}
+
+// nextClear returns the position of the first clear bit at or after from.
+func nextClear(bm []uint64, from, n int) int {
+	if from >= n {
+		return n
+	}
+	wi := from >> 6
+	w := ^bm[wi] >> uint(from&63) << uint(from&63)
+	for {
+		if w != 0 {
+			p := wi<<6 + bits.TrailingZeros64(w)
+			if p >= n {
+				return n
+			}
+			return p
+		}
+		wi++
+		if wi >= len(bm) {
+			return n
+		}
+		w = ^bm[wi]
+	}
+}
+
+// negate flips the first n bits of the bitmap in place (the derived
+// operators NE/LE/GE are complements of EQ/GT/LT) and clears the tail
+// of the last word so OnesCount stays exact.
+func negate(bm []uint64, n int) {
+	for i := range bm {
+		bm[i] = ^bm[i]
+	}
+	if tail := n & 63; tail != 0 {
+		bm[len(bm)-1] &= (uint64(1) << uint(tail)) - 1
+	}
+}
+
+// CmpConstInt64 evaluates "x op c" for every element of xs, setting the
+// corresponding bit of bm (which must hold len(xs) bits, cleared), and
+// returns the number of matches. Also used for Bool runs (payloads 0/1
+// compare exactly like values.Compare's cmpInt).
+func CmpConstInt64(xs []int64, c int64, op Op, bm []uint64) int {
+	switch op {
+	case EQ, NE:
+		for i, x := range xs {
+			if x == c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == NE {
+			negate(bm, len(xs))
+		}
+	case LT, GE:
+		for i, x := range xs {
+			if x < c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == GE {
+			negate(bm, len(xs))
+		}
+	case GT, LE:
+		for i, x := range xs {
+			if x > c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == LE {
+			negate(bm, len(xs))
+		}
+	}
+	return OnesCount(bm)
+}
+
+// CmpConstFloat64 is CmpConstInt64 over float64 elements, with the
+// cmpFloat NaN-equal ordering: EQ holds when neither < nor > does.
+func CmpConstFloat64(xs []float64, c float64, op Op, bm []uint64) int {
+	switch op {
+	case EQ, NE:
+		for i, x := range xs {
+			if !(x < c) && !(x > c) {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == NE {
+			negate(bm, len(xs))
+		}
+	case LT, GE:
+		for i, x := range xs {
+			if x < c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == GE {
+			negate(bm, len(xs))
+		}
+	case GT, LE:
+		for i, x := range xs {
+			if x > c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == LE {
+			negate(bm, len(xs))
+		}
+	}
+	return OnesCount(bm)
+}
+
+// CmpConstFloatBits is CmpConstFloat64 over a Float run's slab payloads
+// (IEEE-754 bit patterns), avoiding a conversion copy.
+func CmpConstFloatBits(xs []int64, c float64, op Op, bm []uint64) int {
+	switch op {
+	case EQ, NE:
+		for i, x := range xs {
+			f := math.Float64frombits(uint64(x))
+			if !(f < c) && !(f > c) {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == NE {
+			negate(bm, len(xs))
+		}
+	case LT, GE:
+		for i, x := range xs {
+			if math.Float64frombits(uint64(x)) < c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == GE {
+			negate(bm, len(xs))
+		}
+	case GT, LE:
+		for i, x := range xs {
+			if math.Float64frombits(uint64(x)) > c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == LE {
+			negate(bm, len(xs))
+		}
+	}
+	return OnesCount(bm)
+}
+
+// CmpConstInt64AsFloat compares an Int run against a Float constant the
+// way values.Compare does for mixed numerics: both sides through
+// float64 (AsFloat), with cmpFloat ordering.
+func CmpConstInt64AsFloat(xs []int64, c float64, op Op, bm []uint64) int {
+	switch op {
+	case EQ, NE:
+		for i, x := range xs {
+			f := float64(x)
+			if !(f < c) && !(f > c) {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == NE {
+			negate(bm, len(xs))
+		}
+	case LT, GE:
+		for i, x := range xs {
+			if float64(x) < c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == GE {
+			negate(bm, len(xs))
+		}
+	case GT, LE:
+		for i, x := range xs {
+			if float64(x) > c {
+				bm[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		if op == LE {
+			negate(bm, len(xs))
+		}
+	}
+	return OnesCount(bm)
+}
+
+// SumInt64 returns the wrapping sum of xs. Two's-complement addition is
+// associative, so the four-way unrolled accumulators reassociate freely
+// and the result equals the scalar left-to-right values.Add fold bit
+// for bit, overflow included.
+func SumInt64(xs []int64) int64 {
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+		s2 += xs[i+2]
+		s3 += xs[i+3]
+	}
+	for ; i < len(xs); i++ {
+		s0 += xs[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SumFloat64 folds xs strictly left to right starting from xs[0] — the
+// exact association of the scalar values.Add chain, so the result is
+// bit-identical to it (float addition is not associative, and starting
+// from 0.0 would turn a lone -0.0 into +0.0). xs must be non-empty.
+func SumFloat64(xs []float64) float64 {
+	s := xs[0]
+	for _, x := range xs[1:] {
+		s += x
+	}
+	return s
+}
+
+// SumFloatBits is SumFloat64 over a Float run's slab payloads.
+// xs must be non-empty.
+func SumFloatBits(xs []int64) float64 {
+	s := math.Float64frombits(uint64(xs[0]))
+	for _, x := range xs[1:] {
+		s += math.Float64frombits(uint64(x))
+	}
+	return s
+}
+
+// MinMaxInt64 returns the indices of the minimum and maximum of xs,
+// taking a later element only when strictly smaller/greater — the fold
+// order of values.Min/values.Max, which keep the earlier operand on
+// ties. xs must be non-empty. Returning indices (not values) lets the
+// caller emit the stored value verbatim.
+func MinMaxInt64(xs []int64) (minIdx, maxIdx int) {
+	mn, mx := xs[0], xs[0]
+	for i, x := range xs[1:] {
+		if x < mn {
+			mn = x
+			minIdx = i + 1
+		}
+		if x > mx {
+			mx = x
+			maxIdx = i + 1
+		}
+	}
+	return minIdx, maxIdx
+}
+
+// MinMaxFloat64 is MinMaxInt64 over float64, under the cmpFloat order:
+// only strict < / > move the running extremum, so NaN (equal to
+// everything) never displaces it and is never displaced once first.
+// xs must be non-empty.
+func MinMaxFloat64(xs []float64) (minIdx, maxIdx int) {
+	mn, mx := xs[0], xs[0]
+	for i, x := range xs[1:] {
+		if x < mn {
+			mn = x
+			minIdx = i + 1
+		}
+		if x > mx {
+			mx = x
+			maxIdx = i + 1
+		}
+	}
+	return minIdx, maxIdx
+}
+
+// MinMaxFloatBits is MinMaxFloat64 over a Float run's slab payloads.
+// xs must be non-empty.
+func MinMaxFloatBits(xs []int64) (minIdx, maxIdx int) {
+	mn := math.Float64frombits(uint64(xs[0]))
+	mx := mn
+	for i, x := range xs[1:] {
+		f := math.Float64frombits(uint64(x))
+		if f < mn {
+			mn = f
+			minIdx = i + 1
+		}
+		if f > mx {
+			mx = f
+			maxIdx = i + 1
+		}
+	}
+	return minIdx, maxIdx
+}
+
+// IntersectInt64 appends to out the index pairs (i, j) with
+// xs[i] == ys[j], walking both strictly ascending runs with one
+// two-pointer pass, and returns the extended slice (pass out[:0] to
+// reuse scratch).
+func IntersectInt64(xs, ys []int64, out [][2]int32) [][2]int32 {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] < ys[j]:
+			i++
+		case xs[i] > ys[j]:
+			j++
+		default:
+			out = append(out, [2]int32{int32(i), int32(j)})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectFloatBits is IntersectInt64 over Float runs' slab payloads,
+// under the cmpFloat order (expressed with < and > only, so a NaN —
+// equal to everything — matches whatever it meets first).
+func IntersectFloatBits(xs, ys []int64, out [][2]int32) [][2]int32 {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		fx := math.Float64frombits(uint64(xs[i]))
+		fy := math.Float64frombits(uint64(ys[j]))
+		switch {
+		case fx < fy:
+			i++
+		case fx > fy:
+			j++
+		default:
+			out = append(out, [2]int32{int32(i), int32(j)})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SearchInt64 binary-searches the ascending run xs for c, returning the
+// first position whose element is not below c and whether it equals c —
+// the kernel form of sort.Search over values.Compare(x, c) >= 0.
+func SearchInt64(xs []int64, c int64) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if xs[m] < c {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo, lo < len(xs) && xs[lo] == c
+}
+
+// SearchFloatBits is SearchInt64 over a Float run's slab payloads under
+// the cmpFloat order: the predicate and the equality check use only
+// < and >, so NaN behaves exactly as it does under values.Compare.
+func SearchFloatBits(xs []int64, c float64) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if math.Float64frombits(uint64(xs[m])) < c {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo >= len(xs) {
+		return lo, false
+	}
+	return lo, !(math.Float64frombits(uint64(xs[lo])) > c)
+}
+
+// SearchInt64AsFloat searches an Int run for a Float constant the way
+// values.Compare orders mixed numerics: both sides through float64.
+func SearchInt64AsFloat(xs []int64, c float64) (int, bool) {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if float64(xs[m]) < c {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo >= len(xs) {
+		return lo, false
+	}
+	return lo, !(float64(xs[lo]) > c)
+}

@@ -25,6 +25,17 @@ import (
 // and benchmarks can force either path.
 var MinParallelEvalValues = 2048
 
+// MinParallelEvalWork is the smallest represented tuple count (from the
+// ranked index, when it covers the union) for which parallel aggregate
+// evaluation fans out. The root value count alone under-estimates work
+// skew, but it also over-triggers on shallow trees: a γ over a few
+// thousand root values whose subtrees are tiny finishes faster serially
+// than the fan-out costs — the measured crossover on the benchmark
+// workload sits around 10⁵ represented tuples (see bench_baseline.json's
+// parallel series). When the union is not ranked, only the value floor
+// applies.
+var MinParallelEvalWork = int64(1) << 17
+
 // evalWorkers counts aggregate-evaluation workers spawned by this
 // package, for the server's per-query worker accounting.
 var evalWorkers atomic.Int64
@@ -88,7 +99,13 @@ func ParallelEvalStore(n *ftree.Node, fields []ftree.AggField, s *Store, id Node
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par < 2 || nv < MinParallelEvalValues {
+	serial := par < 2 || nv < MinParallelEvalValues
+	if !serial {
+		if t, ok := s.RankTotal(id); ok && t < MinParallelEvalWork {
+			serial = true
+		}
+	}
+	if serial {
 		ev, err := NewEvaluator(n, fields)
 		if err != nil {
 			return err

@@ -63,6 +63,20 @@ type Store struct {
 	ranks      []uint64
 	rankedKids uint32
 
+	// Column index (see colview.go): raw payloads and kind runs over the
+	// leading cols.nVals entries of the value slab, enabling vectorised
+	// kernels. Immutable once built; shared by pointer across CloneInto
+	// and Snapshot; nil when no index has been built.
+	cols *colIndex
+
+	// dirtyVals is the high-water mark of value-slab entries that may
+	// hold non-zero data beyond the current length: CloneInto is the only
+	// operation that shrinks vals, and it records the pre-shrink length
+	// here so Reset clears exactly the used prefix instead of the full
+	// capacity (pooled stores typically reuse a large slab for small
+	// intermediate results).
+	dirtyVals int
+
 	// Overlay state: the read-only lower tier and its slab lengths at
 	// the time the overlay was taken. Nil/zero for plain stores.
 	base      *Store
@@ -129,12 +143,18 @@ func (s *Store) Reset() {
 	if s.frozen {
 		panic("frep: Reset of a frozen (snapshot-loaded) store")
 	}
-	clear(s.vals[:cap(s.vals)])
+	w := len(s.vals)
+	if s.dirtyVals > w {
+		w = s.dirtyVals
+	}
+	clear(s.vals[:w])
+	s.dirtyVals = 0
 	s.nodes = append(s.nodes[:0], nodeHdr{})
 	s.vals = s.vals[:0]
 	s.kids = s.kids[:0]
 	s.ranks = s.ranks[:0]
 	s.rankedKids = 0
+	s.cols = nil
 }
 
 // Len returns the number of values in union id.
@@ -230,11 +250,18 @@ func (s *Store) CloneInto(dst *Store) {
 	if s.base != nil || dst.base != nil {
 		panic("frep: Clone of or into an overlay store")
 	}
+	// Record how far dst's value slab was previously used before
+	// truncating: the next Reset must clear up to that mark (entries
+	// beyond the new length could otherwise pin strings and vectors).
+	if l := len(dst.vals); l > dst.dirtyVals {
+		dst.dirtyVals = l
+	}
 	dst.nodes = append(dst.nodes[:0], s.nodes...)
 	dst.vals = append(dst.vals[:0], s.vals...)
 	dst.kids = append(dst.kids[:0], s.kids...)
 	dst.ranks = append(dst.ranks[:0], s.ranks...)
 	dst.rankedKids = s.rankedKids
+	dst.cols = s.cols
 }
 
 // Snapshot returns an O(1) immutable view of the store's current
@@ -254,6 +281,7 @@ func (s *Store) Snapshot() *Store {
 		kids:       s.kids[:len(s.kids):len(s.kids)],
 		ranks:      s.ranks[:len(s.ranks):len(s.ranks)],
 		rankedKids: s.rankedKids,
+		cols:       s.cols,
 		frozen:     s.frozen,
 	}
 }
@@ -367,6 +395,9 @@ func (s *Store) Graft(other *Store) func(NodeID) NodeID {
 	// running total), so fact roots grafted out of ranked catalogues
 	// stay directly seekable.
 	extendRanks := s.HasRanks() && other.HasRanks()
+	// Same for the column index: extend it copy-on-write when both sides
+	// carry a complete one, so grafted fact roots stay kernel-eligible.
+	extendCols := s.HasCols() && other.HasCols()
 	nodeBase := uint32(len(s.nodes))
 	valBase := uint32(len(s.vals))
 	kidBase := uint32(len(s.kids))
@@ -390,6 +421,9 @@ func (s *Store) Graft(other *Store) func(NodeID) NodeID {
 	}
 	if extendRanks {
 		s.extendRanksForGraft(other)
+	}
+	if extendCols {
+		s.extendColsForGraft(other)
 	}
 	return remap
 }

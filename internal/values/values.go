@@ -147,6 +147,13 @@ func (v Value) VecLen() int {
 	return len(*v.vec)
 }
 
+// Raw returns the value's integer payload field uninterpreted: the
+// int64 itself for Int, the Float64bits pattern for Float, 0/1 for
+// Bool, 0 for the other kinds. It exists for columnar extraction — the
+// frep kind-run index stores one Raw per slab value so vectorised
+// kernels can process whole runs as []int64 without per-value dispatch.
+func (v Value) Raw() int64 { return v.i }
+
 // IsNumeric reports whether the value is Int or Float.
 func (v Value) IsNumeric() bool { return v.kind == Int || v.kind == Float }
 
