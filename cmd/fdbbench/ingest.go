@@ -1,0 +1,197 @@
+package main
+
+// The ingest experiment measures the write path end to end:
+//
+//  1. Batched INSERT throughput (rows/sec) at several batch sizes,
+//     streaming the workload's Orders relation into an initially empty
+//     mutable catalogue — every batch group-committed to the WAL.
+//  2. Read parity: p50 latency of flat Q1 against a plain in-memory
+//     catalogue vs a never-written mutable catalogue's view. The ratio
+//     is reported as the "read-parity" speedup series and CI-gated: the
+//     delta/tombstone machinery must not tax unmutated catalogues.
+//  3. Read latency under write: p50/p99 of flat Q1 while a writer
+//     streams batched inserts concurrently (reported, not gated —
+//     absolute latencies are machine-dependent).
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/factordb/fdb/internal/engine"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+	"github.com/factordb/fdb/internal/workload"
+)
+
+// recIngest records a throughput or latency series point.
+func (b *bench) recIngest(name string, qps float64, p50, p99 time.Duration, speedup float64) {
+	if !b.jsonOut {
+		return
+	}
+	b.results = append(b.results, benchResult{
+		Name: name, QPS: qps,
+		P50Ns: p50.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+		Speedup: speedup,
+	})
+}
+
+// emptyOrdersDB returns the dataset's catalogue with Orders emptied, so
+// ingest starts from zero rows.
+func emptyOrdersDB(d *workload.Dataset) engine.DB {
+	db := engine.DB(d.DB())
+	db["Orders"] = relation.MustNew("Orders", d.Orders.Attrs, nil)
+	return db
+}
+
+// newIngestCatalog creates a throwaway mutable catalogue under dir.
+func newIngestCatalog(dir string, db engine.DB) *engine.MutableCatalog {
+	m, err := engine.CreateMutable(dir, "bench", db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func (b *bench) expIngest() {
+	header(fmt.Sprintf("INGEST: WAL write path (scale %d)", b.scale))
+	d := b.dataset(b.scale)
+	root, err := os.MkdirTemp("", "fdb-ingest-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	ctx := context.Background()
+	tuples := d.Orders.Tuples
+
+	// 1. Batched ingest throughput.
+	row("batch", "rows/sec", "wall", "wal-bytes")
+	for _, batch := range []int{1, 32, 256} {
+		m := newIngestCatalog(filepath.Join(root, fmt.Sprintf("b%d", batch)), emptyOrdersDB(d))
+		start := time.Now()
+		for off := 0; off < len(tuples); off += batch {
+			end := off + batch
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			rows := make([][]values.Value, end-off)
+			for i, tp := range tuples[off:end] {
+				rows[i] = tp
+			}
+			mut := &query.Mutation{Op: query.OpInsert, Relation: "Orders", Rows: rows}
+			if _, err := m.Apply(ctx, mut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		rps := float64(len(tuples)) / elapsed.Seconds()
+		walBytes := m.Stats().WALBytes
+		m.Close()
+		b.recIngest(fmt.Sprintf("batch=%d", batch), rps, 0, 0, 0)
+		row(fmt.Sprint(batch), fmt.Sprintf("%.0f", rps), elapsed.Round(time.Millisecond).String(),
+			fmt.Sprint(walBytes))
+	}
+
+	// 2. Read parity: plain catalogue vs never-written mutable view.
+	q1 := func() *query.Query {
+		q, err := workload.FlatAggQuery(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	plainDB := engine.DB(d.DB())
+	m := newIngestCatalog(filepath.Join(root, "parity"), plainDB)
+	defer m.Close()
+	iters := 20 * b.reps
+	plainP50, _ := latencies(iters, func() { runQ1(q1(), plainDB) })
+	viewP50, _ := latencies(iters, func() { runQ1(q1(), m.View()) })
+	parity := float64(plainP50) / float64(viewP50)
+	b.recIngest("read-plain", 0, plainP50, 0, 0)
+	b.recIngest("read-mutable-view", 0, viewP50, 0, 0)
+	b.recIngest("read-parity", 0, 0, 0, parity)
+	row("series", "p50", "parity")
+	row("plain", plainP50.String(), "")
+	row("mutable-view", viewP50.String(), fmt.Sprintf("%.2f", parity))
+
+	// 3. Read latency under a concurrent writer.
+	mw := newIngestCatalog(filepath.Join(root, "underwrite"), engine.DB(d.DB()))
+	defer mw.Close()
+	stop := make(chan struct{})
+	writerDone := make(chan int)
+	go func() {
+		written := 0
+		const batch = 32
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				writerDone <- written
+				return
+			default:
+			}
+			rows := make([][]values.Value, batch)
+			for j := range rows {
+				rows[j] = []values.Value{
+					values.NewInt(int64(1_000_000 + i*batch + j)),
+					values.NewInt(int64(j)),
+					values.NewInt(int64(j % 4)),
+				}
+			}
+			mut := &query.Mutation{Op: query.OpInsert, Relation: "Orders", Rows: rows}
+			if _, err := mw.Apply(ctx, mut); err != nil {
+				log.Fatal(err)
+			}
+			written += batch
+		}
+	}()
+	start := time.Now()
+	p50, p99 := latencies(iters, func() { runQ1(q1(), mw.View()) })
+	close(stop)
+	written := <-writerDone
+	elapsed := time.Since(start)
+	wps := float64(written) / elapsed.Seconds()
+	b.recIngest("read-under-write", wps, p50, p99, 0)
+	row("series", "p50", "p99", "writer rows/sec")
+	row("under-write", p50.String(), p99.String(), fmt.Sprintf("%.0f", wps))
+
+	// 4. Compaction: fold the accumulated deltas into a fresh snapshot.
+	cstart := time.Now()
+	if err := mw.Compact(ctx); err != nil {
+		log.Fatal(err)
+	}
+	celapsed := time.Since(cstart)
+	if b.jsonOut {
+		b.results = append(b.results, benchResult{Name: "compact", NsPerOp: celapsed.Nanoseconds()})
+	}
+	row("compact", celapsed.Round(time.Millisecond).String(), "", "")
+}
+
+// runQ1 executes the flat Q1 aggregation and drains it.
+func runQ1(q *query.Query, db engine.DB) {
+	eng := engine.New()
+	res, err := eng.Run(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := res.Relation(); err != nil {
+		log.Fatal(err)
+	}
+	res.Close()
+}
+
+// latencies runs fn iters times and returns the p50/p99 wall clock.
+func latencies(iters int, fn func()) (p50, p99 time.Duration) {
+	lats := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		fn()
+		lats = append(lats, time.Since(t0))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], lats[len(lats)*99/100]
+}

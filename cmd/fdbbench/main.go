@@ -20,6 +20,13 @@
 // streaming off the engine cursor (rows/sec and time-to-first-row):
 //
 //	fdbbench -exp stream -scale 4 -json   # writes BENCH_stream.json
+//
+// "ingest" measures the durable write path: batched INSERT throughput
+// into a WAL-backed mutable catalogue, read parity between a plain and
+// a never-written mutable catalogue, and Q1 latency while a writer
+// streams inserts concurrently:
+//
+//	fdbbench -exp ingest -scale 2 -json   # writes BENCH_ingest.json
 package main
 
 import (
@@ -131,7 +138,7 @@ func (b *bench) flushJSON(exp string) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|scale|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|scale|ingest|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -158,14 +165,14 @@ func main() {
 		"fig6": b.expFig6, "fig7": b.expFig7, "fig8": b.expFig8,
 		"ablation": b.expAblation, "http": b.expHTTP, "stream": b.expStream,
 		"parallel": b.expParallel, "coldstart": b.expColdstart,
-		"offset": b.expOffset, "scale": b.expScale,
+		"offset": b.expOffset, "scale": b.expScale, "ingest": b.expIngest,
 	}
 	doOne := func(name string, fn func()) {
 		fn()
 		b.flushJSON(name)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream", "parallel", "coldstart", "offset", "scale"} {
+		for _, name := range []string{"size", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "http", "stream", "parallel", "coldstart", "offset", "scale", "ingest"} {
 			doOne(name, run[name])
 		}
 		return

@@ -23,13 +23,27 @@
 // With -mmap, snapshots are memory-mapped and used in place (zero-copy:
 // boot cost is metadata only; data pages fault in on demand).
 //
+// A -mutable argument serves a writable database from a mutable
+// catalogue directory (snapshot + write-ahead log; see fdb.OpenMutable):
+//
+//	fdbserver -mutable shop=./shopdir            # open existing
+//	fdbserver -mutable shop=./shopdir=seed.fdbcat  # initialise from snapshot
+//
+// Writable databases accept INSERT / DELETE / UPSERT through POST /exec
+// (acknowledged only after the WAL commit) and fold their log into a
+// fresh snapshot on POST /compact or automatically past -compactwal
+// bytes of log.
+//
 // Endpoints:
 //
 //	POST /query     {"sql": "SELECT ...", "db": "shop"}
+//	POST /exec      {"sql": "INSERT INTO ...", "db": "shop"}
+//	POST /compact   {"db": "shop"} — fold the WAL into a snapshot
 //	POST /snapshot  {"db": "shop"} (optional) — persist catalogues
 //	                atomically to their -data locations
 //	GET  /healthz   liveness probe (503 while draining)
-//	GET  /stats     query counts, latency percentiles, cache hit rates
+//	GET  /stats     query counts, latency percentiles, cache hit rates,
+//	                write/WAL/compaction gauges
 //
 // Example session:
 //
@@ -88,11 +102,39 @@ func (d *dataFlags) Set(v string) error {
 	return nil
 }
 
+// mutableFlags collects repeated -mutable flags of the form "name=dir"
+// or "name=dir=seed.fdbcat" (initialise dir from a snapshot if absent).
+type mutableFlags struct {
+	names []string
+	dirs  []string
+	seeds []string
+}
+
+func (m *mutableFlags) String() string { return strings.Join(m.dirs, ",") }
+
+func (m *mutableFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return errors.New("-mutable needs name=dir or name=dir=seed.fdbcat")
+	}
+	seed := ""
+	if len(parts) == 3 {
+		seed = parts[2]
+	}
+	m.names = append(m.names, parts[0])
+	m.dirs = append(m.dirs, parts[1])
+	m.seeds = append(m.seeds, seed)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbserver: ")
 	var data dataFlags
+	var mutable mutableFlags
 	flag.Var(&data, "data", "data directory of *.csv relations or a .fdbcat catalogue snapshot, optionally name=path (repeatable)")
+	flag.Var(&mutable, "mutable", "writable catalogue directory as name=dir, or name=dir=seed.fdbcat to initialise from a snapshot (repeatable)")
+	compactWAL := flag.Int64("compactwal", 64<<20, "auto-compact a mutable database once its WAL exceeds this many bytes (0 = manual /compact only)")
 	listen := flag.String("listen", ":8334", "listen address")
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 256, "plan cache entries per database")
@@ -102,8 +144,8 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	flag.Parse()
 
-	if len(data.dirs) == 0 {
-		log.Fatal("at least one -data directory is required")
+	if len(data.dirs) == 0 && len(mutable.dirs) == 0 {
+		log.Fatal("at least one -data or -mutable database is required")
 	}
 	dbs := make(map[string]fdb.Database, len(data.dirs))
 	snapshots := make(map[string]string, len(data.dirs))
@@ -124,15 +166,46 @@ func main() {
 		dbs[name] = db
 		snapshots[name] = snapPath
 	}
+	mutables := make(map[string]*fdb.MutableCatalog, len(mutable.dirs))
+	for i, dir := range mutable.dirs {
+		name := mutable.names[i]
+		if _, dup := dbs[name]; dup {
+			log.Fatalf("duplicate database name %q", name)
+		}
+		if _, dup := mutables[name]; dup {
+			log.Fatalf("duplicate database name %q", name)
+		}
+		mut, err := openMutable(dir, name, mutable.seeds[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mut.Close()
+		if *compactWAL > 0 {
+			if err := mut.StartAutoCompact(fdb.AutoCompactConfig{MaxWALBytes: *compactWAL}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := mut.Stats()
+		log.Printf("database %q (mutable, %s): generation %d, wal epoch %d (%d bytes)",
+			name, dir, st.Generation, st.WALEpoch, st.WALBytes)
+		mutables[name] = mut
+	}
 
+	defaultDB := ""
+	if len(data.names) > 0 {
+		defaultDB = data.names[0]
+	} else {
+		defaultDB = mutable.names[0]
+	}
 	srv, err := server.New(server.Config{
 		Databases:   dbs,
-		DefaultDB:   data.names[0],
+		DefaultDB:   defaultDB,
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		MaxRows:     *maxRows,
 		Parallelism: *parallelism,
 		Snapshots:   snapshots,
+		Mutables:    mutables,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -144,7 +217,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (default database %q)", *listen, data.names[0])
+	log.Printf("serving on %s (default database %q)", *listen, defaultDB)
 
 	select {
 	case err := <-serveErr:
@@ -173,6 +246,24 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	log.Print("drained; exiting")
+}
+
+// openMutable opens one -mutable argument: an existing catalogue
+// directory, or — when a seed snapshot is given and the directory holds
+// no catalogue yet — a fresh directory initialised from the seed.
+func openMutable(dir, name, seed string) (*fdb.MutableCatalog, error) {
+	if seed != "" {
+		if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); os.IsNotExist(err) {
+			cat, err := fdb.LoadCatalogFile(seed, false)
+			if err != nil {
+				return nil, err
+			}
+			db := cat.DB
+			cat.Close()
+			return fdb.CreateMutable(dir, name, db)
+		}
+	}
+	return fdb.OpenMutable(dir)
 }
 
 // loadData loads one -data argument: a snapshot file, a directory with a

@@ -19,8 +19,23 @@
 // all connections (the engine's ExecShared contract). Statements are
 // the engine's SELECT subset — joins, filters, aggregates, GROUP BY,
 // HAVING, ORDER BY, LIMIT and OFFSET; placeholder parameters are not
-// supported. All statements are read-only: ExecContext and transactions
-// return errors.
+// supported. Registered catalogues are read-only: ExecContext and
+// transactions return errors.
+//
+// To write, serve a mutable catalogue (fdb.OpenMutable) instead:
+//
+//	mut, _ := fdb.OpenMutable("/var/lib/fdb/shop")
+//	driver.RegisterMutable("shop", mut)      // or driver.NewMutableConnector(mut)
+//	db, _ := sql.Open("fdb", "shop")
+//	res, _ := db.ExecContext(ctx, `INSERT INTO Orders VALUES (5, 'capri', 20)`)
+//	n, _ := res.RowsAffected()
+//
+// ExecContext accepts INSERT INTO ... VALUES, DELETE FROM ... WHERE and
+// UPSERT INTO ... VALUES; it returns once the statement's WAL record is
+// group-committed, and RowsAffected reports the rows actually changed.
+// Queries on the same handle always see the catalogue's latest published
+// view — the engine detects stale shared snapshots by relation pointer
+// identity and rebuilds them.
 //
 // Plans are cached per catalogue in an LRU keyed by the normalised
 // statement text, so repeated statements skip parsing and optimisation
@@ -62,20 +77,43 @@ func Register(name string, db fdb.Database) {
 	registry.Store(name, newCatalog(db))
 }
 
+// RegisterMutable makes a writable mutable catalogue available to
+// sql.Open("fdb", name): queries run against its current view and
+// ExecContext applies DML durably. The caller keeps ownership of the
+// catalogue (close it after the sql.DB).
+func RegisterMutable(name string, mut *fdb.MutableCatalog) {
+	registry.Store(name, newMutableCatalog(mut))
+}
+
 // Unregister removes a named catalogue. Open databases keep their
 // catalogue; only future Opens are affected.
 func Unregister(name string) { registry.Delete(name) }
 
-// catalog is one served database: the relations, a shared engine, and
-// the plan cache keyed by normalised SQL.
+// catalog is one served database: the relations (static, or a mutable
+// catalogue's live view), a shared engine, and the plan cache keyed by
+// normalised SQL.
 type catalog struct {
 	db    fdb.Database
+	mut   *fdb.MutableCatalog
 	eng   *fdb.Engine
 	plans *cache.LRU
 }
 
 func newCatalog(db fdb.Database) *catalog {
 	return &catalog{db: db, eng: fdb.NewEngine(), plans: cache.New(planCacheSize)}
+}
+
+func newMutableCatalog(mut *fdb.MutableCatalog) *catalog {
+	return &catalog{mut: mut, eng: fdb.NewEngine(), plans: cache.New(planCacheSize)}
+}
+
+// data returns the relations to query: the static map, or the mutable
+// catalogue's current view.
+func (c *catalog) data() fdb.Database {
+	if c.mut != nil {
+		return c.mut.View()
+	}
+	return c.db
 }
 
 // prepared returns the cached plan for the statement, compiling it on a
@@ -90,7 +128,7 @@ func (c *catalog) prepared(ctx context.Context, text string) (*fdb.PreparedQuery
 	if err != nil {
 		return nil, err
 	}
-	p, err := c.eng.PrepareContext(ctx, q, c.db)
+	p, err := c.eng.PrepareContext(ctx, q, c.data())
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +142,7 @@ func (c *catalog) query(ctx context.Context, text string) (*rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.ExecSharedContext(ctx, c.db)
+	res, err := p.ExecSharedContext(ctx, c.data())
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +152,27 @@ func (c *catalog) query(ctx context.Context, text string) (*rows, error) {
 		return nil, err
 	}
 	return &rows{res: res, rs: rs}, nil
+}
+
+// exec applies one DML statement, returning the database/sql result
+// once the write is durable.
+func (c *catalog) exec(ctx context.Context, text string) (driver.Result, error) {
+	if c.mut == nil {
+		return nil, errors.New("fdb driver: Exec is not supported on a read-only catalogue; use Query (or RegisterMutable)")
+	}
+	stmt, err := fdb.ParseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	mut, ok := stmt.(*fdb.Mutation)
+	if !ok {
+		return nil, errors.New("fdb driver: Exec of a SELECT; use Query")
+	}
+	n, err := c.mut.Apply(ctx, mut)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(n), nil
 }
 
 // Driver implements database/sql/driver.Driver and DriverContext over
@@ -165,6 +224,14 @@ func NewConnector(db fdb.Database) driver.Connector {
 	return &connector{cat: newCatalog(db)}
 }
 
+// NewMutableConnector wraps a writable mutable catalogue as a
+// driver.Connector for sql.OpenDB: queries see its current view and
+// ExecContext applies DML durably. The caller keeps ownership of the
+// catalogue (close it after the sql.DB).
+func NewMutableConnector(mut *fdb.MutableCatalog) driver.Connector {
+	return &connector{cat: newMutableCatalog(mut)}
+}
+
 type connector struct {
 	cat *catalog
 	// loaded is the snapshot behind a "file:" DSN, nil otherwise; the
@@ -211,7 +278,19 @@ func (c *conn) Prepare(text string) (driver.Stmt, error) {
 // PrepareContext compiles (or fetches from the plan cache) the
 // statement's f-plan eagerly, so a prepared statement surfaces parse
 // and planning errors at Prepare time and its executions skip both.
+// DML statements (INSERT / DELETE / UPSERT) are parse-checked here and
+// executed through Stmt.Exec.
 func (c *conn) PrepareContext(ctx context.Context, text string) (driver.Stmt, error) {
+	parsed, err := fdb.ParseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	if _, dml := parsed.(*fdb.Mutation); dml {
+		if c.cat.mut == nil {
+			return nil, errors.New("fdb driver: Exec is not supported on a read-only catalogue; use Query (or RegisterMutable)")
+		}
+		return &stmt{cat: c.cat, text: text, dml: true}, nil
+	}
 	if _, err := c.cat.prepared(ctx, text); err != nil {
 		return nil, err
 	}
@@ -221,10 +300,11 @@ func (c *conn) PrepareContext(ctx context.Context, text string) (driver.Stmt, er
 // Close implements driver.Conn (stateless; nothing to release).
 func (c *conn) Close() error { return nil }
 
-// Begin implements driver.Conn. The catalogue is read-only, so
-// transactions are meaningless.
+// Begin implements driver.Conn. Each DML statement commits on its own
+// (through the WAL's group commit); multi-statement transactions are
+// not supported.
 func (c *conn) Begin() (driver.Tx, error) {
-	return nil, errors.New("fdb driver: transactions are not supported (read-only engine)")
+	return nil, errors.New("fdb driver: transactions are not supported (each statement commits on its own)")
 }
 
 // QueryContext implements driver.QueryerContext: the fast path
@@ -236,19 +316,27 @@ func (c *conn) QueryContext(ctx context.Context, text string, args []driver.Name
 	return c.cat.query(ctx, text)
 }
 
-// ExecContext implements driver.ExecerContext; the engine is read-only.
-func (c *conn) ExecContext(context.Context, string, []driver.NamedValue) (driver.Result, error) {
-	return nil, errors.New("fdb driver: Exec is not supported (read-only engine); use Query")
+// ExecContext implements driver.ExecerContext: DML against a mutable
+// catalogue, acknowledged after the WAL commit.
+func (c *conn) ExecContext(ctx context.Context, text string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	return c.cat.exec(ctx, text)
 }
 
-// stmt is a prepared statement: its plan sits in the catalogue's cache,
-// so execution skips parsing and optimisation.
+// stmt is a prepared statement: a SELECT whose plan sits in the
+// catalogue's cache, or a parse-checked DML statement.
 type stmt struct {
 	cat  *catalog
 	text string
+	dml  bool
 }
 
-var _ driver.StmtQueryContext = (*stmt)(nil)
+var (
+	_ driver.StmtQueryContext = (*stmt)(nil)
+	_ driver.StmtExecContext  = (*stmt)(nil)
+)
 
 // Close implements driver.Stmt (the cached plan stays for other users).
 func (s *stmt) Close() error { return nil }
@@ -256,15 +344,32 @@ func (s *stmt) Close() error { return nil }
 // NumInput implements driver.Stmt: no placeholder support.
 func (s *stmt) NumInput() int { return 0 }
 
-// Exec implements driver.Stmt; the engine is read-only.
+// Exec implements driver.Stmt.
 func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return nil, errors.New("fdb driver: Exec is not supported (read-only engine); use Query")
+	if !s.dml {
+		return nil, errors.New("fdb driver: Exec of a SELECT; use Query")
+	}
+	return s.cat.exec(context.Background(), s.text)
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	if !s.dml {
+		return nil, errors.New("fdb driver: Exec of a SELECT; use Query")
+	}
+	return s.cat.exec(ctx, s.text)
 }
 
 // Query implements driver.Stmt.
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	if s.dml {
+		return nil, errors.New("fdb driver: Query of a DML statement; use Exec")
 	}
 	return s.cat.query(context.Background(), s.text)
 }
@@ -273,6 +378,9 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, errors.New("fdb driver: placeholder parameters are not supported")
+	}
+	if s.dml {
+		return nil, errors.New("fdb driver: Query of a DML statement; use Exec")
 	}
 	return s.cat.query(ctx, s.text)
 }

@@ -1,0 +1,159 @@
+package driver_test
+
+// Tests for the driver's write path: ExecContext over a mutable
+// catalogue, prepared DML statements, and RowsAffected plumbing.
+
+import (
+	"database/sql"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/driver"
+)
+
+func openMutableDB(t *testing.T) (*sql.DB, *fdb.MutableCatalog) {
+	t.Helper()
+	m, err := fdb.CreateMutable(filepath.Join(t.TempDir(), "cat"), "pizzeria", pizzeria(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	db := sql.OpenDB(driver.NewMutableConnector(m))
+	t.Cleanup(func() { db.Close() })
+	return db, m
+}
+
+func TestExecInsertDeleteUpsert(t *testing.T) {
+	db, _ := openMutableDB(t)
+
+	res, err := db.Exec(`INSERT INTO Orders VALUES ('Anna', 'Sunday', 'Margherita'), ('Anna', 'Monday', 'Hawaii')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := res.RowsAffected(); err != nil || n != 2 {
+		t.Fatalf("RowsAffected = %d, %v; want 2", n, err)
+	}
+
+	// The write is visible to queries over the same handle.
+	var count int64
+	if err := db.QueryRow(`SELECT COUNT(*) AS n FROM Orders`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Fatalf("COUNT(*) after insert = %d, want 7", count)
+	}
+
+	res, err = db.Exec(`DELETE FROM Orders WHERE customer = 'Anna'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Fatalf("delete RowsAffected = %d, want 2", n)
+	}
+
+	res, err = db.Exec(`UPSERT INTO Items VALUES ('ham', 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row deleted (old price) plus one inserted.
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Fatalf("upsert RowsAffected = %d, want 2", n)
+	}
+	var price int64
+	if err := db.QueryRow(`SELECT price FROM Items WHERE item2 = 'ham'`).Scan(&price); err != nil {
+		t.Fatal(err)
+	}
+	if price != 5 {
+		t.Fatalf("price after upsert = %d, want 5", price)
+	}
+}
+
+func TestPreparedDMLStatement(t *testing.T) {
+	db, m := openMutableDB(t)
+	stmt, err := db.Prepare(`INSERT INTO Orders VALUES ('Zoe', 'Monday', 'Hawaii')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	res, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("RowsAffected = %d, want 1", n)
+	}
+	// Re-executing the same insert is a set-semantics no-op.
+	res, err = stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 0 {
+		t.Fatalf("repeat RowsAffected = %d, want 0", n)
+	}
+	if m.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1 (no-op must not bump)", m.Generation())
+	}
+
+	// A DML statement cannot be queried, and vice versa.
+	if _, err := stmt.Query(); err == nil {
+		t.Fatal("Query on a DML statement succeeded")
+	}
+	qstmt, err := db.Prepare(`SELECT * FROM Items`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qstmt.Close()
+	if _, err := qstmt.Exec(); err == nil {
+		t.Fatal("Exec on a SELECT statement succeeded")
+	}
+}
+
+func TestExecArgsRejected(t *testing.T) {
+	db, _ := openMutableDB(t)
+	if _, err := db.Exec(`DELETE FROM Orders WHERE customer = 'Anna'`, 1); err == nil {
+		t.Fatal("Exec with bind args succeeded")
+	}
+}
+
+func TestExecOnReadOnlyCatalogue(t *testing.T) {
+	db := openDB(t)
+	_, err := db.Exec(`INSERT INTO Orders VALUES ('Anna', 'Sunday', 'Margherita')`)
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("err = %v, want read-only rejection", err)
+	}
+	if _, err := db.Prepare(`DELETE FROM Orders`); err == nil {
+		t.Fatal("Prepare of DML on a read-only catalogue succeeded")
+	}
+}
+
+func TestMutableQueryAggregateAfterWrites(t *testing.T) {
+	db, _ := openMutableDB(t)
+	if _, err := db.Exec(`DELETE FROM Orders WHERE customer = 'Pietro'`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`SELECT customer, SUM(price) AS revenue
+		FROM Orders, Pizzas, Items
+		WHERE pizza = pizza2 AND item = item2
+		GROUP BY customer ORDER BY revenue DESC, customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var customer string
+		var revenue int64
+		if err := rows.Scan(&customer, &revenue); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, customer)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := "Mario Lucia"; strings.Join(got, " ") != want {
+		t.Fatalf("customers = %q, want %q", strings.Join(got, " "), want)
+	}
+}

@@ -252,6 +252,55 @@ var LoadCatalog = engine.LoadCatalog
 // on demand); otherwise the file is read with one contiguous read.
 var LoadCatalogFile = engine.LoadCatalogFile
 
+// Statement is a parsed SQL statement: either a *Query (SELECT) or a
+// *Mutation (INSERT / DELETE / UPSERT).
+type Statement = query.Statement
+
+// Mutation is one data-modification statement: INSERT INTO ... VALUES,
+// DELETE FROM ... WHERE, or UPSERT INTO ... VALUES (replace keyed on the
+// relation's first attribute). Apply it to a MutableCatalog.
+type Mutation = query.Mutation
+
+// Mutation verbs for Mutation.Op.
+const (
+	OpInsert = query.OpInsert
+	OpDelete = query.OpDelete
+	OpUpsert = query.OpUpsert
+)
+
+// ParseStatement parses one SQL statement — SELECT, INSERT, DELETE or
+// UPSERT — dispatching on the leading keyword.
+var ParseStatement = sql.ParseStatement
+
+// MutableCatalog is a durable, mutable database directory: an immutable
+// catalogue snapshot plus a checksummed write-ahead log and in-memory
+// delta layers. Apply executes mutations durably (group-committed WAL),
+// View returns lock-free immutable snapshots for querying, and Compact
+// folds the log back into a fresh snapshot. See ARCHITECTURE.md's
+// "Write path".
+type MutableCatalog = engine.MutableCatalog
+
+// MutableStats is a point-in-time snapshot of a mutable catalogue's
+// write-path gauges (generation, rows per verb, delta sizes, WAL and
+// compaction counters).
+type MutableStats = engine.MutableStats
+
+// AutoCompactConfig tunes MutableCatalog.StartAutoCompact thresholds.
+type AutoCompactConfig = engine.AutoCompactConfig
+
+// CreateMutable initialises dir with a snapshot of db and an empty WAL,
+// returning the opened mutable catalogue.
+var CreateMutable = engine.CreateMutable
+
+// OpenMutable opens the mutable catalogue at dir, replaying the WAL on
+// top of its snapshot; the recovered state is byte-identical to the
+// acknowledged pre-crash state.
+var OpenMutable = engine.OpenMutable
+
+// ErrCompactionRunning is returned by MutableCatalog.Compact when a
+// compaction is already in flight.
+var ErrCompactionRunning = engine.ErrCompactionRunning
+
 // WriteView serialises a factorised view to w in a compact binary format,
 // so materialised views can be stored and reloaded without
 // re-factorising.

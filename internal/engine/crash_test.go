@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+	"github.com/factordb/fdb/internal/wal"
+)
+
+// copyCatalogDir clones a mutable catalogue directory, truncating the
+// named WAL segment to cut bytes.
+func copyCatalogDir(t *testing.T, src, dst, walName string, cut int) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() == walName {
+			b = b[:cut]
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryEveryByteBoundary simulates a crash at every byte of
+// the WAL: for each prefix length the reopened catalogue must be
+// byte-identical (same flat view, same factorisation, same generation)
+// to the state after the last fully-acknowledged mutation that fits in
+// the prefix.
+func TestCrashRecoveryEveryByteBoundary(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "cat")
+	m, err := CreateMutable(dir, "pizzeria", pizzeriaDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	muts := []*query.Mutation{
+		ins("Orders", []values.Value{sv("Anna"), sv("Sunday"), sv("Margherita")}),
+		{Op: query.OpDelete, Relation: "Orders", Where: []query.Filter{{Attr: "customer", Op: fops.EQ, Const: sv("Mario")}}},
+		{Op: query.OpUpsert, Relation: "Items", Rows: [][]values.Value{{sv("ham"), iv(7)}, {sv("olives"), iv(2)}}},
+		ins("Pizzas", []values.Value{sv("Quattro"), sv("artichokes")}),
+		{Op: query.OpDelete, Relation: "Items", Where: []query.Filter{{Attr: "price", Op: fops.GE, Const: iv(7)}}},
+	}
+	// states[i] is the expected view after i acknowledged mutations;
+	// ends[i] the WAL byte offset at which mutation i+1's frame ends.
+	states := []DB{cloneDB(m.View())}
+	var ends []int64
+	for _, mut := range muts {
+		if _, err := m.Apply(ctx, mut); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, cloneDB(m.View()))
+		ends = append(ends, m.Stats().WALBytes)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walName := fmt.Sprintf(walPattern, 1)
+	b, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(b)) != ends[len(ends)-1] {
+		t.Fatalf("WAL is %d bytes, stats said %d", len(b), ends[len(ends)-1])
+	}
+	for cut := 0; cut <= len(b); cut++ {
+		intact := 0
+		for _, e := range ends {
+			if e <= int64(cut) {
+				intact++
+			}
+		}
+		dst := filepath.Join(root, fmt.Sprintf("cut-%04d", cut))
+		copyCatalogDir(t, dir, dst, walName, cut)
+		m2, err := OpenMutable(dst)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if got := m2.Generation(); got != uint64(intact) {
+			t.Fatalf("cut %d: generation %d, want %d", cut, got, intact)
+		}
+		diffViews(t, m2, states[intact])
+		// The recovered catalogue must accept new writes.
+		if _, err := m2.Apply(ctx, ins("Orders", []values.Value{sv("post"), sv("crash"), sv("Hawaii")})); err != nil {
+			t.Fatalf("cut %d: write after recovery: %v", cut, err)
+		}
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		os.RemoveAll(dst)
+	}
+}
+
+// TestCrashRecoveryCorruptTail flips a bit inside the final WAL frame:
+// the checksum must reject it and recovery lands on the previous state.
+func TestCrashRecoveryCorruptTail(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "cat")
+	m, err := CreateMutable(dir, "pizzeria", pizzeriaDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := m.Apply(ctx, ins("Orders", []values.Value{sv("Anna"), sv("Sunday"), sv("Margherita")})); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := cloneDB(m.View())
+	if _, err := m.Apply(ctx, ins("Orders", []values.Value{sv("Ben"), sv("Monday"), sv("Hawaii")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, fmt.Sprintf(walPattern, 1))
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x20
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenMutable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.Generation(); got != 1 {
+		t.Fatalf("generation %d after corrupt tail, want 1", got)
+	}
+	diffViews(t, m2, afterFirst)
+}
+
+// FuzzWALReplay feeds arbitrary bytes through the full recovery path —
+// frame scan plus mutation decode — which must reject garbage with an
+// error or a truncation, never a panic.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// Seed with a genuine log so the fuzzer mutates realistic frames.
+	seedDir := f.TempDir()
+	seedPath := filepath.Join(seedDir, "seed.log")
+	l, err := wal.Create(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, mut := range []*query.Mutation{
+		ins("Orders", []values.Value{sv("Anna"), iv(3)}),
+		{Op: query.OpDelete, Relation: "Orders", Where: []query.Filter{{Attr: "customer", Op: fops.LT, Const: iv(5)}}},
+	} {
+		p, err := encodeMutation(mut)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := l.AppendSync(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	l.Close()
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := wal.Open(path, func(seq uint64, payload []byte) error {
+			mut, err := decodeMutation(payload)
+			if err != nil {
+				return nil // corrupt payload with a valid frame: skip
+			}
+			_ = mut.Validate()
+			return nil
+		})
+		if err == nil {
+			l.Close()
+		}
+	})
+}

@@ -60,11 +60,16 @@ type Prepared struct {
 	// shared caches the factorised base relations (one arena store
 	// snapshot) for ExecShared. A failed build (including one cancelled
 	// by its caller's context) is not cached; the next call retries.
+	// rels records the exact relation pointers the snapshot was built
+	// from: mutable catalogues publish a fresh relation pointer per
+	// write, so a pointer mismatch on a later call detects a stale
+	// snapshot and forces a rebuild (the stale-plan guard).
 	shared struct {
 		mu    sync.Mutex
 		built bool
 		store *frep.Store
 		roots []frep.NodeID
+		rels  []*relation.Relation
 	}
 }
 
@@ -220,6 +225,22 @@ func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error
 		return p.execLegacy(ctx, db)
 	}
 	p.shared.mu.Lock()
+	if p.shared.built {
+		// Stale-plan guard: if any relation in db is a different pointer
+		// from the one the snapshot captured (a mutable catalogue
+		// published a new generation), drop the snapshot and rebuild.
+		// The match path costs len(Relations) map lookups and pointer
+		// compares — no allocations.
+		for i, name := range p.Query.Relations {
+			if db[name] != p.shared.rels[i] {
+				p.shared.built = false
+				p.shared.store = nil
+				p.shared.roots = nil
+				p.shared.rels = nil
+				break
+			}
+		}
+	}
 	if !p.shared.built {
 		bst := frep.NewStore()
 		_, roots, err := p.buildForest(ctx, db, bst)
@@ -241,6 +262,11 @@ func (p *Prepared) ExecSharedContext(ctx context.Context, db DB) (*Result, error
 		bst.BuildCols()
 		p.shared.store = bst.Snapshot()
 		p.shared.roots = roots
+		rels := make([]*relation.Relation, len(p.Query.Relations))
+		for i, name := range p.Query.Relations {
+			rels[i] = db[name]
+		}
+		p.shared.rels = rels
 		p.shared.built = true
 	}
 	sharedStore, sharedRoots := p.shared.store, p.shared.roots

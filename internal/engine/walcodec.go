@@ -1,0 +1,231 @@
+package engine
+
+// WAL payload codec: one logical mutation per record, reusing the
+// snapshot codec's value encoding (16-byte fixed records plus a string/
+// vector heap) for rows and filter constants.
+//
+// Payload layout (little-endian):
+//
+//	u8   op (query.MutOp)
+//	u8   reserved (0)
+//	u16  relation-name length, then the name bytes
+//	u32  row count
+//	u16  row arity
+//	u16  filter count
+//	per filter: u16 attribute length, attribute bytes, u8 comparison op
+//	u32  value-record byte length (16 × (rows×arity + filters))
+//	...  value records (rows value-major, then filter constants)
+//	u32  heap byte length, then the heap bytes
+//
+// The framing layer (package wal) already checksums every record, so the
+// codec is only defensive about structure, not bit rot.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/frep"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+)
+
+const walValRecLen = 16
+
+// encodeMutation serialises a validated mutation into a WAL payload.
+func encodeMutation(m *query.Mutation) ([]byte, error) {
+	if len(m.Relation) > 1<<16-1 {
+		return nil, fmt.Errorf("engine: relation name of %d bytes", len(m.Relation))
+	}
+	arity := 0
+	if len(m.Rows) > 0 {
+		arity = len(m.Rows[0])
+	}
+	if arity > 1<<16-1 || len(m.Where) > 1<<16-1 {
+		return nil, fmt.Errorf("engine: mutation too wide to log")
+	}
+	b := make([]byte, 0, 64+len(m.Rows)*arity*walValRecLen)
+	b = append(b, byte(m.Op), 0)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Relation)))
+	b = append(b, m.Relation...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Rows)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(arity))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Where)))
+	for _, f := range m.Where {
+		if len(f.Attr) > 1<<16-1 {
+			return nil, fmt.Errorf("engine: filter attribute of %d bytes", len(f.Attr))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Attr)))
+		b = append(b, f.Attr...)
+		b = append(b, byte(f.Op))
+	}
+	var recs, heap []byte
+	var err error
+	for _, row := range m.Rows {
+		if recs, heap, err = frep.AppendValueSection(recs, heap, row); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range m.Where {
+		if recs, heap, err = frep.AppendValueSection(recs, heap, []values.Value{f.Const}); err != nil {
+			return nil, err
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(recs)))
+	b = append(b, recs...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(heap)))
+	b = append(b, heap...)
+	return b, nil
+}
+
+// walRd is a defensive cursor over one WAL payload.
+type walRd struct {
+	b   []byte
+	off int
+}
+
+func (r *walRd) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, fmt.Errorf("engine: wal record truncated at %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *walRd) u16() (int, error) {
+	if r.off+2 > len(r.b) {
+		return 0, fmt.Errorf("engine: wal record truncated at %d", r.off)
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return int(v), nil
+}
+
+func (r *walRd) u32() (int, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("engine: wal record truncated at %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("engine: wal record: implausible length %d at %d", v, r.off)
+	}
+	r.off += 4
+	return int(v), nil
+}
+
+func (r *walRd) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("engine: wal record truncated at %d (want %d bytes)", r.off, n)
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// decodeMutation parses a WAL payload back into a mutation. It is
+// defensive end to end: malformed input returns an error, never a panic,
+// and the result always passes Validate.
+func decodeMutation(b []byte) (*query.Mutation, error) {
+	r := &walRd{b: b}
+	opB, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	op := query.MutOp(opB)
+	if op != query.OpInsert && op != query.OpDelete && op != query.OpUpsert {
+		return nil, fmt.Errorf("engine: wal record: unknown op %d", opB)
+	}
+	if _, err := r.u8(); err != nil { // reserved
+		return nil, err
+	}
+	nameLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	nameB, err := r.bytes(nameLen)
+	if err != nil {
+		return nil, err
+	}
+	m := &query.Mutation{Op: op, Relation: string(nameB)}
+	nRows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	arity, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	nFilters, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	nVals := nRows*arity + nFilters
+	// A payload carries at least one 16-byte record per value, so the
+	// payload length itself bounds the plausible counts.
+	if nVals*walValRecLen > len(b) {
+		return nil, fmt.Errorf("engine: wal record: %d values exceed %d payload bytes", nVals, len(b))
+	}
+	type filterHdr struct {
+		attr string
+		op   fops.CmpOp
+	}
+	filters := make([]filterHdr, nFilters)
+	for i := range filters {
+		attrLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		attrB, err := r.bytes(attrLen)
+		if err != nil {
+			return nil, err
+		}
+		opB, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if fops.CmpOp(opB) > fops.GE {
+			return nil, fmt.Errorf("engine: wal record: unknown comparison op %d", opB)
+		}
+		filters[i] = filterHdr{attr: string(attrB), op: fops.CmpOp(opB)}
+	}
+	recsLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if recsLen != nVals*walValRecLen {
+		return nil, fmt.Errorf("engine: wal record: %d record bytes for %d values", recsLen, nVals)
+	}
+	recs, err := r.bytes(recsLen)
+	if err != nil {
+		return nil, err
+	}
+	heapLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	heap, err := r.bytes(heapLen)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("engine: wal record: %d trailing bytes", len(b)-r.off)
+	}
+	vals, err := frep.DecodeValueSection(recs, heap, nVals, false)
+	if err != nil {
+		return nil, err
+	}
+	if nRows > 0 {
+		m.Rows = make([][]values.Value, nRows)
+		for i := 0; i < nRows; i++ {
+			m.Rows[i] = vals[i*arity : (i+1)*arity : (i+1)*arity]
+		}
+	}
+	for i, f := range filters {
+		m.Where = append(m.Where, query.Filter{Attr: f.attr, Op: f.op, Const: vals[nRows*arity+i]})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,147 @@
+package frep
+
+// Linear-path set merge and tuple removal: the write path's delta layer
+// keeps each relation's current contents as one factorisation over the
+// relation's linear path, maintained incrementally inside an overlay
+// store. MergeLinear folds a freshly factorised insert batch into the
+// current root in time proportional to the touched prefix paths;
+// RemoveTuples rebuilds only the nodes on tombstoned paths. Both exploit
+// that linear-path factorisations of sets are canonical — strictly
+// ascending values per union, one kid per value — so the incremental
+// result is structurally identical to a from-scratch build of the merged
+// flat relation (the property the DML goldens assert).
+
+import (
+	"fmt"
+
+	"github.com/factordb/fdb/internal/values"
+)
+
+// MergeLinear returns the set union of two linear-path factorisations
+// living in s (typically the current root and a just-built batch root in
+// the same overlay). Values comparing equal merge into one entry keeping
+// the left-hand representative, with their subtrees merged recursively;
+// equal leaf values collapse (relations are sets). Untouched subtrees
+// are shared, not copied, so the cost is proportional to the overlap
+// plus the smaller side. Both arguments must have the same depth.
+func MergeLinear(s *Store, a, b NodeID) NodeID {
+	if a == EmptyNode {
+		return b
+	}
+	if b == EmptyNode {
+		return a
+	}
+	ar, br := s.Arity(a), s.Arity(b)
+	if ar != br {
+		panic(fmt.Sprintf("frep: MergeLinear of arities %d and %d", ar, br))
+	}
+	if ar > 1 {
+		panic(fmt.Sprintf("frep: MergeLinear of arity %d (not a linear path)", ar))
+	}
+	av, bv := s.Vals(a), s.Vals(b)
+	vals := make([]values.Value, 0, len(av)+len(bv))
+	var kids []NodeID
+	if ar > 0 {
+		kids = make([]NodeID, 0, len(av)+len(bv))
+	}
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch c := values.Compare(av[i], bv[j]); {
+		case c < 0:
+			vals = append(vals, av[i])
+			if ar > 0 {
+				kids = append(kids, s.Kid(a, i, 0))
+			}
+			i++
+		case c > 0:
+			vals = append(vals, bv[j])
+			if ar > 0 {
+				kids = append(kids, s.Kid(b, j, 0))
+			}
+			j++
+		default:
+			vals = append(vals, av[i])
+			if ar > 0 {
+				kids = append(kids, MergeLinear(s, s.Kid(a, i, 0), s.Kid(b, j, 0)))
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(av); i++ {
+		vals = append(vals, av[i])
+		if ar > 0 {
+			kids = append(kids, s.Kid(a, i, 0))
+		}
+	}
+	for ; j < len(bv); j++ {
+		vals = append(vals, bv[j])
+		if ar > 0 {
+			kids = append(kids, s.Kid(b, j, 0))
+		}
+	}
+	return s.Add(vals, ar, kids)
+}
+
+// RemoveTuples returns root with the given tuples removed from the
+// linear-path factorisation. Tombstones must be sorted lexicographically
+// by values.Compare and each must have exactly the path's depth; tuples
+// not present are ignored. Untouched subtrees are shared; only nodes on
+// tombstoned paths are rebuilt. Removing every tuple yields EmptyNode.
+func RemoveTuples(s *Store, root NodeID, tombs [][]values.Value) NodeID {
+	if root == EmptyNode || len(tombs) == 0 {
+		return root
+	}
+	id, _ := removeAt(s, root, tombs, 0)
+	return id
+}
+
+func removeAt(s *Store, id NodeID, tombs [][]values.Value, d int) (NodeID, bool) {
+	vals := s.Vals(id)
+	ar := s.Arity(id)
+	if ar > 1 {
+		panic(fmt.Sprintf("frep: RemoveTuples over arity %d (not a linear path)", ar))
+	}
+	newVals := make([]values.Value, 0, len(vals))
+	var newKids []NodeID
+	if ar > 0 {
+		newKids = make([]NodeID, 0, len(vals))
+	}
+	changed := false
+	k := 0
+	for i := 0; i < len(vals); i++ {
+		v := vals[i]
+		for k < len(tombs) && values.Compare(tombs[k][d], v) < 0 {
+			k++ // tombstone for an absent value: ignore
+		}
+		g := k
+		for g < len(tombs) && values.Compare(tombs[g][d], v) == 0 {
+			g++
+		}
+		if g == k {
+			newVals = append(newVals, v)
+			if ar > 0 {
+				newKids = append(newKids, s.Kid(id, i, 0))
+			}
+			continue
+		}
+		if ar == 0 {
+			changed = true // tombstoned leaf value: drop
+			k = g
+			continue
+		}
+		kid, ch := removeAt(s, s.Kid(id, i, 0), tombs[k:g], d+1)
+		k = g
+		if kid == EmptyNode {
+			changed = true // the whole subtree under v vanished
+			continue
+		}
+		changed = changed || ch
+		newVals = append(newVals, v)
+		newKids = append(newKids, kid)
+	}
+	if !changed {
+		return id, false
+	}
+	return s.Add(newVals, ar, newKids), true
+}

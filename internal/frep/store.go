@@ -271,9 +271,22 @@ func (s *Store) CloneInto(dst *Store) {
 // instead of writing into them. Because nodes are never mutated in
 // place, a snapshot is safe to read (and grow) from other goroutines
 // while the original keeps appending.
+//
+// Snapshotting an overlay yields another overlay over the same base
+// with the private slabs capacity-clamped — the delta layer's published
+// read view: the writer keeps appending to the original overlay while
+// readers graft from the snapshot.
 func (s *Store) Snapshot() *Store {
 	if s.base != nil {
-		panic("frep: Snapshot of an overlay store")
+		return &Store{
+			base:      s.base,
+			baseNodes: s.baseNodes,
+			baseVals:  s.baseVals,
+			baseKids:  s.baseKids,
+			nodes:     s.nodes[:len(s.nodes):len(s.nodes)],
+			vals:      s.vals[:len(s.vals):len(s.vals)],
+			kids:      s.kids[:len(s.kids):len(s.kids)],
+		}
 	}
 	return &Store{
 		nodes:      s.nodes[:len(s.nodes):len(s.nodes)],
@@ -293,8 +306,8 @@ func (s *Store) Snapshot() *Store {
 // (each from a single goroutine), provided the base is not appended to
 // while they live. Taking an overlay copies nothing; merging its appends
 // back costs AdoptOverlay, which is linear in the overlay's own output
-// only. Overlays must not be Reset, Cloned, Snapshotted, Grafted or
-// pooled.
+// only. Overlays must not be Reset, Cloned or pooled; Snapshot and
+// Graft-from are supported (the write path's delta layers rely on both).
 func (s *Store) Overlay() *Store {
 	if s.base != nil {
 		panic("frep: Overlay of an overlay store")
@@ -380,10 +393,16 @@ func (s *Store) ViewOf(id NodeID, lo, hi int) NodeID {
 
 // Graft appends the contents of other into s and returns a remapping
 // function from other's node ids to s's. Used by Product when the two
-// factorised relations live in different stores. other is unchanged.
+// factorised relations live in different stores, and by the write path
+// when a query grafts a delta overlay (base factorisation plus private
+// appends) into its working store. other is unchanged; grafting an
+// overlay flattens both tiers into s.
 func (s *Store) Graft(other *Store) func(NodeID) NodeID {
-	if s.base != nil || other.base != nil {
-		panic("frep: Graft of or into an overlay store")
+	if s.base != nil {
+		panic("frep: Graft into an overlay store")
+	}
+	if other.base != nil {
+		return s.graftOverlay(other)
 	}
 	if len(s.nodes)+len(other.nodes) > math.MaxUint32 ||
 		len(s.vals)+len(other.vals) > math.MaxUint32 ||
@@ -424,6 +443,58 @@ func (s *Store) Graft(other *Store) func(NodeID) NodeID {
 	}
 	if extendCols {
 		s.extendColsForGraft(other)
+	}
+	return remap
+}
+
+// graftOverlay flattens a two-tier overlay view into s. The overlay's
+// address space is continuous — base-tier entries below the captured
+// lengths, private entries above — so copying the base prefix followed
+// by the private slabs preserves every header's offsets up to one
+// uniform shift per slab, and one remap covers kid references from both
+// tiers. The base must not have been appended to while the overlay
+// lives (the Overlay contract), so the captured prefix is stable even
+// while the overlay's writer keeps appending to a non-snapshot overlay.
+func (s *Store) graftOverlay(o *Store) func(NodeID) NodeID {
+	base := o.base
+	nNodes := int(o.baseNodes) - 1 + len(o.nodes)
+	nVals := int(o.baseVals) + len(o.vals)
+	nKids := int(o.baseKids) + len(o.kids)
+	if len(s.nodes)+nNodes > math.MaxUint32 ||
+		len(s.vals)+nVals > math.MaxUint32 ||
+		len(s.kids)+nKids > math.MaxUint32 {
+		panic("frep: Store slab overflow (2^32 entries)")
+	}
+	nodeBase := uint32(len(s.nodes))
+	valBase := uint32(len(s.vals))
+	kidBase := uint32(len(s.kids))
+	remap := func(id NodeID) NodeID {
+		if id == EmptyNode {
+			return EmptyNode
+		}
+		return NodeID(uint32(id) - 1 + nodeBase)
+	}
+	appendHdr := func(h nodeHdr) {
+		s.nodes = append(s.nodes, nodeHdr{
+			valOff: h.valOff + valBase,
+			kidOff: h.kidOff + kidBase,
+			nVals:  h.nVals,
+			arity:  h.arity,
+		})
+	}
+	for _, h := range base.nodes[1:o.baseNodes] {
+		appendHdr(h)
+	}
+	for _, h := range o.nodes {
+		appendHdr(h)
+	}
+	s.vals = append(s.vals, base.vals[:o.baseVals]...)
+	s.vals = append(s.vals, o.vals...)
+	for _, k := range base.kids[:o.baseKids] {
+		s.kids = append(s.kids, remap(k))
+	}
+	for _, k := range o.kids {
+		s.kids = append(s.kids, remap(k))
 	}
 	return remap
 }

@@ -1,0 +1,136 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/factordb/fdb/internal/values"
+)
+
+// MutOp identifies a data-modification operation.
+type MutOp uint8
+
+// The supported mutation operations.
+const (
+	// OpInsert appends rows to a relation.
+	OpInsert MutOp = iota
+	// OpDelete removes the rows matching every filter (all rows when no
+	// filter is given).
+	OpDelete
+	// OpUpsert replaces rows keyed on the relation's first attribute:
+	// for each new row, existing rows with an equal first-attribute
+	// value are removed, then the new row is inserted.
+	OpUpsert
+)
+
+// String returns the SQL verb of the operation.
+func (op MutOp) String() string {
+	switch op {
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpUpsert:
+		return "UPSERT"
+	default:
+		return fmt.Sprintf("mutop(%d)", uint8(op))
+	}
+}
+
+// Statement is any parsed SQL statement: a *Query (SELECT) or a
+// *Mutation (INSERT / DELETE / UPSERT).
+type Statement interface{ stmt() }
+
+func (*Query) stmt()    {}
+func (*Mutation) stmt() {}
+
+// Mutation is one logical data-modification statement against a single
+// relation.
+type Mutation struct {
+	// Op is the operation.
+	Op MutOp
+	// Relation names the target relation.
+	Relation string
+	// Rows holds the literal rows of INSERT and UPSERT, one slice of
+	// values per row, all of the relation's arity.
+	Rows [][]values.Value
+	// Where holds the constant selections of DELETE (conjunctive; empty
+	// means every row matches).
+	Where []Filter
+}
+
+// Validate performs the structural checks that do not need a catalogue:
+// the target is named, INSERT/UPSERT carry at least one row of uniform
+// arity, DELETE carries no rows.
+func (m *Mutation) Validate() error {
+	if m.Relation == "" {
+		return fmt.Errorf("query: mutation has no target relation")
+	}
+	switch m.Op {
+	case OpInsert, OpUpsert:
+		if len(m.Rows) == 0 {
+			return fmt.Errorf("query: %s %s without rows", m.Op, m.Relation)
+		}
+		arity := len(m.Rows[0])
+		if arity == 0 {
+			return fmt.Errorf("query: %s %s with an empty row", m.Op, m.Relation)
+		}
+		for i, r := range m.Rows {
+			if len(r) != arity {
+				return fmt.Errorf("query: %s %s: row %d has %d values, row 0 has %d", m.Op, m.Relation, i, len(r), arity)
+			}
+		}
+		if len(m.Where) > 0 {
+			return fmt.Errorf("query: %s %s does not take WHERE", m.Op, m.Relation)
+		}
+	case OpDelete:
+		if len(m.Rows) > 0 {
+			return fmt.Errorf("query: DELETE %s does not take rows", m.Relation)
+		}
+	default:
+		return fmt.Errorf("query: unknown mutation op %d", m.Op)
+	}
+	return nil
+}
+
+// String renders the mutation as canonical SQL.
+func (m *Mutation) String() string {
+	var b strings.Builder
+	switch m.Op {
+	case OpDelete:
+		fmt.Fprintf(&b, "DELETE FROM %s", m.Relation)
+		for i, f := range m.Where {
+			if i == 0 {
+				b.WriteString(" WHERE ")
+			} else {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", f.Attr, f.Op, f.Const)
+		}
+	default:
+		fmt.Fprintf(&b, "%s INTO %s VALUES ", m.Op, m.Relation)
+		for i, r := range m.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			for j, v := range r {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderValue(v))
+			}
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}
+
+// renderValue renders a literal the way the SQL parser would accept it
+// back.
+func renderValue(v values.Value) string {
+	if v.Kind() == values.String {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}

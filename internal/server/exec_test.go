@@ -1,0 +1,201 @@
+package server
+
+// Tests for the write path endpoints: POST /exec DML, POST /compact and
+// the writable gauges on /stats.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/factordb/fdb"
+)
+
+// newMutableServer backs the pizzeria database with a mutable catalogue
+// in a temp directory.
+func newMutableServer(t *testing.T) (*Server, *fdb.MutableCatalog) {
+	t.Helper()
+	m, err := fdb.CreateMutable(filepath.Join(t.TempDir(), "cat"), "pizzeria", pizzeria(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	s, err := New(Config{Mutables: map[string]*fdb.MutableCatalog{"pizzeria": m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, req any) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	return rec
+}
+
+func postExec(t *testing.T, h http.Handler, req ExecRequest) (*ExecResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := postJSON(t, h, "/exec", req)
+	if rec.Code != http.StatusOK {
+		return nil, rec
+	}
+	var resp ExecResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, rec.Body)
+	}
+	return &resp, rec
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	s, _ := newMutableServer(t)
+
+	// Anna orders a Margherita (base only, price 6) on Sunday.
+	resp, rec := postExec(t, s, ExecRequest{SQL: `INSERT INTO Orders VALUES ('Anna', 'Sunday', 'Margherita')`})
+	if resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if resp.RowsAffected != 1 || resp.Generation != 1 {
+		t.Fatalf("exec response = %+v", resp)
+	}
+
+	// The write is immediately visible to /query.
+	qr, qrec := postQuery(t, s, QueryRequest{SQL: revenueSQL})
+	if qr == nil {
+		t.Fatalf("status %d: %s", qrec.Code, qrec.Body)
+	}
+	if qr.RowCount != 4 {
+		t.Fatalf("rowCount after insert = %d, want 4", qr.RowCount)
+	}
+	var annaRevenue float64
+	for _, row := range qr.Rows {
+		if row[0] == "Anna" {
+			annaRevenue = row[1].(float64)
+		}
+	}
+	if annaRevenue != 6 {
+		t.Fatalf("Anna's revenue = %v, want 6", annaRevenue)
+	}
+
+	// Deleting her order restores the original result.
+	resp, rec = postExec(t, s, ExecRequest{SQL: `DELETE FROM Orders WHERE customer = 'Anna'`})
+	if resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if resp.RowsAffected != 1 || resp.Generation != 2 {
+		t.Fatalf("exec response = %+v", resp)
+	}
+	if qr, _ := postQuery(t, s, QueryRequest{SQL: revenueSQL}); qr == nil || qr.RowCount != 3 {
+		t.Fatalf("rowCount after delete = %+v", qr)
+	}
+
+	// An upsert re-pricing ham changes revenues through the join.
+	if resp, rec := postExec(t, s, ExecRequest{SQL: `UPSERT INTO Items VALUES ('ham', 2)`}); resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	qr, _ = postQuery(t, s, QueryRequest{SQL: revenueSQL})
+	if qr == nil {
+		t.Fatal("query after upsert failed")
+	}
+	// Mario: 2×Capricciosa (base 6 + ham 2 + mushrooms 1 = 9) + Margherita 6 = 24.
+	if got := qr.Rows[0]; got[0] != "Mario" || got[1] != float64(24) {
+		t.Fatalf("top row after upsert = %v, want [Mario 24]", got)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	s, _ := newMutableServer(t)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/exec", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /exec status = %d", rec.Code)
+	}
+	if _, rec := postExec(t, s, ExecRequest{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty sql status = %d", rec.Code)
+	}
+	if _, rec := postExec(t, s, ExecRequest{SQL: "INSERT INTO", DB: "pizzeria"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d", rec.Code)
+	}
+	if _, rec := postExec(t, s, ExecRequest{SQL: "SELECT * FROM Items"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("SELECT via /exec status = %d", rec.Code)
+	}
+	if _, rec := postExec(t, s, ExecRequest{SQL: "DELETE FROM Orders", DB: "nope"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown db status = %d", rec.Code)
+	}
+	if _, rec := postExec(t, s, ExecRequest{SQL: `INSERT INTO Nope VALUES (1)`}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown relation status = %d", rec.Code)
+	}
+
+	// A static database rejects writes.
+	static := newTestServer(t, Config{})
+	if _, rec := postExec(t, static, ExecRequest{SQL: `DELETE FROM Orders`}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("read-only db status = %d", rec.Code)
+	}
+}
+
+func TestCompactEndpoint(t *testing.T) {
+	s, m := newMutableServer(t)
+	if resp, rec := postExec(t, s, ExecRequest{SQL: `INSERT INTO Orders VALUES ('Anna', 'Sunday', 'Margherita')`}); resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := postJSON(t, s, "/compact", CompactRequest{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp CompactResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.WALEpoch != 2 {
+		t.Fatalf("walEpoch = %d, want 2", resp.WALEpoch)
+	}
+	if st := m.Stats(); st.Compactions != 1 || st.DeltaRows != 0 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+
+	// Queries still see the write after compaction.
+	if qr, _ := postQuery(t, s, QueryRequest{SQL: revenueSQL}); qr == nil || qr.RowCount != 4 {
+		t.Fatalf("post-compaction query = %+v", qr)
+	}
+
+	if rec := postJSON(t, s, "/compact", CompactRequest{DB: "nope"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown db compact status = %d", rec.Code)
+	}
+	static := newTestServer(t, Config{})
+	if rec := postJSON(t, static, "/compact", CompactRequest{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("read-only compact status = %d", rec.Code)
+	}
+}
+
+func TestStatsWritableGauges(t *testing.T) {
+	s, _ := newMutableServer(t)
+	if resp, rec := postExec(t, s, ExecRequest{SQL: `INSERT INTO Orders VALUES ('Anna', 'Sunday', 'Margherita')`}); resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if _, rec := postExec(t, s, ExecRequest{SQL: `SELECT`}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad statement status = %d", rec.Code)
+	}
+	st := serveStats(t, s)
+	if st.Execs != 1 || st.ExecErrors != 1 || st.RowsWritten != 1 {
+		t.Fatalf("stats = execs %d errors %d rows %d", st.Execs, st.ExecErrors, st.RowsWritten)
+	}
+	ds, ok := st.Databases["pizzeria"]
+	if !ok || !ds.Writable || ds.Mutable == nil {
+		t.Fatalf("database stats = %+v", ds)
+	}
+	if ds.Mutable.Generation != 1 || ds.Mutable.InsertRows != 1 || ds.Mutable.WALRecords != 1 {
+		t.Fatalf("mutable stats = %+v", ds.Mutable)
+	}
+	if ds.Mutable.WALBytes == 0 {
+		t.Fatal("WALBytes gauge is zero after a logged write")
+	}
+}

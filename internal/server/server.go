@@ -23,10 +23,19 @@
 // Endpoints:
 //
 //	POST /query     {"sql": "...", "db": "name"} → columns + rows JSON
+//	POST /exec      {"sql": "...", "db": "name"} → rows affected; DML
+//	                (INSERT/DELETE/UPSERT) against a mutable database
+//	POST /compact   fold a mutable database's WAL into a fresh snapshot
 //	POST /snapshot  persist catalogues atomically to their configured
 //	                snapshot paths (Config.Snapshots)
 //	GET  /healthz   liveness probe (503 once draining)
-//	GET  /stats     query counters, latency percentiles, cache hit rates
+//	GET  /stats     query counters, latency percentiles, cache hit rates,
+//	                write and WAL/compaction gauges
+//
+// Databases configured through Config.Mutables are writable: queries run
+// against the catalogue's current lock-free view (each write publishes a
+// new immutable view, so in-flight queries are never disturbed), and
+// /exec applies mutations durably through the write-ahead log.
 //
 // Shutdown is ordered: Drain refuses new work and waits out in-flight
 // requests (streaming responses, snapshot writes) so the process can
@@ -91,13 +100,30 @@ type Config struct {
 	// clobbers the previous snapshot. Databases without a path are
 	// skipped by /snapshot.
 	Snapshots map[string]string
+	// Mutables maps database names to opened mutable catalogues; these
+	// databases accept DML through POST /exec and serve queries against
+	// the catalogue's current view. Names must not collide with
+	// Databases. The server does not close the catalogues; the caller
+	// owns their lifecycle (close after Drain).
+	Mutables map[string]*fdb.MutableCatalog
 }
 
-// database is one served database with its private plan cache.
+// database is one served database with its private plan cache. Exactly
+// one of db (static, immutable) and mut (writable) is set.
 type database struct {
 	name  string
 	db    fdb.Database
+	mut   *fdb.MutableCatalog
 	plans *cache.LRU
+}
+
+// data returns the relations to query: the static map, or the mutable
+// catalogue's current lock-free view.
+func (d *database) data() fdb.Database {
+	if d.mut != nil {
+		return d.mut.View()
+	}
+	return d.db
 }
 
 // Server is the HTTP query service. Create with New; it implements
@@ -111,6 +137,11 @@ type Server struct {
 	snapshots map[string]string
 	met       *metrics
 	mux       *http.ServeMux
+
+	// Write-path counters (mutable databases only).
+	execs       atomic.Uint64
+	execErrors  atomic.Uint64
+	rowsWritten atomic.Int64
 
 	// draining refuses new work once StartDrain/Drain has been called;
 	// inflight counts requests (including streaming responses and
@@ -129,20 +160,31 @@ type Server struct {
 
 // New builds a Server from the configuration.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Databases) == 0 {
+	total := len(cfg.Databases) + len(cfg.Mutables)
+	if total == 0 {
 		return nil, errors.New("server: no databases configured")
+	}
+	for name := range cfg.Mutables {
+		if _, dup := cfg.Databases[name]; dup {
+			return nil, fmt.Errorf("server: database %q configured as both static and mutable", name)
+		}
 	}
 	defaultDB := cfg.DefaultDB
 	if defaultDB == "" {
-		if len(cfg.Databases) > 1 {
+		if total > 1 {
 			return nil, errors.New("server: DefaultDB required with multiple databases")
 		}
 		for name := range cfg.Databases {
 			defaultDB = name
 		}
+		for name := range cfg.Mutables {
+			defaultDB = name
+		}
 	}
 	if _, ok := cfg.Databases[defaultDB]; !ok {
-		return nil, fmt.Errorf("server: default database %q not configured", defaultDB)
+		if _, ok := cfg.Mutables[defaultDB]; !ok {
+			return nil, fmt.Errorf("server: default database %q not configured", defaultDB)
+		}
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -156,7 +198,7 @@ func New(cfg Config) (*Server, error) {
 	eng.Parallelism = cfg.Parallelism
 	s := &Server{
 		eng:       eng,
-		dbs:       make(map[string]*database, len(cfg.Databases)),
+		dbs:       make(map[string]*database, total),
 		defaultDB: defaultDB,
 		sem:       make(chan struct{}, workers),
 		maxRows:   cfg.MaxRows,
@@ -165,14 +207,23 @@ func New(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 	}
 	for name := range cfg.Snapshots {
-		if _, ok := cfg.Databases[name]; !ok {
-			return nil, fmt.Errorf("server: snapshot path for unknown database %q", name)
+		if _, ok := cfg.Databases[name]; ok {
+			continue
 		}
+		if _, ok := cfg.Mutables[name]; ok {
+			continue
+		}
+		return nil, fmt.Errorf("server: snapshot path for unknown database %q", name)
 	}
 	for name, db := range cfg.Databases {
 		s.dbs[name] = &database{name: name, db: db, plans: cache.New(cacheSize)}
 	}
+	for name, mut := range cfg.Mutables {
+		s.dbs[name] = &database{name: name, mut: mut, plans: cache.New(cacheSize)}
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/exec", s.handleExec)
+	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
@@ -334,6 +385,145 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	putScratch(sc)
 }
 
+// ExecRequest is the POST /exec body.
+type ExecRequest struct {
+	// SQL is the DML statement (INSERT / DELETE / UPSERT) to execute.
+	SQL string `json:"sql"`
+	// DB names the target database; empty selects the default.
+	DB string `json:"db,omitempty"`
+}
+
+// ExecResponse is the POST /exec success body.
+type ExecResponse struct {
+	RowsAffected  int64   `json:"rowsAffected"`
+	Generation    uint64  `json:"generation"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// handleExec applies one DML statement to a mutable database. The
+// response is written only after the statement's WAL record has been
+// group-committed, so an acknowledged write survives a crash.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.end()
+	var req ExecRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
+		return
+	}
+	name := req.DB
+	if name == "" {
+		name = s.defaultDB
+	}
+	d, ok := s.dbs[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+		return
+	}
+	if d.mut == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("database %q is read-only", name)})
+		return
+	}
+	stmt, err := fdb.ParseStatement(req.SQL)
+	if err != nil {
+		s.execErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	mut, ok := stmt.(*fdb.Mutation)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "statement is a query; use /query"})
+		return
+	}
+	start := time.Now()
+	n, err := d.mut.Apply(r.Context(), mut)
+	if err != nil {
+		s.execErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.execs.Add(1)
+	s.rowsWritten.Add(n)
+	writeJSON(w, http.StatusOK, ExecResponse{
+		RowsAffected:  n,
+		Generation:    d.mut.Generation(),
+		ElapsedMillis: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// CompactRequest is the POST /compact body.
+type CompactRequest struct {
+	// DB names the mutable database to compact; empty selects the
+	// default.
+	DB string `json:"db,omitempty"`
+}
+
+// CompactResponse is the POST /compact success body.
+type CompactResponse struct {
+	WALEpoch      uint64  `json:"walEpoch"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// handleCompact folds a mutable database's WAL and delta layers into a
+// fresh catalogue snapshot. Queries and writes continue throughout; a
+// concurrent compaction returns 409 Conflict.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.end()
+	var req CompactRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	name := req.DB
+	if name == "" {
+		name = s.defaultDB
+	}
+	d, ok := s.dbs[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+		return
+	}
+	if d.mut == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("database %q is read-only", name)})
+		return
+	}
+	start := time.Now()
+	if err := d.mut.Compact(r.Context()); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fdb.ErrCompactionRunning) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	st := d.mut.Stats()
+	writeJSON(w, http.StatusOK, CompactResponse{
+		WALEpoch:      st.WALEpoch,
+		ElapsedMillis: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
 // wantsNDJSON reports whether the client asked for a streaming
 // newline-delimited JSON response.
 func wantsNDJSON(r *http.Request) bool {
@@ -376,7 +566,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 		fail(err)
 		return
 	}
-	res, err := prep.ExecSharedContext(r.Context(), d.db)
+	res, err := prep.ExecSharedContext(r.Context(), d.data())
 	if err != nil {
 		fail(err)
 		return
@@ -459,7 +649,7 @@ func (s *Server) runQuery(r *http.Request, d *database, sqlText string, sc *rowS
 	if err != nil {
 		return nil, err
 	}
-	res, err := prep.ExecSharedContext(r.Context(), d.db)
+	res, err := prep.ExecSharedContext(r.Context(), d.data())
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +693,7 @@ func (s *Server) prepared(d *database, sqlText string) (*fdb.PreparedQuery, bool
 	if err != nil {
 		return nil, false, err
 	}
-	p, err := s.eng.Prepare(q, d.db)
+	p, err := s.eng.Prepare(q, d.data())
 	if err != nil {
 		return nil, false, err
 	}
@@ -584,7 +774,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp := SnapshotResponse{Snapshots: make(map[string]string, len(targets))}
 	for name, path := range targets {
-		if err := fdb.SaveCatalogFile(path, name, s.dbs[name].db); err != nil {
+		if err := fdb.SaveCatalogFile(path, name, s.dbs[name].data()); err != nil {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
@@ -599,6 +789,10 @@ type DBStats struct {
 	Relations        int         `json:"relations"`
 	PlanCache        cache.Stats `json:"planCache"`
 	PlanCacheHitRate float64     `json:"planCacheHitRate"`
+	// Writable marks a mutable database; Mutable carries its write-path
+	// gauges (generation, delta sizes, WAL bytes, compactions).
+	Writable bool              `json:"writable,omitempty"`
+	Mutable  *fdb.MutableStats `json:"mutable,omitempty"`
 }
 
 // StatsResponse is the GET /stats body.
@@ -611,26 +805,40 @@ type StatsResponse struct {
 	Parallel fdb.ParStats `json:"parallel"`
 	// Offsets reports how OFFSET clauses were applied: by ranked direct
 	// seek over the subtree-count index, or by the linear skip loop.
-	Offsets   fdb.OffsetStats    `json:"offsets"`
-	Databases map[string]DBStats `json:"databases"`
+	Offsets fdb.OffsetStats `json:"offsets"`
+	// Execs / ExecErrors / RowsWritten count POST /exec statements and
+	// the rows they affected across all mutable databases.
+	Execs       uint64             `json:"execs"`
+	ExecErrors  uint64             `json:"execErrors"`
+	RowsWritten int64              `json:"rowsWritten"`
+	Databases   map[string]DBStats `json:"databases"`
 }
 
 // Stats returns the server's current metrics (also served at /stats).
 func (s *Server) Stats() StatsResponse {
 	out := StatsResponse{
-		Snapshot:  s.met.snapshot(),
-		Workers:   cap(s.sem),
-		Parallel:  fdb.ParallelStats(),
-		Offsets:   fdb.SeekSkipStats(),
-		Databases: make(map[string]DBStats, len(s.dbs)),
+		Snapshot:    s.met.snapshot(),
+		Workers:     cap(s.sem),
+		Parallel:    fdb.ParallelStats(),
+		Offsets:     fdb.SeekSkipStats(),
+		Execs:       s.execs.Load(),
+		ExecErrors:  s.execErrors.Load(),
+		RowsWritten: s.rowsWritten.Load(),
+		Databases:   make(map[string]DBStats, len(s.dbs)),
 	}
 	for name, d := range s.dbs {
 		cs := d.plans.Stats()
-		out.Databases[name] = DBStats{
-			Relations:        len(d.db),
+		ds := DBStats{
+			Relations:        len(d.data()),
 			PlanCache:        cs,
 			PlanCacheHitRate: cs.HitRate(),
 		}
+		if d.mut != nil {
+			ms := d.mut.Stats()
+			ds.Writable = true
+			ds.Mutable = &ms
+		}
+		out.Databases[name] = ds
 	}
 	return out
 }

@@ -1,0 +1,171 @@
+package sql
+
+import (
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// DML statements:
+//
+//	INSERT INTO rel VALUES (lit, ...) [, (lit, ...)]...
+//	UPSERT INTO rel VALUES (lit, ...) [, (lit, ...)]...
+//	DELETE FROM rel [WHERE attr op lit [AND attr op lit]...]
+//
+// Literals are numbers, strings and NULL. UPSERT keys on the relation's
+// first attribute: each new row replaces the existing rows whose first
+// attribute compares equal.
+
+// ParseStatement compiles one SQL statement — SELECT, INSERT, DELETE or
+// UPSERT — into the logical model of package query. SELECT yields a
+// *query.Query, the DML verbs a *query.Mutation.
+func ParseStatement(input string) (query.Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt query.Statement
+	switch t := p.peek(); {
+	case t.kind == tokKeyword && t.text == "INSERT":
+		stmt, err = p.parseWrite(query.OpInsert)
+	case t.kind == tokKeyword && t.text == "UPSERT":
+		stmt, err = p.parseWrite(query.OpUpsert)
+	case t.kind == tokKeyword && t.text == "DELETE":
+		stmt, err = p.parseDelete()
+	default:
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf(p.peek(), "unexpected %q after statement", p.peek().text)
+	}
+	switch s := stmt.(type) {
+	case *query.Query:
+		err = s.Validate()
+	case *query.Mutation:
+		err = s.Validate()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseWrite parses the shared body of INSERT and UPSERT:
+// <verb> INTO rel VALUES (row) [, (row)]...
+func (p *parser) parseWrite(op query.MutOp) (*query.Mutation, error) {
+	p.next() // the verb, already inspected by the caller
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected relation name, got %q", t.text)
+	}
+	m := &query.Mutation{Op: op, Relation: t.text}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		row, err := p.parseRow()
+		if err != nil {
+			return nil, err
+		}
+		m.Rows = append(m.Rows, row)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	return m, nil
+}
+
+// parseRow parses one parenthesised literal row.
+func (p *parser) parseRow() ([]values.Value, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var row []values.Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// parseLiteral parses one value literal: a number, a string, or NULL.
+func (p *parser) parseLiteral() (values.Value, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber, t.kind == tokString:
+		return literal(t), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		return values.NullValue(), nil
+	default:
+		return values.Value{}, p.errf(t, "expected literal, got %q", t.text)
+	}
+}
+
+// parseDelete parses DELETE FROM rel [WHERE cond [AND cond]...]; every
+// condition compares an attribute with a constant.
+func (p *parser) parseDelete() (*query.Mutation, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected relation name, got %q", t.text)
+	}
+	m := &query.Mutation{Op: query.OpDelete, Relation: t.text}
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			f, err := p.parseDeleteCond()
+			if err != nil {
+				return nil, err
+			}
+			m.Where = append(m.Where, f)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseDeleteCond() (query.Filter, error) {
+	lhs := p.next()
+	if lhs.kind != tokIdent {
+		return query.Filter{}, p.errf(lhs, "expected attribute in WHERE, got %q", lhs.text)
+	}
+	opTok := p.next()
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return query.Filter{}, p.errf(opTok, "unknown operator %q", opTok.text)
+	}
+	rhs := p.next()
+	if rhs.kind != tokNumber && rhs.kind != tokString {
+		return query.Filter{}, p.errf(rhs, "expected literal in WHERE, got %q", rhs.text)
+	}
+	return query.Filter{Attr: lhs.text, Op: op, Const: literal(rhs)}, nil
+}

@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+)
+
+func mustMutation(t *testing.T, input string) *query.Mutation {
+	t.Helper()
+	stmt, err := ParseStatement(input)
+	if err != nil {
+		t.Fatalf("ParseStatement(%q): %v", input, err)
+	}
+	m, ok := stmt.(*query.Mutation)
+	if !ok {
+		t.Fatalf("ParseStatement(%q) = %T, want *query.Mutation", input, stmt)
+	}
+	return m
+}
+
+func TestParseInsert(t *testing.T) {
+	m := mustMutation(t, `INSERT INTO Orders VALUES (1, 'alice', 3.5), (2, 'bob', NULL);`)
+	if m.Op != query.OpInsert || m.Relation != "Orders" {
+		t.Fatalf("got %s %s", m.Op, m.Relation)
+	}
+	if len(m.Rows) != 2 || len(m.Rows[0]) != 3 {
+		t.Fatalf("rows %v", m.Rows)
+	}
+	if m.Rows[0][0].Int() != 1 || m.Rows[0][1].Str() != "alice" || m.Rows[0][2].Float() != 3.5 {
+		t.Fatalf("row 0 = %v", m.Rows[0])
+	}
+	if m.Rows[1][2].Kind() != values.Null {
+		t.Fatalf("row 1 col 2 = %v, want NULL", m.Rows[1][2])
+	}
+}
+
+func TestParseUpsert(t *testing.T) {
+	m := mustMutation(t, `upsert into Items values (7, 19)`)
+	if m.Op != query.OpUpsert || m.Relation != "Items" {
+		t.Fatalf("got %s %s", m.Op, m.Relation)
+	}
+	if len(m.Rows) != 1 || m.Rows[0][0].Int() != 7 {
+		t.Fatalf("rows %v", m.Rows)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	m := mustMutation(t, `DELETE FROM Orders WHERE customer = 3 AND price >= 10`)
+	if m.Op != query.OpDelete || m.Relation != "Orders" {
+		t.Fatalf("got %s %s", m.Op, m.Relation)
+	}
+	if len(m.Where) != 2 {
+		t.Fatalf("filters %v", m.Where)
+	}
+	if m.Where[0].Attr != "customer" || m.Where[0].Op != fops.EQ || m.Where[0].Const.Int() != 3 {
+		t.Fatalf("filter 0 = %+v", m.Where[0])
+	}
+	if m.Where[1].Attr != "price" || m.Where[1].Op != fops.GE {
+		t.Fatalf("filter 1 = %+v", m.Where[1])
+	}
+}
+
+func TestParseDeleteAll(t *testing.T) {
+	m := mustMutation(t, `DELETE FROM Orders`)
+	if len(m.Where) != 0 {
+		t.Fatalf("filters %v", m.Where)
+	}
+}
+
+func TestParseStatementSelect(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT customer FROM Orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*query.Query); !ok {
+		t.Fatalf("got %T, want *query.Query", stmt)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{`INSERT Orders VALUES (1)`, "INTO"},
+		{`INSERT INTO VALUES (1)`, "relation name"},
+		{`INSERT INTO Orders (1)`, "VALUES"},
+		{`INSERT INTO Orders VALUES 1`, "("},
+		{`INSERT INTO Orders VALUES ()`, "literal"},
+		{`INSERT INTO Orders VALUES (1,)`, "literal"},
+		{`INSERT INTO Orders VALUES (1), (1, 2)`, "row 1 has 2 values"},
+		{`INSERT INTO Orders VALUES (1) garbage`, "unexpected"},
+		{`DELETE Orders`, "FROM"},
+		{`DELETE FROM Orders WHERE`, "attribute"},
+		{`DELETE FROM Orders WHERE customer`, "operator"},
+		{`DELETE FROM Orders WHERE customer = `, "literal"},
+		{`DELETE FROM Orders WHERE customer AND 3`, "operator"},
+		{`UPSERT INTO Orders VALUES`, "("},
+	}
+	for _, c := range cases {
+		_, err := ParseStatement(c.input)
+		if err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error containing %q", c.input, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseStatement(%q) = %q, want mention of %q", c.input, err, c.want)
+		}
+	}
+}
+
+// TestMutationStringRoundTrips: the canonical rendering must reparse to
+// an equivalent mutation.
+func TestMutationStringRoundTrips(t *testing.T) {
+	for _, input := range []string{
+		`INSERT INTO Orders VALUES (1, 'x'), (2, 'y')`,
+		`UPSERT INTO Items VALUES (3, 14)`,
+		`DELETE FROM Orders WHERE customer < 5`,
+		`DELETE FROM Orders`,
+	} {
+		m := mustMutation(t, input)
+		m2 := mustMutation(t, m.String())
+		if m.String() != m2.String() {
+			t.Errorf("round trip of %q: %q != %q", input, m.String(), m2.String())
+		}
+	}
+}

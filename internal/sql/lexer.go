@@ -33,6 +33,8 @@ var keywords = map[string]bool{
 	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AND": true,
 	"AS": true, "ASC": true, "DESC": true, "COUNT": true, "SUM": true,
 	"MIN": true, "MAX": true, "AVG": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPSERT": true, "NULL": true,
 }
 
 // lex tokenises the input. Identifiers are case-preserved; keywords are

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(make([]byte, i%7))))
+	}
+	return out
+}
+
+// collect replays a log file into a slice of (seq, payload copies).
+func collect(t *testing.T, path string) (seqs []uint64, recs [][]byte) {
+	t.Helper()
+	err := Replay(path, func(seq uint64, p []byte) error {
+		seqs = append(seqs, seq)
+		recs = append(recs, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(100)
+	for _, p := range want {
+		if err := l.AppendSync(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Records(); got != 100 {
+		t.Fatalf("Records() = %d, want 100", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, recs := collect(t, path)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, p := range want {
+		if seqs[i] != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, seqs[i])
+		}
+		if !bytes.Equal(recs[i], p) {
+			t.Fatalf("record %d: got %q, want %q", i, recs[i], p)
+		}
+	}
+}
+
+func TestOpenContinuesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.AppendSync([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var replayed int
+	l2, err := Open(path, func(seq uint64, p []byte) error { replayed++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 10 {
+		t.Fatalf("replayed %d, want 10", replayed)
+	}
+	if err := l2.AppendSync([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Seq(); got != 11 {
+		t.Fatalf("Seq() = %d, want 11", got)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, path)
+	if len(seqs) != 11 || seqs[10] != 11 {
+		t.Fatalf("after reopen+append: %d records, last seq %v", len(seqs), seqs)
+	}
+}
+
+// TestTornTailTruncatedAtEveryBoundary cuts a valid log at every byte
+// length and asserts Open recovers exactly the records whose frames are
+// fully intact, truncates the rest, and leaves the log appendable.
+func TestTornTailTruncatedAtEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	l, err := Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(8)
+	var ends []int64 // byte offset at which record i ends
+	for _, p := range want {
+		if err := l.AppendSync(p); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Size())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intactAt := func(cut int) int {
+		n := 0
+		for _, e := range ends {
+			if e <= int64(cut) {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := 0; cut <= len(b); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%04d.log", cut))
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		l, err := Open(path, func(seq uint64, p []byte) error {
+			if !bytes.Equal(p, want[got]) {
+				return fmt.Errorf("record %d mismatch", got)
+			}
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if want := intactAt(cut); got != want {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, got, want)
+		}
+		// The torn tail must be gone and the log must accept appends.
+		if err := l.AppendSync([]byte("tail")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seqs, _ := collect(t, path)
+		if len(seqs) != intactAt(cut)+1 {
+			t.Fatalf("cut %d: %d records after recovery append", cut, len(seqs))
+		}
+		os.Remove(path)
+	}
+}
+
+// TestCorruptTailBit flips one bit in the last record's payload: replay
+// must stop before it (checksum) and Open must truncate it.
+func TestCorruptTailBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.AppendSync([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	l2, err := Open(path, func(uint64, []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if n != 4 {
+		t.Fatalf("replayed %d records past a corrupt tail, want 4", n)
+	}
+}
+
+// TestSequenceBreakStopsScan hand-assembles a log whose third frame has
+// a valid checksum but a skipped sequence number; the scan must stop at
+// the break.
+func TestSequenceBreakStopsScan(t *testing.T) {
+	frame := func(seq uint64, p []byte) []byte {
+		var b []byte
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = binary.LittleEndian.AppendUint32(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, seq)
+		b = append(b, p...)
+		binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[8:], crcTable))
+		return b
+	}
+	var file []byte
+	file = append(file, frame(1, []byte("a"))...)
+	file = append(file, frame(2, []byte("b"))...)
+	file = append(file, frame(4, []byte("d"))...) // gap: seq 3 missing
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := Replay(path, func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records past a sequence break, want 2", n)
+	}
+}
+
+func TestConcurrentAppendersGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.AppendSync([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	syncs := l.Syncs()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, path)
+	if len(seqs) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(seqs), writers*per)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("record %d has seq %d (appends not serialised)", i, s)
+		}
+	}
+	t.Logf("group commit: %d records in %d fsyncs", writers*per, syncs)
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := Create(path); err == nil {
+		t.Fatal("Create over an existing file succeeded")
+	}
+}
