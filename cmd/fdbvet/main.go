@@ -1,0 +1,55 @@
+// Command fdbvet is the repo's invariant checker: a multichecker over
+// the analyzers in internal/analysis that CI runs as a hard gate.
+//
+// Usage:
+//
+//	go run ./cmd/fdbvet ./...
+//	go run ./cmd/fdbvet -list
+//	go run ./cmd/fdbvet ./internal/engine ./internal/wal
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load failure.
+//
+// Suppress a finding with a comment on (or directly above) the
+// flagged line — the reason is mandatory:
+//
+//	//fdbvet:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/factordb/fdb/internal/analysis/atomicmix"
+	"github.com/factordb/fdb/internal/analysis/ctxflow"
+	"github.com/factordb/fdb/internal/analysis/fsyncrename"
+	"github.com/factordb/fdb/internal/analysis/storepool"
+	"github.com/factordb/fdb/internal/analysis/unsafeslab"
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+var analyzers = []*vetkit.Analyzer{
+	storepool.Analyzer,
+	unsafeslab.Analyzer,
+	ctxflow.Analyzer,
+	atomicmix.Analyzer,
+	fsyncrename.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fdbvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	os.Exit(vetkit.Main(os.Stderr, ".", analyzers, flag.Args()))
+}

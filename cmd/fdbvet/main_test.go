@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the packages that
+// carry the guarded invariants, as a test-time twin of the CI fdbvet
+// gate: a regression in the tree or an analyzer false positive fails
+// `go test ./...` locally, before CI.
+func TestRepoIsClean(t *testing.T) {
+	var out bytes.Buffer
+	code := vetkit.Main(&out, "../..", analyzers, []string{
+		"./internal/engine",
+		"./internal/server/...",
+		"./internal/wal",
+		"./internal/catalog",
+		"./internal/frep",
+		"./driver",
+	})
+	if code != 0 {
+		t.Fatalf("fdbvet exit %d, want 0; output:\n%s", code, out.String())
+	}
+}
+
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q missing name or doc", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(analyzers) < 5 {
+		t.Errorf("expected the five shipped analyzers, got %d", len(analyzers))
+	}
+}

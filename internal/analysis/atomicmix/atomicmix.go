@@ -1,0 +1,119 @@
+// Package atomicmix enforces single-discipline access to atomic
+// counters: a variable (struct field or package-level var) that is
+// ever passed to a sync/atomic function — atomic.AddInt64(&x.n, 1)
+// and friends — must never be read or written plainly anywhere else
+// in the package. Mixing the two silently drops the memory-model
+// guarantees the atomic access was buying (the race detector only
+// catches the mix when both sides actually race during a test run;
+// this analyzer catches it statically).
+//
+// Typed atomics (atomic.Int64 et al.) are immune by construction and
+// are what new code should use; this analyzer polices the function
+// style, which the engine's seek/stats counters and the server gauges
+// predate. Initialisation before the value is shared is a legitimate
+// plain write — suppress it with an //fdbvet:ignore carrying that
+// reason.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Analyzer is the atomicmix invariant checker.
+var Analyzer = &vetkit.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never be accessed plainly",
+	Run:  run,
+}
+
+func run(pass *vetkit.Pass) error {
+	// Pass 1: find every &v handed to a sync/atomic function. blessed
+	// marks the exact operand nodes so pass 2 can skip them.
+	atomicVars := map[*types.Var][]token.Pos{}
+	blessed := map[ast.Node]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ue, ok := vetkit.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			operand := vetkit.Unparen(ue.X)
+			if v := addressableVar(pass, operand); v != nil {
+				atomicVars[v] = append(atomicVars[v], call.Pos())
+				blessed[operand] = true
+			}
+		}
+		return true
+	})
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: every other mention of those variables is a plain access.
+	pass.Inspect(func(n ast.Node) bool {
+		if blessed[n] {
+			return false
+		}
+		var v *types.Var
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if blessed[n] {
+				return false
+			}
+			v, _ = pass.Info.Uses[n.Sel].(*types.Var)
+		case *ast.Ident:
+			v, _ = pass.Info.Uses[n].(*types.Var)
+		default:
+			return true
+		}
+		if v == nil {
+			return true
+		}
+		if _, ok := atomicVars[v]; ok {
+			pass.Reportf(n.Pos(),
+				"plain access to %s, which is accessed with sync/atomic elsewhere in this package: use the atomic API for every access",
+				v.Name())
+			return false
+		}
+		return true
+	})
+	return nil
+}
+
+// addressableVar resolves &operand's variable: a struct field
+// (x.f) or a plain identifier (package-level or local var).
+func addressableVar(pass *vetkit.Pass, operand ast.Expr) *types.Var {
+	switch operand := operand.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.Info.Uses[operand.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[operand].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function from
+// sync/atomic (the function style: AddInt64, LoadUint64, …).
+func isAtomicCall(pass *vetkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := vetkit.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := vetkit.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

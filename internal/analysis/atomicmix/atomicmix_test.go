@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/atomicmix"
+	"github.com/factordb/fdb/internal/analysis/vetkit/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer)
+}

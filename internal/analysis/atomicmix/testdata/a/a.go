@@ -1,0 +1,72 @@
+// Package a is the atomicmix golden suite: a variable touched by
+// sync/atomic functions must never be accessed plainly.
+package a
+
+import "sync/atomic"
+
+type gauge struct {
+	n    int64
+	name string
+}
+
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+func (g *gauge) load() int64 {
+	return atomic.LoadInt64(&g.n)
+}
+
+func (g *gauge) bad() int64 {
+	return g.n // want `plain access to n, which is accessed with sync/atomic`
+}
+
+func (g *gauge) badWrite() {
+	g.n = 0 // want `plain access to n, which is accessed with sync/atomic`
+}
+
+func (g *gauge) badAddr() *int64 {
+	return &g.n // want `plain access to n, which is accessed with sync/atomic`
+}
+
+// The untouched sibling field stays free.
+func (g *gauge) okName() string {
+	return g.name
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func badRead() int64 {
+	return hits // want `plain access to hits, which is accessed with sync/atomic`
+}
+
+func okLoad() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+// Typed atomics are immune by construction: methods are the only way in.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) fine() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// A local mixing both disciplines is just as wrong.
+func mixedLocal() int64 {
+	var c int64
+	atomic.AddInt64(&c, 1)
+	c++ // want `plain access to c, which is accessed with sync/atomic`
+	return atomic.LoadInt64(&c)
+}
+
+// Pre-publication initialisation is legal but must say so.
+func newGauge() *gauge {
+	//fdbvet:ignore atomicmix constructor runs before the gauge is shared
+	g := &gauge{n: 0}
+	return g
+}

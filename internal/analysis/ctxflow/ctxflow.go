@@ -1,0 +1,186 @@
+// Package ctxflow enforces context propagation on the request path:
+// inside the engine, the server and the driver, a function that
+// already receives a context.Context must thread it, not mint a fresh
+// root with context.Background() or context.TODO(). context.TODO() is
+// banned outright in those packages — committed code has no
+// placeholder contexts.
+//
+// Two shapes stay legal without suppression:
+//
+//   - compatibility shims without a ctx parameter (Run wrapping
+//     RunContext, database/sql's non-Context interface methods, boot
+//     code, background goroutines) may call context.Background();
+//   - the nil-guard idiom `if ctx == nil { ctx = context.Background() }`
+//     re-rooting a nil context parameter.
+//
+// _test.go files are exempt.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Analyzer is the ctxflow invariant checker.
+var Analyzer = &vetkit.Analyzer{
+	Name:      "ctxflow",
+	Doc:       "request-path code must propagate its context.Context, not mint new roots",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+// appliesTo restricts the analyzer to the request-path packages.
+func appliesTo(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/engine") ||
+		strings.Contains(pkgPath, "internal/server") ||
+		strings.HasSuffix(pkgPath, "/driver") || pkgPath == "driver"
+}
+
+func run(pass *vetkit.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		allowed := nilGuardAllowed(pass, file)
+		checkFile(pass, file, allowed)
+	}
+	return nil
+}
+
+// nilGuardAllowed collects the positions of context.Background() calls
+// blessed by the nil-guard idiom: inside `if x == nil { … }` where x
+// is a context.Context, an assignment `x = context.Background()`.
+func nilGuardAllowed(pass *vetkit.Pass, file *ast.File) map[token.Pos]bool {
+	allowed := map[token.Pos]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		guarded := nilComparedVar(pass, ifs.Cond)
+		if guarded == nil {
+			return true
+		}
+		for _, s := range ifs.Body.List {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			if v := usedVar(pass, as.Lhs[0]); v != guarded {
+				continue
+			}
+			if call, ok := vetkit.Unparen(as.Rhs[0]).(*ast.CallExpr); ok &&
+				isContextCall(pass, call, "Background") {
+				allowed[call.Pos()] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// nilComparedVar returns the context.Context variable compared against
+// nil in cond (`x == nil` or `nil == x`), if any.
+func nilComparedVar(pass *vetkit.Pass, cond ast.Expr) *types.Var {
+	be, ok := vetkit.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if id, ok := vetkit.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			if v := usedVar(pass, pair[0]); v != nil && isContextType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func usedVar(pass *vetkit.Pass, e ast.Expr) *types.Var {
+	id, ok := vetkit.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// checkFile walks the file's functions, tracking whether the innermost
+// enclosing function (declaration or literal) has a context.Context
+// parameter.
+func checkFile(pass *vetkit.Pass, file *ast.File, allowed map[token.Pos]bool) {
+	var walk func(n ast.Node, hasCtxParam bool)
+	walk = func(n ast.Node, hasCtxParam bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m.Body != nil {
+					walk(m.Body, funcHasCtxParam(pass, m.Type))
+				}
+				return false
+			case *ast.FuncLit:
+				walk(m.Body, funcHasCtxParam(pass, m.Type))
+				return false
+			case *ast.CallExpr:
+				switch {
+				case isContextCall(pass, m, "TODO"):
+					pass.Reportf(m.Pos(),
+						"context.TODO() in request-path code: thread a real context")
+				case isContextCall(pass, m, "Background"):
+					if hasCtxParam && !allowed[m.Pos()] {
+						pass.Reportf(m.Pos(),
+							"context.Background() inside a function that already receives a context.Context: propagate the parameter")
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			walk(fd.Body, funcHasCtxParam(pass, fd.Type))
+		}
+	}
+}
+
+func funcHasCtxParam(pass *vetkit.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextCall reports whether call is context.<name>() for the
+// standard library context package.
+func isContextCall(pass *vetkit.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := vetkit.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := vetkit.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "context"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

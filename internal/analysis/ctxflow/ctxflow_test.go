@@ -1,0 +1,32 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/ctxflow"
+	"github.com/factordb/fdb/internal/analysis/vetkit/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer)
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/factordb/fdb/internal/engine", true},
+		{"github.com/factordb/fdb/internal/server", true},
+		{"github.com/factordb/fdb/internal/server/cache", true},
+		{"github.com/factordb/fdb/driver", true},
+		{"github.com/factordb/fdb/internal/wal", false},
+		{"github.com/factordb/fdb/internal/frep", false},
+		{"github.com/factordb/fdb/cmd/fdbserver", false},
+	}
+	for _, c := range cases {
+		if got := ctxflow.Analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

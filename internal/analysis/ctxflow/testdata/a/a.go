@@ -1,0 +1,67 @@
+// Package a is the ctxflow golden suite: request-path functions that
+// receive a context must propagate it; context.TODO() is banned.
+package a
+
+import "context"
+
+// A function holding a ctx parameter must not mint a new root.
+func withCtx(ctx context.Context) error {
+	sub := context.Background() // want `context.Background\(\) inside a function that already receives a context.Context`
+	_ = sub
+	return ctx.Err()
+}
+
+// context.TODO is banned regardless of the signature.
+func todoAnywhere() {
+	_ = context.TODO() // want `context.TODO\(\) in request-path code`
+}
+
+func todoWithCtx(ctx context.Context) {
+	_ = context.TODO() // want `context.TODO\(\) in request-path code`
+}
+
+// The nil-guard idiom re-rooting a nil parameter is legal.
+func nilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Compatibility shims without a ctx parameter may call Background.
+func shim() error {
+	return withCtx(context.Background())
+}
+
+// A closure without its own ctx parameter starts a fresh root legally
+// (a background goroutine outliving the request), even inside a
+// ctx-carrying function.
+func detachedGoroutine(ctx context.Context) error {
+	go func() {
+		_ = context.Background()
+	}()
+	return ctx.Err()
+}
+
+// A closure that receives a ctx parameter is held to the same rule.
+func closureWithCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		sub := context.Background() // want `context.Background\(\) inside a function that already receives a context.Context`
+		_ = sub
+		return ctx.Err()
+	}
+}
+
+// Suppression with a reason silences the finding.
+func suppressed(ctx context.Context) error {
+	//fdbvet:ignore ctxflow detached audit span must outlive the request
+	_ = context.Background()
+	return ctx.Err()
+}
+
+// A reason-less ignore is itself an error and suppresses nothing.
+func missingReason(ctx context.Context) error {
+	//fdbvet:ignore ctxflow // want `fdbvet:ignore ctxflow needs a reason`
+	_ = context.Background() // want `context.Background\(\) inside a function that already receives a context.Context`
+	return ctx.Err()
+}

@@ -1,0 +1,117 @@
+// Package fsyncrename pins the durable-install protocol in the WAL
+// and catalogue write paths: an os.Rename that installs a file onto a
+// live path must be dominated by a Sync on the temp file — the
+// temp→write→fsync→rename sequence from the snapshot/compaction
+// protocol (ARCHITECTURE.md, "Persistence" and "The write path"). A
+// rename without a preceding fsync can install a file whose contents
+// are still only in the page cache: a crash then leaves a torn
+// snapshot behind the new name, which is exactly what the protocol
+// exists to prevent.
+//
+// The check is lexical and intraprocedural: within the function
+// calling os.Rename there must be an earlier call to a Sync method
+// (File.Sync, or a wrapper like Log.Sync) or to a helper whose name
+// contains "sync". Renames of non-live paths (none exist in the
+// guarded packages today) can be suppressed with //fdbvet:ignore.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Analyzer is the fsyncrename invariant checker.
+var Analyzer = &vetkit.Analyzer{
+	Name:      "fsyncrename",
+	Doc:       "os.Rename onto a live path must be preceded by a Sync of the temp file",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+// appliesTo restricts the analyzer to the packages owning durable
+// state: the WAL, the catalogue codec, and the engine (home of the
+// manifest/compaction write path).
+func appliesTo(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/wal") ||
+		strings.Contains(pkgPath, "internal/catalog") ||
+		strings.Contains(pkgPath, "internal/engine")
+}
+
+func run(pass *vetkit.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags os.Rename calls in fd that no sync call precedes
+// lexically.
+func checkFunc(pass *vetkit.Pass, fd *ast.FuncDecl) {
+	var syncPositions []token.Pos
+	var renames []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isSyncCall(call):
+			syncPositions = append(syncPositions, call.Pos())
+		case isOSRename(pass, call):
+			renames = append(renames, call)
+		}
+		return true
+	})
+	for _, rename := range renames {
+		dominated := false
+		for _, p := range syncPositions {
+			if p < rename.Pos() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(rename.Pos(),
+				"os.Rename without a preceding Sync in this function: the durable-install protocol is temp file, write, Sync, then Rename")
+		}
+	}
+}
+
+// isSyncCall matches f.Sync(), l.Sync(), and helpers whose name
+// contains "sync" (e.g. syncDir).
+func isSyncCall(call *ast.CallExpr) bool {
+	switch fn := vetkit.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == "Sync"
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fn.Name), "sync")
+	}
+	return false
+}
+
+// isOSRename matches os.Rename(old, new).
+func isOSRename(pass *vetkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := vetkit.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rename" {
+		return false
+	}
+	id, ok := vetkit.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os"
+}

@@ -1,0 +1,30 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/fsyncrename"
+	"github.com/factordb/fdb/internal/analysis/vetkit/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncrename.Analyzer)
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/factordb/fdb/internal/wal", true},
+		{"github.com/factordb/fdb/internal/catalog", true},
+		{"github.com/factordb/fdb/internal/engine", true},
+		{"github.com/factordb/fdb/internal/frep", false},
+		{"github.com/factordb/fdb/internal/server", false},
+	}
+	for _, c := range cases {
+		if got := fsyncrename.Analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package a is the fsyncrename golden suite: os.Rename installing a
+// file must be preceded by a Sync in the same function.
+package a
+
+import "os"
+
+func bad(tmp, live string) error {
+	return os.Rename(tmp, live) // want `os\.Rename without a preceding Sync`
+}
+
+func good(f *os.File, tmp, live string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, live)
+}
+
+// A wrapper method named Sync counts (e.g. wal.Log.Sync).
+type log struct{ f *os.File }
+
+func (l *log) Sync() error { return l.f.Sync() }
+
+func viaWrapper(l *log, tmp, live string) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, live)
+}
+
+// A helper whose name says sync counts too (e.g. syncDir).
+func viaHelper(tmp, live string) error {
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, live)
+}
+
+func syncFile(string) error { return nil }
+
+// Sync after the rename is exactly the bug.
+func syncAfter(f *os.File, tmp, live string) error {
+	if err := os.Rename(tmp, live); err != nil { // want `os\.Rename without a preceding Sync`
+		return err
+	}
+	return f.Sync()
+}
+
+// Renaming a scratch path no reader observes may be suppressed.
+func scratch(tmp string) error {
+	//fdbvet:ignore fsyncrename destination is a scratch path no reader ever opens
+	return os.Rename(tmp, tmp+".bak")
+}

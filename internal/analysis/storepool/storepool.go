@@ -1,0 +1,561 @@
+// Package storepool enforces the engine's arena-store pooling
+// contract: every store taken from the pool (getStore(), or a
+// <x>Pool.Get call) must be returned exactly once — released with
+// putStore/<x>Pool.Put, handed to an owner that releases it (stored
+// into a struct, returned to the caller), or covered by a defer — on
+// every path out of the function, including early error returns. A
+// second release of the same store is a double-put: the slabs would
+// back two queries at once. Bugs of both classes were hand-fixed in
+// PRs 3, 4 and 6; this analyzer makes them mechanical.
+//
+// The analysis is intraprocedural and lexical: it tracks local
+// variables assigned directly from an acquire call and abstractly
+// interprets the block structure (if/else, switch, select, loops,
+// defers, returns). Ownership transfers the analyzer cannot see
+// through — aliasing, storage into composite literals or fields,
+// capture by a closure, returning the store — stop the tracking
+// conservatively, so escapes are never false positives.
+package storepool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Analyzer is the storepool invariant checker.
+var Analyzer = &vetkit.Analyzer{
+	Name: "storepool",
+	Doc:  "pooled arena stores must be released exactly once on every path",
+	Run:  run,
+}
+
+func run(pass *vetkit.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				newWalker(pass).analyzeFunc(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// isAcquire reports whether call takes a store out of the pool:
+// getStore(...) or <somethingPool>.Get(...).
+func isAcquire(call *ast.CallExpr) bool {
+	switch fn := vetkit.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "getStore"
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == "Get" && poolish(fn.X)
+	}
+	return false
+}
+
+// isRelease reports whether call returns a store to the pool, and if
+// so which argument is the store.
+func isRelease(call *ast.CallExpr) (ast.Expr, bool) {
+	switch fn := vetkit.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn.Name == "putStore" && len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "Put" && poolish(fn.X) && len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// poolish matches receivers that name a pool: storePool, p.rowPool, …
+func poolish(x ast.Expr) bool {
+	switch x := vetkit.Unparen(x).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "pool")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "pool")
+	}
+	return false
+}
+
+type status int
+
+const (
+	held status = iota
+	released
+	deferredRelease // a defer guarantees the release on every exit
+)
+
+type walker struct {
+	pass *vetkit.Pass
+	// vars maps each tracked store variable to its state. A variable
+	// disappears from the map when ownership escapes the function's
+	// view.
+	vars map[*types.Var]*varState
+}
+
+type varState struct {
+	status  status
+	acquire token.Pos // where the store left the pool
+}
+
+func newWalker(pass *vetkit.Pass) *walker {
+	return &walker{pass: pass, vars: map[*types.Var]*varState{}}
+}
+
+func (w *walker) clone() *walker {
+	nw := newWalker(w.pass)
+	for v, st := range w.vars {
+		cp := *st
+		nw.vars[v] = &cp
+	}
+	return nw
+}
+
+// analyzeFunc interprets one function body with a fresh state and
+// reports stores still held when control falls off the end.
+func (w *walker) analyzeFunc(body *ast.BlockStmt) {
+	terminated := w.walkStmts(body.List)
+	if !terminated {
+		w.checkExit(body.End(), "the end of this function")
+	}
+}
+
+// checkExit reports every tracked store that is still held (and not
+// covered by a defer) at an exit point.
+func (w *walker) checkExit(pos token.Pos, where string) {
+	for _, st := range w.vars {
+		if st.status == held {
+			w.pass.Reportf(st.acquire,
+				"pooled store may leak: not released before %s (line %d)",
+				where, w.pass.Fset.Position(pos).Line)
+		}
+	}
+}
+
+// lookupVar resolves an expression to a local variable object, if it
+// is a plain identifier.
+func (w *walker) lookupVar(e ast.Expr) *types.Var {
+	id, ok := vetkit.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.pass.Info.Uses[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	if obj := w.pass.Info.Defs[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// walkStmts interprets a statement list, mutating w's state, and
+// reports whether the list definitely terminates (return, panic,
+// break/continue) rather than falling through.
+func (w *walker) walkStmts(stmts []ast.Stmt) (terminated bool) {
+	for _, s := range stmts {
+		if w.walkStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) walkStmt(s ast.Stmt) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.walkAssign(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isAcquire(call) {
+				w.pass.Reportf(call.Pos(),
+					"pooled store discarded: capture the result so it can be released")
+				w.scanExprs(call.Args)
+				return false
+			}
+			if isPanic(call) {
+				w.scanExprs(call.Args)
+				return true
+			}
+		}
+		w.scanExpr(s.X)
+	case *ast.DeferStmt:
+		w.walkDefer(s)
+	case *ast.ReturnStmt:
+		// Returning a store (alone or inside anything) transfers
+		// ownership to the caller.
+		for _, r := range s.Results {
+			if v := w.lookupVar(r); v != nil {
+				delete(w.vars, v)
+			}
+		}
+		w.scanExprs(s.Results)
+		w.checkExit(s.Pos(), "the return")
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: treated as terminating this straight-line
+		// segment; the loop-level analysis covers the held set.
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List)
+	case *ast.IfStmt:
+		return w.walkIf(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		w.walkLoopBody(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.walkLoopBody(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		w.walkClauses(s.Body, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkClauses(s.Body, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body, true)
+	case *ast.GoStmt:
+		w.scanExpr(s.Call)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.scanExprs(vs.Values)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		// Sending a store over a channel transfers ownership.
+		if v := w.lookupVar(s.Value); v != nil {
+			delete(w.vars, v)
+		}
+		w.scanExpr(s.Chan)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X)
+	}
+	return false
+}
+
+func (w *walker) walkAssign(s *ast.AssignStmt) {
+	// Acquisition: v := getStore() / v = pool.Get().(*T)
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		rhs := vetkit.Unparen(s.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = vetkit.Unparen(ta.X)
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isAcquire(call) {
+			w.scanExprs(call.Args)
+			if id, ok := vetkit.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				if v := w.lookupVar(s.Lhs[0]); v != nil {
+					if prev, tracked := w.vars[v]; tracked && prev.status == held {
+						w.pass.Reportf(s.Pos(),
+							"pooled store overwritten while still held (acquired at line %d)",
+							w.pass.Fset.Position(prev.acquire).Line)
+					}
+					w.vars[v] = &varState{status: held, acquire: call.Pos()}
+					return
+				}
+			}
+			w.pass.Reportf(call.Pos(),
+				"pooled store discarded: capture the result so it can be released")
+			return
+		}
+	}
+	// Non-acquisition assignment: scan both sides for escapes, and
+	// stop tracking a held store that is overwritten or aliased.
+	for _, lhs := range s.Lhs {
+		if v := w.lookupVar(lhs); v != nil {
+			if prev, tracked := w.vars[v]; tracked && prev.status == held {
+				w.pass.Reportf(s.Pos(),
+					"pooled store overwritten while still held (acquired at line %d)",
+					w.pass.Fset.Position(prev.acquire).Line)
+			}
+			delete(w.vars, v)
+			continue
+		}
+		w.scanExpr(lhs)
+	}
+	w.scanExprs(s.Rhs)
+}
+
+// walkDefer interprets `defer putStore(v)` and `defer func(){ … }()`.
+func (w *walker) walkDefer(s *ast.DeferStmt) {
+	if arg, ok := isRelease(s.Call); ok {
+		if v := w.lookupVar(arg); v != nil {
+			if st, tracked := w.vars[v]; tracked {
+				if st.status == deferredRelease {
+					w.pass.Reportf(s.Pos(), "pooled store released twice: already covered by an earlier defer")
+				}
+				st.status = deferredRelease
+			}
+		}
+		return
+	}
+	if lit, ok := vetkit.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// An unconditional top-level release inside the deferred closure
+		// counts as a deferred release; anything conditional makes the
+		// variable untrackable (the closure owns the decision now).
+		released, captured := deferredClosureEffects(w, lit)
+		for v := range captured {
+			if released[v] {
+				if st, tracked := w.vars[v]; tracked {
+					st.status = deferredRelease
+				}
+			} else {
+				delete(w.vars, v)
+			}
+		}
+		return
+	}
+	// Any other defer mentioning a tracked store: assume it handles the
+	// store and stop tracking.
+	w.scanExpr(s.Call)
+}
+
+// deferredClosureEffects inspects a deferred closure: released holds
+// variables released by an unconditional top-level statement, captured
+// holds every tracked variable the closure mentions at all.
+func deferredClosureEffects(w *walker, lit *ast.FuncLit) (releasedSet map[*types.Var]bool, captured map[*types.Var]bool) {
+	releasedSet = map[*types.Var]bool{}
+	captured = map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+				if _, tracked := w.vars[obj]; tracked {
+					captured[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, st := range lit.Body.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if arg, ok := isRelease(call); ok {
+			if v := w.lookupVar(arg); v != nil {
+				releasedSet[v] = true
+			}
+		}
+	}
+	return releasedSet, captured
+}
+
+func (w *walker) walkIf(s *ast.IfStmt) (terminated bool) {
+	if s.Init != nil {
+		w.walkStmt(s.Init)
+	}
+	w.scanExpr(s.Cond)
+	thenW := w.clone()
+	thenTerm := thenW.walkStmts(s.Body.List)
+	var elseW *walker
+	elseTerm := false
+	if s.Else != nil {
+		elseW = w.clone()
+		elseTerm = elseW.walkStmt(s.Else)
+	} else {
+		elseW = w.clone()
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		w.vars = elseW.vars
+	case elseTerm:
+		w.vars = thenW.vars
+	default:
+		w.vars = merge(thenW.vars, elseW.vars)
+	}
+	return false
+}
+
+// walkLoopBody interprets a loop body once with a cloned state: stores
+// acquired inside the body must not survive to the body's end, and
+// stores from outside whose state the body changes become untrackable
+// (the loop may run zero or many times).
+func (w *walker) walkLoopBody(body *ast.BlockStmt) {
+	inner := w.clone()
+	terminated := inner.walkStmts(body.List)
+	for v, st := range inner.vars {
+		if _, pre := w.vars[v]; !pre {
+			if st.status == held && !terminated {
+				w.pass.Reportf(st.acquire,
+					"pooled store may leak: not released before the next loop iteration")
+			}
+		}
+	}
+	for v, pre := range w.vars {
+		post, ok := inner.vars[v]
+		if !ok || post.status != pre.status {
+			delete(w.vars, v)
+		}
+	}
+}
+
+// walkClauses interprets each case clause independently and merges the
+// fall-through states; withDefault says whether some clause always
+// runs (otherwise the pre-state joins the merge).
+func (w *walker) walkClauses(body *ast.BlockStmt, withDefault bool) {
+	var outs []map[*types.Var]*varState
+	if !withDefault {
+		outs = append(outs, w.clone().vars)
+	}
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			w.scanExprs(c.List)
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			stmts = c.Body
+		}
+		cw := w.clone()
+		if !cw.walkStmts(stmts) {
+			outs = append(outs, cw.vars)
+		}
+	}
+	if len(outs) == 0 {
+		// Every clause terminates; keep the pre-state (a missing default
+		// still falls through in switch).
+		return
+	}
+	m := outs[0]
+	for _, o := range outs[1:] {
+		m = merge(m, o)
+	}
+	w.vars = m
+}
+
+// merge joins two fall-through states: agreement keeps the state,
+// disagreement stops tracking (never a false positive after a merge).
+func merge(a, b map[*types.Var]*varState) map[*types.Var]*varState {
+	out := map[*types.Var]*varState{}
+	for v, sa := range a {
+		if sb, ok := b[v]; ok && sa.status == sb.status {
+			cp := *sa
+			out[v] = &cp
+		}
+	}
+	return out
+}
+
+func (w *walker) scanExprs(exprs []ast.Expr) {
+	for _, e := range exprs {
+		w.scanExpr(e)
+	}
+}
+
+// scanExpr visits an expression for effects on tracked stores:
+// releases mark the variable released (or report a double-put),
+// composite literals / unary & / closures / type conversions that
+// swallow the variable transfer ownership and stop the tracking, and
+// nested function literals are analyzed as functions of their own.
+func (w *walker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if arg, ok := isRelease(n); ok {
+				if v := w.lookupVar(arg); v != nil {
+					if st, tracked := w.vars[v]; tracked {
+						switch st.status {
+						case released:
+							w.pass.Reportf(n.Pos(),
+								"pooled store released twice (first released earlier on this path)")
+						case deferredRelease:
+							w.pass.Reportf(n.Pos(),
+								"pooled store released twice: a defer already releases it")
+						default:
+							st.status = released
+						}
+					}
+				}
+				return false
+			}
+			if isAcquire(n) {
+				// Acquisition in expression position (not a simple
+				// assignment): ownership goes somewhere the analysis
+				// cannot follow; walkAssign/walkStmt handle the simple
+				// forms before we get here.
+				return false
+			}
+		case *ast.CompositeLit:
+			// Storing the variable inside any literal hands ownership to
+			// the new value.
+			w.untrackMentioned(n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				w.untrackMentioned(n)
+				return false
+			}
+		case *ast.FuncLit:
+			// The closure may release the store later; analyze its body
+			// independently and stop tracking captured stores.
+			w.untrackMentioned(n)
+			newWalker(w.pass).analyzeFunc(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// untrackMentioned removes every tracked variable mentioned anywhere
+// under n.
+func (w *walker) untrackMentioned(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+				delete(w.vars, v)
+			}
+		}
+		return true
+	})
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := vetkit.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

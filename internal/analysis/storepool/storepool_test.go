@@ -1,0 +1,12 @@
+package storepool_test
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/storepool"
+	"github.com/factordb/fdb/internal/analysis/vetkit/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", storepool.Analyzer)
+}

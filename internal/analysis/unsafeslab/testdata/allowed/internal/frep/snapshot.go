@@ -1,0 +1,8 @@
+// Package frep stands in for the real internal/frep/snapshot.go: the
+// file path suffix is on the allowlist, so unsafe is legal here.
+package frep
+
+import "unsafe"
+
+// Alias is the blessed zero-copy slab reinterpretation.
+func Alias(p unsafe.Pointer) unsafe.Pointer { return p }

@@ -1,0 +1,19 @@
+// Package bad uses unsafe aliasing outside the allowlist: every use
+// is flagged.
+package bad
+
+import (
+	"reflect"
+	"unsafe" // want `import of unsafe outside the slab-aliasing allowlist`
+)
+
+func alias(p unsafe.Pointer) unsafe.Pointer { return p }
+
+func header(b []byte) uintptr {
+	h := (*reflect.SliceHeader)(alias(unsafe.Pointer(&b))) // want `reflect\.SliceHeader aliasing outside the slab-aliasing allowlist`
+	return h.Data
+}
+
+func stringHeader() reflect.StringHeader { // want `reflect\.StringHeader aliasing outside the slab-aliasing allowlist`
+	return reflect.StringHeader{} // want `reflect\.StringHeader aliasing outside the slab-aliasing allowlist`
+}

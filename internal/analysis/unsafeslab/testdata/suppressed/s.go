@@ -1,0 +1,10 @@
+// Package suppressed shows an audited one-off suppression.
+package suppressed
+
+import (
+	//fdbvet:ignore unsafeslab audited aliasing fixture, reviewed against the slab layout rules
+	"unsafe"
+)
+
+// Use is a stand-in for a vetted aliasing helper.
+func Use(p unsafe.Pointer) unsafe.Pointer { return p }

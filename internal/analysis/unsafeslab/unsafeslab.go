@@ -1,0 +1,82 @@
+// Package unsafeslab confines unsafe slab aliasing to the two blessed
+// files. The arena's zero-copy snapshot path reinterprets raw bytes as
+// typed slabs — that is deliberate and audited in
+// internal/frep/snapshot.go and internal/catalog/mmap_unix.go, and
+// illegal everywhere else: importing unsafe, or reaching for the
+// deprecated reflect.SliceHeader/reflect.StringHeader aliasing types,
+// outside the allowlist is an error. _test.go files are exempt (they
+// never ship), but note fdbvet does not load test files anyway.
+package unsafeslab
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Allowlist names the files (by slash-separated path suffix) where
+// unsafe aliasing is legal. Keep this list short and audited: every
+// entry is a file whose unsafe use has been reviewed against the
+// slab-layout rules in ARCHITECTURE.md.
+var Allowlist = []string{
+	"internal/frep/snapshot.go",
+	"internal/catalog/mmap_unix.go",
+}
+
+// Analyzer is the unsafeslab invariant checker.
+var Analyzer = &vetkit.Analyzer{
+	Name: "unsafeslab",
+	Doc:  "unsafe slab aliasing is confined to the audited allowlist files",
+	Run:  run,
+}
+
+func run(pass *vetkit.Pass) error {
+	for _, file := range pass.Files {
+		name := filepath.ToSlash(pass.Fset.Position(file.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") || allowlisted(name) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == "unsafe" {
+				pass.Reportf(imp.Pos(),
+					"import of unsafe outside the slab-aliasing allowlist (%s)",
+					strings.Join(Allowlist, ", "))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "SliceHeader" && sel.Sel.Name != "StringHeader" {
+				return true
+			}
+			id, ok := vetkit.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == "reflect" {
+				pass.Reportf(sel.Pos(),
+					"reflect.%s aliasing outside the slab-aliasing allowlist", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allowlisted reports whether the file path ends with one of the
+// blessed suffixes.
+func allowlisted(slashPath string) bool {
+	for _, suffix := range Allowlist {
+		if strings.HasSuffix(slashPath, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package unsafeslab_test
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/unsafeslab"
+	"github.com/factordb/fdb/internal/analysis/vetkit/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", unsafeslab.Analyzer)
+}

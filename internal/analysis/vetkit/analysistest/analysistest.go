@@ -1,0 +1,240 @@
+// Package analysistest runs a vetkit analyzer over golden testdata
+// directories and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: every directory under testdata that contains .go files is
+// loaded as one package (subdirectories are separate packages, so a
+// suite can exercise allowlists keyed on file path suffixes). A
+// diagnostic is expected where a line carries a trailing comment of
+// the form
+//
+//	// want "regexp" "another regexp"
+//
+// one quoted regexp per expected diagnostic on that line. Suppression
+// via //fdbvet:ignore is applied exactly as in the fdbvet driver, so
+// suites cover suppressed cases too; malformed ignore directives
+// surface as diagnostics of the pseudo-analyzer "fdbvet" and can be
+// asserted with want comments like any other.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/factordb/fdb/internal/analysis/vetkit"
+)
+
+// Run applies the analyzer to every package under testdata and fails t
+// on any mismatch between reported and wanted diagnostics. The
+// analyzer's AppliesTo restriction is ignored: golden suites test the
+// analysis logic, the driver tests the routing.
+func Run(t *testing.T, testdata string, a *vetkit.Analyzer) {
+	t.Helper()
+	pkgs, err := loadTestdata(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no testdata packages under %s", testdata)
+	}
+	unrestricted := *a
+	unrestricted.AppliesTo = nil
+	diags, err := vetkit.Check(pkgs, []*vetkit.Analyzer{&unrestricted})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := pkgs[0].Fset
+	wants := collectWants(t, pkgs, fset)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		ws := wants[key]
+		matched := -1
+		for i, w := range ws {
+			if !w.used && w.re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			continue
+		}
+		ws[matched].used = true
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants extracts // want comments from every file of every
+// package, keyed by "filename:line".
+func collectWants(t *testing.T, pkgs []*vetkit.Package, fset *token.FileSet) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadTestdata parses and type-checks every directory under root that
+// holds .go files as its own package. Imports resolve through compiler
+// export data fetched with one `go list -export` run, so testdata may
+// import anything the standard library offers (plus unsafe).
+func loadTestdata(root string) ([]*vetkit.Package, error) {
+	byDir := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: %w", err)
+	}
+	var dirs []string
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+		sort.Strings(byDir[dir])
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	imports := make(map[string]bool)
+	for _, dir := range dirs {
+		for _, file := range byDir[dir] {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, file, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysistest: %w", err)
+			}
+			parsed[dir] = append(parsed[dir], f)
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" {
+					imports[p] = true
+				}
+			}
+		}
+	}
+	exports, err := stdlibExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := vetkit.NewExportImporter(fset, exports)
+	var pkgs []*vetkit.Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		pkg, err := vetkit.TypeCheckFiles(fset, imp, filepath.ToSlash(rel), dir, parsed[dir])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// stdlibExports resolves the export data files for the given import
+// paths (and their dependencies) with one `go list -export` run. Tests
+// execute in their package directory, which is inside the module, so
+// the bare command inherits a valid module context.
+func stdlibExports(imports map[string]bool) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	cmd := exec.Command("go", append(args, paths...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysistest: decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,74 @@
+package vetkit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Check runs every applicable analyzer over every package, applies
+// //fdbvet:ignore suppression, and returns the surviving diagnostics
+// in file/position order. Malformed ignore directives are reported as
+// diagnostics of the pseudo-analyzer "fdbvet" and are never
+// suppressible.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectIgnores(pkg)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		diags = filterSuppressed(diags, dirs, pkg.Fset)
+		all = append(all, bad...)
+		all = append(all, diags...)
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return all, nil
+}
+
+// Main is the multichecker entry point: load the packages matching
+// patterns (default "./...") from dir, run the analyzers, print
+// diagnostics to out, and return the process exit code (0 clean,
+// 1 findings, 2 usage/load failure).
+func Main(out io.Writer, dir string, analyzers []*Analyzer, patterns []string) int {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	diags, err := Check(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package vetkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") against the module rooted at
+// dir and returns the matched packages parsed and type-checked.
+// Dependencies — standard library and intra-module alike — are
+// imported from compiler export data produced by `go list -export`,
+// so only the packages under analysis are parsed from source. Test
+// files are not loaded: fdbvet polices the production tree, and the
+// analyzers' own allowlists treat _test.go files as exempt anyway.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("vetkit: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the package
+// stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("vetkit: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("vetkit: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// typeCheck parses files (relative to dir) and type-checks them as one
+// package using imp for every import.
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	var astFiles []*ast.File
+	for _, name := range files {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("vetkit: %w", err)
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("vetkit: %w", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	return TypeCheckFiles(fset, imp, path, dir, astFiles)
+}
+
+// TypeCheckFiles type-checks pre-parsed files (whose positions are
+// already registered in fset) as one package with import path `path`
+// rooted at dir.
+func TypeCheckFiles(fset *token.FileSet, imp types.Importer, path, dir string, files []*ast.File) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vetkit: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewExportImporter returns an importer that resolves import paths
+// through compiler export data files (as reported by `go list
+// -export`). The gc importer handles "unsafe" itself.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("vetkit: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

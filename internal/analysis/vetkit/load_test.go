@@ -1,0 +1,65 @@
+package vetkit
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadRepoPackage exercises the real loader end to end: go list
+// -export over a module package, source parsing, and type-checking
+// against compiler export data.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Name != "wal" || !strings.HasSuffix(pkg.Path, "internal/wal") {
+		t.Errorf("loaded %s (package %s), want internal/wal", pkg.Path, pkg.Name)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded; fdbvet analyzes the production tree only", name)
+		}
+	}
+	// Type information must actually be populated: resolve some
+	// identifier use to an object.
+	resolved := false
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] != nil {
+			resolved = true
+			return false
+		}
+		return !resolved
+	})
+	if !resolved {
+		t.Error("no identifier resolved to a types.Object; type info missing")
+	}
+}
+
+// TestRunAnalyzerReports covers the Pass plumbing.
+func TestRunAnalyzerReports(t *testing.T) {
+	pkg := parsePkg(t, "package x\n\nfunc a() {}\n")
+	a := &Analyzer{
+		Name: "demo",
+		Run: func(p *Pass) error {
+			p.Reportf(p.Files[0].Pos(), "hello %s", "world")
+			return nil
+		},
+	}
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Message != "hello world" || diags[0].Analyzer != "demo" {
+		t.Fatalf("diags = %+v", diags)
+	}
+}

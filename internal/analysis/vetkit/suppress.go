@@ -1,0 +1,112 @@
+package vetkit
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//fdbvet:ignore <analyzer> <reason>
+//
+// It silences diagnostics from <analyzer> on the same line or the line
+// immediately below (so it can sit above the flagged statement). The
+// reason is mandatory and free-form; it is what a reviewer reads.
+const ignorePrefix = "//fdbvet:ignore"
+
+// wantMarker splits an embedded golden-test expectation off a
+// directive comment (see collectIgnores).
+var wantMarker = regexp.MustCompile(`//\s*want\s`)
+
+type ignoreDirective struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// collectIgnores scans a package's comments for fdbvet:ignore
+// directives. Malformed directives (missing analyzer or reason) are
+// returned as diagnostics so an empty reason can never slip through.
+func collectIgnores(pkg *Package) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				text := c.Text
+				// Golden suites assert on malformed directives with a
+				// trailing `// want` expectation inside the same comment;
+				// the marker and everything after it is not directive text.
+				if loc := wantMarker.FindStringIndex(text[2:]); loc != nil {
+					text = text[:2+loc[0]]
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //fdbvet:ignoreX — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "fdbvet:ignore needs an analyzer name and a reason",
+						Analyzer: "fdbvet",
+					})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "fdbvet:ignore " + fields[0] + " needs a reason",
+						Analyzer: "fdbvet",
+					})
+				default:
+					dirs = append(dirs, ignoreDirective{
+						pos:      c.Pos(),
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// filterSuppressed drops diagnostics covered by an ignore directive
+// for their analyzer on the same line or the line above.
+func filterSuppressed(diags []Diagnostic, dirs []ignoreDirective, fset *token.FileSet) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	covered := make(map[string]map[int]bool) // file -> line -> suppressed
+	key := func(d ignoreDirective) map[int]bool {
+		m := covered[d.file+"\x00"+d.analyzer]
+		if m == nil {
+			m = make(map[int]bool)
+			covered[d.file+"\x00"+d.analyzer] = m
+		}
+		return m
+	}
+	for _, d := range dirs {
+		m := key(d)
+		m[d.line] = true
+		m[d.line+1] = true
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		if m := covered[pos.Filename+"\x00"+diag.Analyzer]; m != nil && m[pos.Line] {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	return kept
+}

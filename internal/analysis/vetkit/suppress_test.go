@@ -1,0 +1,107 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectIgnores(t *testing.T) {
+	// The reason-less directives are spliced in at parse time so this
+	// file itself stays clean under CI's ignore-reason meta-check.
+	src := strings.ReplaceAll(`package x
+
+func a() {
+	//fdbvet:ignore storepool handed to the caller via the iterator
+	_ = 1
+	//REASONLESS ctxflow
+	_ = 2
+	//REASONLESS
+	_ = 3
+	//fdbvet:ignoreX not ours
+	_ = 4
+}
+`, "//REASONLESS", "//fdbvet:"+"ignore")
+	pkg := parsePkg(t, src)
+	dirs, bad := collectIgnores(pkg)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(dirs), dirs)
+	}
+	d := dirs[0]
+	if d.analyzer != "storepool" || d.reason != "handed to the caller via the iterator" || d.line != 4 {
+		t.Errorf("directive = %+v", d)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2: %+v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "needs a reason") {
+		t.Errorf("bad[0] = %q, want a needs-a-reason diagnostic", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "needs an analyzer name and a reason") {
+		t.Errorf("bad[1] = %q", bad[1].Message)
+	}
+	for _, b := range bad {
+		if b.Analyzer != "fdbvet" {
+			t.Errorf("malformed directive reported as %q, want fdbvet", b.Analyzer)
+		}
+	}
+}
+
+func TestFilterSuppressed(t *testing.T) {
+	pkg := parsePkg(t, `package x
+
+func a() {
+	//fdbvet:ignore aa covered above
+	_ = 1
+	_ = 2 //fdbvet:ignore aa covered inline
+	_ = 3
+	_ = 4
+}
+`)
+	dirs, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %+v", bad)
+	}
+	at := func(line int, analyzer string) Diagnostic {
+		var pos token.Pos
+		ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+			if n != nil && pkg.Fset.Position(n.Pos()).Line == line && pos == token.NoPos {
+				pos = n.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("no node on line %d", line)
+		}
+		return Diagnostic{Pos: pos, Message: "m", Analyzer: analyzer}
+	}
+	diags := []Diagnostic{
+		at(5, "aa"), // below a directive: suppressed
+		at(6, "aa"), // inline directive: suppressed
+		at(7, "aa"), // line after the inline directive: suppressed too
+		at(8, "aa"), // uncovered line: kept
+		at(5, "bb"), // wrong analyzer: kept
+	}
+	kept := filterSuppressed(diags, dirs, pkg.Fset)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "aa" || pkg.Fset.Position(kept[0].Pos).Line != 8 {
+		t.Errorf("kept[0] = %+v, want analyzer aa line 8", kept[0])
+	}
+	if kept[1].Analyzer != "bb" {
+		t.Errorf("kept[1] = %+v, want analyzer bb", kept[1])
+	}
+}

@@ -1,0 +1,134 @@
+// Package vetkit is a minimal, dependency-free analysis framework
+// mirroring the shape of golang.org/x/tools/go/analysis. The repo's
+// invariant checkers (cmd/fdbvet) are built on it.
+//
+// The x/tools module is deliberately not used: the repository carries
+// zero external dependencies, and the subset of the framework fdbvet
+// needs — typed-AST passes over the module's packages, a multichecker
+// driver, and golden-file tests — fits in a few hundred lines on top
+// of go/ast, go/types and `go list -export`. The API mirrors
+// go/analysis closely enough that migrating to the real framework
+// later is a mechanical rename.
+//
+// Suppression: a diagnostic may be silenced with a comment of the form
+//
+//	//fdbvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is mandatory; an ignore comment without one is itself a
+// diagnostic, so suppressions stay auditable.
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fdbvet:ignore comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// AppliesTo optionally restricts the analyzer to a subset of
+	// packages by import path. A nil AppliesTo means every package.
+	// The driver consults it; the test harness does not, so golden
+	// suites exercise analyzer logic regardless of where the testdata
+	// package pretends to live.
+	AppliesTo func(pkgPath string) bool
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one report against a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Inspect walks every file in the pass in source order, calling f for
+// each node; f returning false prunes the subtree, as in ast.Inspect.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Unparen strips any number of enclosing parentheses from e (the
+// module predates go1.22's ast.Unparen).
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// NewInfo returns a types.Info with every map the analyzers use
+// populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its raw
+// (unsuppressed) diagnostics.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return pass.diags, nil
+}

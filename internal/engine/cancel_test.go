@@ -274,3 +274,52 @@ func TestCancelConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestRunOnARelContextCancelled pins the ctxflow fix from the fdbvet
+// PR: view execution (RunOnARelContext / RunOnViewContext) must honour
+// the caller's context instead of minting a fresh root internally. A
+// pre-cancelled context has to stop the plan before the first
+// operator runs.
+func TestRunOnARelContextCancelled(t *testing.T) {
+	db := bigDB(t, 20000)
+	f := ftree.New()
+	f.NewRelationPath("k", "v")
+	view, err := fops.FromRelationStore(frep.NewStore(), db["Big"], f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := []ftree.CatalogRelation{{Name: "Big", Attrs: []string{"k", "v"}, Size: 20000}}
+	eng := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// groupedQuery carries a γ aggregation, so the plan has at least one
+	// operator and the pre-operator context check must fire.
+	if _, err := eng.RunOnARelContext(ctx, groupedQuery(), view, cat); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOnARelContext(cancelled) = %v, want context.Canceled", err)
+	}
+	// The uncancelled path through the same API still works.
+	res, err := eng.RunOnARelContext(context.Background(), groupedQuery(), view, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+}
+
+// TestRunOnViewContextCancelled is the pointer-representation twin of
+// TestRunOnARelContextCancelled.
+func TestRunOnViewContextCancelled(t *testing.T) {
+	db := bigDB(t, 20000)
+	f := ftree.New()
+	f.NewRelationPath("k", "v")
+	view, err := fops.FromRelation(db["Big"], f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := []ftree.CatalogRelation{{Name: "Big", Attrs: []string{"k", "v"}, Size: 20000}}
+	eng := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunOnViewContext(ctx, groupedQuery(), view, cat); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOnViewContext(cancelled) = %v, want context.Canceled", err)
+	}
+}

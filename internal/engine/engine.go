@@ -298,6 +298,13 @@ func pathCandidates(attrs []string, joinAttr map[string]bool) [][]string {
 // repeated queries against one view are cheap. cat supplies relation
 // sizes for the cost model and may be nil.
 func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
+	return e.RunOnViewContext(context.Background(), q, view, cat)
+}
+
+// RunOnViewContext is RunOnView with cancellation: the context is
+// checked between f-plan operators, so a long view query can be
+// abandoned mid-execution.
+func (e *Engine) RunOnViewContext(ctx context.Context, q *query.Query, view *fops.FRel, cat []ftree.CatalogRelation) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -306,7 +313,7 @@ func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogR
 	}
 	tree, _ := view.Tree.Clone()
 	fr := &fops.FRel{Tree: tree, Roots: append([]*frep.Union{}, view.Roots...)}
-	return e.execute(q, fr, cat)
+	return e.execute(ctx, q, fr, cat)
 }
 
 // RunOnARel evaluates a query (no joins) against a materialised arena
@@ -314,16 +321,22 @@ func (e *Engine) RunOnView(q *query.Query, view *fops.FRel, cat []ftree.CatalogR
 // the private snapshot, so the view is shared untouched across any
 // number of concurrent queries.
 func (e *Engine) RunOnARel(q *query.Query, view *fops.ARel, cat []ftree.CatalogRelation) (*Result, error) {
+	return e.RunOnARelContext(context.Background(), q, view, cat)
+}
+
+// RunOnARelContext is RunOnARel with cancellation; see
+// RunOnViewContext.
+func (e *Engine) RunOnARelContext(ctx context.Context, q *query.Query, view *fops.ARel, cat []ftree.CatalogRelation) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if len(q.Equalities) > 0 {
 		return nil, fmt.Errorf("engine: RunOnARel does not support equality selections; materialise them into the view")
 	}
-	return e.execute(q, view.Snapshot(), cat)
+	return e.execute(ctx, q, view.Snapshot(), cat)
 }
 
-func (e *Engine) execute(q *query.Query, fr fops.Rel, cat []ftree.CatalogRelation) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, q *query.Query, fr fops.Rel, cat []ftree.CatalogRelation) (*Result, error) {
 	pl := &plan.Planner{Catalog: cat, PartialAgg: e.PartialAgg, Exhaustive: e.Exhaustive}
 	fplan, err := pl.Plan(fr.Forest(), q)
 	if err != nil {
@@ -334,7 +347,7 @@ func (e *Engine) execute(q *query.Query, fr fops.Rel, cat []ftree.CatalogRelatio
 			return &Result{Query: q, ARel: ar, Plan: fplan, eng: e, fastCount: &n}, nil
 		}
 	}
-	if err := fplan.ExecuteParallel(context.Background(), fr, e.par()); err != nil {
+	if err := fplan.ExecuteParallel(ctx, fr, e.par()); err != nil {
 		return nil, err
 	}
 	res := &Result{Query: q, Plan: fplan, eng: e}
