@@ -27,6 +27,13 @@
 // streams inserts concurrently:
 //
 //	fdbbench -exp ingest -scale 2 -json   # writes BENCH_ingest.json
+//
+// "scatter" measures distributed serving: the catalogue is sharded
+// across in-process workers and a distributable statement mix runs
+// through a scatter-gather coordinator at 1/2/4 shards, reporting the
+// latency curve and speedup vs the 1-shard cluster:
+//
+//	fdbbench -exp scatter -scale 4 -json   # writes BENCH_scatter.json
 package main
 
 import (
@@ -138,7 +145,7 @@ func (b *bench) flushJSON(exp string) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbbench: ")
-	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|scale|ingest|all")
+	exp := flag.String("exp", "all", "experiment: size|fig4|fig5|fig6|fig7|fig8|ablation|http|stream|parallel|coldstart|offset|scale|ingest|scatter|all")
 	scale := flag.Int("scale", 4, "scale factor for single-scale experiments")
 	scaleMax := flag.Int("scalemax", 8, "maximum scale for the scale sweeps (size, fig4)")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
@@ -166,6 +173,7 @@ func main() {
 		"ablation": b.expAblation, "http": b.expHTTP, "stream": b.expStream,
 		"parallel": b.expParallel, "coldstart": b.expColdstart,
 		"offset": b.expOffset, "scale": b.expScale, "ingest": b.expIngest,
+		"scatter": b.expScatter,
 	}
 	doOne := func(name string, fn func()) {
 		fn()

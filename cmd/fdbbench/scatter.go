@@ -1,0 +1,133 @@
+package main
+
+// The "scatter" experiment measures scatter-gather serving end to end:
+// the flat workload catalogue is partitioned across in-process shard
+// workers behind real HTTP listeners, and a distributable statement mix
+// runs through a coordinator at increasing shard counts. Reported per
+// (statement, shards): p50/p99 client latency and speedup vs the
+// 1-shard cluster — so the curve isolates what sharding buys over the
+// coordination overhead itself. With -json the series lands in
+// BENCH_scatter.json.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/catalog"
+	"github.com/factordb/fdb/internal/cluster"
+	"github.com/factordb/fdb/internal/server"
+)
+
+// scatterSamples is how many timed runs back each (statement, shards)
+// point; p50/p99 come from this sample set.
+const scatterSamples = 15
+
+// scatterStatements is the distributable mix: streamed group merges,
+// an AVG partial rewrite, a buffered top-k on an aggregate alias, a
+// global COUNT(*), and an ordered scan page — every scatter-gather
+// execution mode.
+var scatterStatements = []struct{ name, sql string }{
+	{"group_sum", `SELECT customer, SUM(price) AS total FROM R2 GROUP BY customer ORDER BY customer`},
+	{"group_avg", `SELECT package, AVG(price) AS ap, COUNT(*) AS n FROM R2 GROUP BY package ORDER BY package`},
+	{"topk_revenue", `SELECT customer, SUM(price) AS revenue FROM R2 GROUP BY customer ORDER BY revenue DESC LIMIT 10`},
+	{"count_star", `SELECT COUNT(*) AS n FROM R2`},
+	{"scan_page", `SELECT * FROM R2 ORDER BY package, date LIMIT 50 OFFSET 100`},
+}
+
+// expScatter runs the speedup-vs-shards sweep.
+func (b *bench) expScatter() {
+	header(fmt.Sprintf("scatter: scatter-gather latency vs shards (scale %d, %d samples/point)", b.scale, scatterSamples))
+	db := fdb.Database(b.flatDB(b.scale))
+	cat, err := catalog.Build("bench", db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row("statement", "shards", "p50", "p99", "speedup")
+	baseline := map[string]time.Duration{}
+	for shards := 1; shards <= 4; shards *= 2 {
+		co, cleanup := newScatterCluster(db, cat, shards)
+		ts := httptest.NewServer(co)
+		client := ts.Client()
+		for _, stmt := range scatterStatements {
+			// Warm up: plan-cache fill plus a correctness check.
+			if err := postOne(client, ts.URL, stmt.sql); err != nil {
+				log.Fatalf("scatter warmup %s: %v", stmt.name, err)
+			}
+			lats := make([]time.Duration, 0, scatterSamples)
+			for i := 0; i < scatterSamples; i++ {
+				start := time.Now()
+				if err := postOne(client, ts.URL, stmt.sql); err != nil {
+					log.Fatal(err)
+				}
+				lats = append(lats, time.Since(start))
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			p50 := lats[len(lats)/2]
+			p99 := lats[(len(lats)*99)/100]
+			if shards == 1 {
+				baseline[stmt.name] = p50
+			}
+			speedup := float64(baseline[stmt.name]) / float64(p50)
+			row(stmt.name, fmt.Sprint(shards), p50.String(), p99.String(), fmt.Sprintf("%.2f×", speedup))
+			if b.jsonOut {
+				b.results = append(b.results, benchResult{
+					Name:    fmt.Sprintf("%s/shards=%d", stmt.name, shards),
+					Scale:   b.scale,
+					Par:     shards,
+					NsPerOp: p50.Nanoseconds(),
+					P50Ns:   p50.Nanoseconds(),
+					P99Ns:   p99.Nanoseconds(),
+					Speedup: speedup,
+				})
+			}
+		}
+		ts.Close()
+		cleanup()
+	}
+}
+
+// newScatterCluster builds one coordinator over the given shard count:
+// single-replica in-process workers behind real listeners, the full
+// catalogue shipped, and a plain local-fallback server. The returned
+// cleanup closes the worker listeners and their shard directories.
+func newScatterCluster(db fdb.Database, cat *catalog.Catalog, shards int) (*cluster.Coordinator, func()) {
+	local, err := server.New(server.Config{Databases: map[string]fdb.Database{"bench": db}, DefaultDB: "bench"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cleanups []func()
+	groups := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		dir, err := os.MkdirTemp("", "fdbbench-shard")
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := server.New(server.Config{ShardDir: dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(w)
+		groups[i] = []string{ts.URL}
+		cleanups = append(cleanups, ts.Close, func() { os.RemoveAll(dir) })
+	}
+	man, err := cluster.Ship(context.Background(), nil, groups, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	co, err := cluster.New(cluster.Config{Groups: groups, Manifest: man, Local: local})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return co, func() {
+		for _, fn := range cleanups {
+			fn()
+		}
+	}
+}

@@ -34,6 +34,28 @@
 // fresh snapshot on POST /compact or automatically past -compactwal
 // bytes of log.
 //
+// With -coordinator, the server becomes the front of a scatter-gather
+// cluster (see docs/PROTOCOL.md and the "Distributed serving" section
+// of ARCHITECTURE.md): the single -data catalogue is partitioned by
+// root-union range into one snapshot per -shards group, shipped to
+// every replica of each group through POST /shard/install, and queries
+// fan out over the shard set with the streams stitched back into serial
+// output order. Each -shards flag names one shard's replica set as a
+// comma-separated list of worker base URLs; -replicas asserts the
+// expected replica count per group. Workers are plain fdbserver
+// processes started with -sharddir, which enables the shard-install
+// endpoint and persists received snapshots there for warm restarts:
+//
+//	fdbserver -listen :9001 -sharddir /var/fdb/shards   # worker 1
+//	fdbserver -listen :9002 -sharddir /var/fdb/shards   # worker 2
+//	fdbserver -coordinator -data shop=./shop \
+//	    -shards http://h1:9001,http://h1b:9001 \
+//	    -shards http://h2:9002,http://h2b:9002 -replicas 2
+//
+// Queries the cluster cannot answer remotely (joins, projections that
+// break the merge order) run on the coordinator's own full catalogue,
+// so every statement that works serially works against the cluster.
+//
 // Endpoints:
 //
 //	POST /query     {"sql": "SELECT ...", "db": "shop"}
@@ -70,6 +92,8 @@ import (
 	"time"
 
 	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/catalog"
+	"github.com/factordb/fdb/internal/cluster"
 	"github.com/factordb/fdb/internal/server"
 )
 
@@ -127,13 +151,51 @@ func (m *mutableFlags) Set(v string) error {
 	return nil
 }
 
+// shardFlags collects repeated -shards flags; each value is one shard
+// group's replica set as a comma-separated list of worker base URLs.
+type shardFlags struct {
+	groups [][]string
+}
+
+func (s *shardFlags) String() string {
+	parts := make([]string, len(s.groups))
+	for i, g := range s.groups {
+		parts[i] = strings.Join(g, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *shardFlags) Set(v string) error {
+	var group []string
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		group = append(group, u)
+	}
+	if len(group) == 0 {
+		return errors.New("-shards needs at least one replica URL")
+	}
+	s.groups = append(s.groups, group)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdbserver: ")
 	var data dataFlags
 	var mutable mutableFlags
+	var shards shardFlags
 	flag.Var(&data, "data", "data directory of *.csv relations or a .fdbcat catalogue snapshot, optionally name=path (repeatable)")
 	flag.Var(&mutable, "mutable", "writable catalogue directory as name=dir, or name=dir=seed.fdbcat to initialise from a snapshot (repeatable)")
+	flag.Var(&shards, "shards", "one shard group's replica base URLs, comma-separated (repeatable; coordinator mode)")
+	coordinator := flag.Bool("coordinator", false, "shard the -data catalogue across the -shards groups and serve scatter-gather queries")
+	replicas := flag.Int("replicas", 0, "expected replicas per shard group (0 = any; validated against each -shards value)")
+	shardDir := flag.String("sharddir", "", "enable POST /shard/install and persist received shard snapshots in this directory (worker mode)")
 	compactWAL := flag.Int64("compactwal", 64<<20, "auto-compact a mutable database once its WAL exceeds this many bytes (0 = manual /compact only)")
 	listen := flag.String("listen", ":8334", "listen address")
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
@@ -144,8 +206,23 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	flag.Parse()
 
-	if len(data.dirs) == 0 && len(mutable.dirs) == 0 {
-		log.Fatal("at least one -data or -mutable database is required")
+	if len(data.dirs) == 0 && len(mutable.dirs) == 0 && *shardDir == "" {
+		log.Fatal("at least one -data or -mutable database is required (or -sharddir for a shard worker)")
+	}
+	if *coordinator {
+		if len(shards.groups) == 0 {
+			log.Fatal("-coordinator requires at least one -shards group")
+		}
+		if len(data.dirs) != 1 || len(mutable.dirs) != 0 {
+			log.Fatal("-coordinator requires exactly one -data catalogue and no -mutable databases")
+		}
+	}
+	if *replicas > 0 {
+		for i, g := range shards.groups {
+			if len(g) != *replicas {
+				log.Fatalf("shard group %d has %d replicas, want %d", i, len(g), *replicas)
+			}
+		}
 	}
 	dbs := make(map[string]fdb.Database, len(data.dirs))
 	snapshots := make(map[string]string, len(data.dirs))
@@ -194,7 +271,7 @@ func main() {
 	defaultDB := ""
 	if len(data.names) > 0 {
 		defaultDB = data.names[0]
-	} else {
+	} else if len(mutable.names) > 0 {
 		defaultDB = mutable.names[0]
 	}
 	srv, err := server.New(server.Config{
@@ -206,12 +283,41 @@ func main() {
 		Parallelism: *parallelism,
 		Snapshots:   snapshots,
 		Mutables:    mutables,
+		ShardDir:    *shardDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	var handler http.Handler = srv
+	var co *cluster.Coordinator
+	if *coordinator {
+		cat, err := catalog.Build(defaultDB, dbs[defaultDB])
+		if err != nil {
+			log.Fatalf("building catalogue for sharding: %v", err)
+		}
+		man, err := cluster.Ship(context.Background(), nil, shards.groups, cat)
+		if err != nil {
+			log.Fatalf("shipping shards: %v", err)
+		}
+		co, err = cluster.New(cluster.Config{
+			Groups:    shards.groups,
+			Manifest:  man,
+			Local:     srv,
+			MaxRows:   *maxRows,
+			CacheSize: *cacheSize,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = co
+		for i, g := range shards.groups {
+			log.Printf("shard %d/%d: %s", i+1, len(shards.groups), strings.Join(g, " "))
+		}
+		log.Printf("coordinator: catalogue %q shipped to %d shard groups", defaultDB, len(shards.groups))
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -233,11 +339,19 @@ func main() {
 	// the process must not exit while a cursor is still streaming or a
 	// snapshot rename is pending.
 	log.Print("shutting down…")
+	if co != nil {
+		co.StartDrain()
+	}
 	srv.StartDrain()
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if co != nil {
+		if err := co.Drain(shCtx); err != nil {
+			log.Printf("coordinator drain: %v", err)
+		}
 	}
 	if err := srv.Drain(shCtx); err != nil {
 		log.Printf("drain: %v", err)

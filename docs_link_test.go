@@ -1,0 +1,76 @@
+package fdb_test
+
+// Documentation lint: every relative markdown link in the top-level
+// docs and docs/ must point at a file that exists, and the wire
+// protocol spec must stay linked from the operator-facing pages.
+// Stdlib only, so it runs in the ordinary test job.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files the linter covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+	extra, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, extra...)
+}
+
+// mdLink matches inline markdown links; the target is group 1.
+// Reference-style links and images are rare here and out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-file anchor; the file itself must exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}
+
+// TestProtocolSpecLinked pins the docs contract: the wire protocol spec
+// exists and is reachable from README and ARCHITECTURE.
+func TestProtocolSpecLinked(t *testing.T) {
+	if _, err := os.Stat(filepath.Join("docs", "PROTOCOL.md")); err != nil {
+		t.Fatalf("docs/PROTOCOL.md missing: %v", err)
+	}
+	for _, file := range []string{"README.md", "ARCHITECTURE.md"} {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), "docs/PROTOCOL.md") {
+			t.Errorf("%s does not link docs/PROTOCOL.md", file)
+		}
+	}
+}

@@ -5,13 +5,18 @@
 // and stream through the engine's constant-delay cursors — rows are
 // produced one at a time off the factorisation, never buffered.
 //
-// There are two ways to open a database:
+// There are three DSN/opening forms:
 //
-//	// 1. Register a named catalogue, then open by DSN.
+//	// 1. Register a named catalogue, then open by that name as the DSN.
 //	driver.Register("shop", fdb.Database{"Orders": orders, ...})
 //	db, err := sql.Open("fdb", "shop")
 //
-//	// 2. Wrap a catalogue in a Connector (no global registration).
+//	// 2. A "file:" DSN loads a catalogue snapshot from disk once per
+//	// sql.Open — schema, tuples and prebuilt factorisations, no
+//	// registration needed; the snapshot is released when db closes.
+//	db, err := sql.Open("fdb", "file:/var/lib/fdb/shop.fdbcat")
+//
+//	// 3. Wrap a catalogue in a Connector (no global state at all).
 //	db := sql.OpenDB(driver.NewConnector(fdb.Database{...}))
 //
 // The catalogue's relations must not be modified once queries run: the

@@ -1,8 +1,10 @@
 package driver_test
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
+	"os"
 	"strings"
 
 	"github.com/factordb/fdb"
@@ -67,4 +69,65 @@ func Example() {
 	// Output:
 	// Lucia: 9
 	// Pietro: 9
+}
+
+// ExampleNewMutableConnector walks the mutable-catalogue lifecycle
+// through database/sql: create a durable directory from seed data,
+// write through ExecContext (acknowledged only after the WAL group
+// commit), read your own writes, and close — after which reopening the
+// directory with fdb.OpenMutable recovers the exact acknowledged state.
+func ExampleNewMutableConnector() {
+	dir, err := os.MkdirTemp("", "fdb-mutable")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	orders, err := fdb.ReadCSV("Orders", strings.NewReader(
+		"customer,pizza\nMario,Capricciosa\n"))
+	if err != nil {
+		panic(err)
+	}
+	mut, err := fdb.CreateMutable(dir, "pizzeria", fdb.Database{"Orders": orders})
+	if err != nil {
+		panic(err)
+	}
+	defer mut.Close()
+
+	db := sql.OpenDB(driver.NewMutableConnector(mut))
+	defer db.Close()
+	ctx := context.Background()
+
+	res, err := db.ExecContext(ctx, `INSERT INTO Orders VALUES ('Lucia', 'Hawaii')`)
+	if err != nil {
+		panic(err)
+	}
+	n, _ := res.RowsAffected()
+	fmt.Println("inserted:", n)
+
+	// Relations are sets: repeating the insert changes nothing.
+	res, _ = db.ExecContext(ctx, `INSERT INTO Orders VALUES ('Lucia', 'Hawaii')`)
+	n, _ = res.RowsAffected()
+	fmt.Println("repeat insert:", n)
+
+	rows, err := db.QueryContext(ctx, `SELECT customer, pizza FROM Orders ORDER BY customer`)
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var customer, pizza string
+		if err := rows.Scan(&customer, &pizza); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s\n", customer, pizza)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// inserted: 1
+	// repeat insert: 0
+	// Lucia: Hawaii
+	// Mario: Capricciosa
 }

@@ -1,0 +1,520 @@
+// Package cluster implements the scatter-gather coordinator for
+// distributed serving: it partitions a catalogue into per-shard
+// snapshots by root-union range (catalog.Split), ships them to shard
+// workers over POST /shard/install (Ship), fans each query out over the
+// NDJSON wire protocol of docs/PROTOCOL.md, and stitches the shard
+// streams back together so the distributed response is byte-identical
+// to the serial server's.
+//
+// The coordinator is itself an http.Handler speaking the same protocol
+// as internal/server: POST /query (streaming NDJSON or buffered JSON),
+// /healthz, /stats. Queries the distribution planner cannot prove
+// shard-safe — joins, projections dropping the partition attribute,
+// requests for other databases — replay against a local full-catalogue
+// fallback handler, so the coordinator never answers a query wrongly:
+// it either distributes with a proof of order preservation or degrades
+// to serial execution.
+//
+// Robustness: every shard query retries across the shard's replicas
+// with exponential backoff, a hedge request races a second replica when
+// the first is slow to produce its header, replicas that recently
+// failed are routed around until a cooldown passes, and a stream torn
+// mid-row fails over to another replica, resuming at the exact next
+// undelivered row via an OFFSET rewrite (O(log n) through the ranked
+// seek path, because replicas serve identical snapshots).
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/factordb/fdb/internal/catalog"
+	"github.com/factordb/fdb/internal/server/cache"
+	"github.com/factordb/fdb/internal/sql"
+	"github.com/factordb/fdb/internal/wire"
+
+	"context"
+	"encoding/json"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Groups lists, per shard, the base URLs of the replicas serving
+	// that shard (e.g. "http://10.0.0.7:8080"). len(Groups) must equal
+	// Manifest.Shards and every group needs at least one replica.
+	Groups [][]string
+	// Manifest describes how the catalogue was partitioned; Ship
+	// returns it, and it round-trips through its JSON file form.
+	Manifest *catalog.ShardManifest
+	// Local serves queries the planner keeps local: joins, other
+	// databases, non-distributable shapes. Typically an internal/server
+	// Server over the full catalogue. Required.
+	Local http.Handler
+	// Client issues shard requests; nil uses a default client with no
+	// overall timeout (streams are cancelled via request contexts).
+	Client *http.Client
+	// MaxRows caps rows per distributed response (marked truncated),
+	// mirroring the server option; 0 means unlimited.
+	MaxRows int
+	// CacheSize bounds the distribution-strategy cache; defaults to 256.
+	CacheSize int
+	// Retries is the number of additional full replica passes after the
+	// first failed one; defaults to 2. Negative disables retries.
+	Retries int
+	// RetryBackoff is the sleep before the first retry pass, doubling
+	// each pass; defaults to 25ms.
+	RetryBackoff time.Duration
+	// HedgeDelay is how long the first replica may stay silent before a
+	// hedge request races a second one; 0 picks the 150ms default,
+	// negative disables hedging.
+	HedgeDelay time.Duration
+}
+
+// ShardStat is one shard's fan-out accounting in the /stats response.
+type ShardStat struct {
+	Replicas  []string `json:"replicas"`
+	Queries   uint64   `json:"queries"`
+	Rows      uint64   `json:"rows"`
+	Retries   uint64   `json:"retries"`
+	Hedges    uint64   `json:"hedges"`
+	Failovers uint64   `json:"failovers"`
+}
+
+// StatsResponse is the coordinator's GET /stats body.
+type StatsResponse struct {
+	Catalog        string      `json:"catalog"`
+	Shards         []ShardStat `json:"shards"`
+	Queries        uint64      `json:"queries"`
+	Distributed    uint64      `json:"distributed"`
+	LocalFallbacks uint64      `json:"localFallbacks"`
+	StrategyCache  cache.Stats `json:"strategyCache"`
+	Draining       bool        `json:"draining,omitempty"`
+}
+
+// shardStats is the per-shard atomic counter block behind ShardStat.
+type shardStats struct {
+	Queries, Rows, Retries, Hedges, Failovers atomic.Uint64
+}
+
+// replicaCooldown is how long a replica stays deprioritised after a
+// transport failure before it is tried eagerly again.
+const replicaCooldown = 3 * time.Second
+
+// Coordinator fans queries out over shard workers and stitches the
+// results. Create with New; it implements http.Handler.
+type Coordinator struct {
+	man        *catalog.ShardManifest
+	groups     [][]string
+	local      http.Handler
+	client     *http.Client
+	maxRows    int
+	retries    int
+	backoff    time.Duration
+	hedgeDelay time.Duration
+	strategies *cache.LRU
+	stats      []shardStats
+	mux        *http.ServeMux
+
+	// lastFail maps replica base URL -> time.Time of its most recent
+	// transport failure; candidates sorts recently-failed replicas last.
+	lastFail sync.Map
+
+	queries        atomic.Uint64
+	distributed    atomic.Uint64
+	localFallbacks atomic.Uint64
+
+	// Drain bookkeeping, same shape as internal/server: a mutex-guarded
+	// in-flight counter (begin may race a waiting Drain, which is the
+	// pattern sync.WaitGroup forbids).
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	inflight int
+	idle     chan struct{}
+}
+
+// New builds a Coordinator from the configuration.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Manifest == nil {
+		return nil, errors.New("cluster: no shard manifest")
+	}
+	if len(cfg.Groups) != cfg.Manifest.Shards {
+		return nil, fmt.Errorf("cluster: %d replica groups for %d shards", len(cfg.Groups), cfg.Manifest.Shards)
+	}
+	for i, g := range cfg.Groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+	}
+	if cfg.Local == nil {
+		return nil, errors.New("cluster: no local fallback handler")
+	}
+	co := &Coordinator{
+		man:        cfg.Manifest,
+		groups:     cfg.Groups,
+		local:      cfg.Local,
+		client:     cfg.Client,
+		maxRows:    cfg.MaxRows,
+		retries:    cfg.Retries,
+		backoff:    cfg.RetryBackoff,
+		hedgeDelay: cfg.HedgeDelay,
+		stats:      make([]shardStats, len(cfg.Groups)),
+	}
+	if co.client == nil {
+		co.client = &http.Client{}
+	}
+	if co.retries == 0 {
+		co.retries = 2
+	} else if co.retries < 0 {
+		co.retries = 0
+	}
+	if co.backoff == 0 {
+		co.backoff = 25 * time.Millisecond
+	}
+	if co.hedgeDelay == 0 {
+		co.hedgeDelay = 150 * time.Millisecond
+	} else if co.hedgeDelay < 0 {
+		co.hedgeDelay = 0
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 256
+	}
+	co.strategies = cache.New(size)
+	co.mux = http.NewServeMux()
+	co.mux.HandleFunc("/query", co.handleQuery)
+	co.mux.HandleFunc("/healthz", co.handleHealthz)
+	co.mux.HandleFunc("/stats", co.handleStats)
+	// Everything else — /exec, /compact, /snapshot — passes through to
+	// the local handler, which owns the full catalogue.
+	co.mux.Handle("/", cfg.Local)
+	return co, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	co.mux.ServeHTTP(w, r)
+}
+
+func (co *Coordinator) shardStat(i int) *shardStats { return &co.stats[i] }
+
+// noteFailure records a transport failure against a replica so routing
+// deprioritises it until the cooldown passes.
+func (co *Coordinator) noteFailure(base string) {
+	co.lastFail.Store(base, time.Now())
+}
+
+// candidates returns a shard's replicas, healthy ones first (preserving
+// configured order within each class), so retries and failovers land on
+// replicas not known to be struggling.
+func (co *Coordinator) candidates(shard int) []string {
+	grp := co.groups[shard]
+	out := make([]string, 0, len(grp))
+	var cooling []string
+	for _, base := range grp {
+		if t, ok := co.lastFail.Load(base); ok && time.Since(t.(time.Time)) < replicaCooldown {
+			cooling = append(cooling, base)
+			continue
+		}
+		out = append(out, base)
+	}
+	return append(out, cooling...)
+}
+
+// begin registers an in-flight request unless the coordinator is
+// draining; end must be called when it completes.
+func (co *Coordinator) begin() bool {
+	co.drainMu.Lock()
+	defer co.drainMu.Unlock()
+	if co.draining.Load() {
+		return false
+	}
+	co.inflight++
+	return true
+}
+
+func (co *Coordinator) end() {
+	co.drainMu.Lock()
+	co.inflight--
+	if co.inflight == 0 && co.idle != nil {
+		close(co.idle)
+		co.idle = nil
+	}
+	co.drainMu.Unlock()
+}
+
+// StartDrain refuses new queries with 503 and turns /healthz unhealthy,
+// without waiting for in-flight fan-outs.
+func (co *Coordinator) StartDrain() { co.draining.Store(true) }
+
+// Drain is StartDrain plus the wait: it blocks until every in-flight
+// fan-out — shard streams included — has completed or ctx expires.
+// Workers are drained separately (they own their snapshots); the
+// coordinator holds no state that outlives its requests.
+func (co *Coordinator) Drain(ctx context.Context) error {
+	co.drainMu.Lock()
+	co.draining.Store(true)
+	if co.inflight == 0 {
+		co.drainMu.Unlock()
+		return nil
+	}
+	if co.idle == nil {
+		co.idle = make(chan struct{})
+	}
+	idle := co.idle
+	co.drainMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether StartDrain or Drain has been called.
+func (co *Coordinator) Draining() bool { return co.draining.Load() }
+
+// Stats returns a snapshot of the fan-out counters.
+func (co *Coordinator) Stats() StatsResponse {
+	resp := StatsResponse{
+		Catalog:        co.man.Catalog,
+		Queries:        co.queries.Load(),
+		Distributed:    co.distributed.Load(),
+		LocalFallbacks: co.localFallbacks.Load(),
+		StrategyCache:  co.strategies.Stats(),
+		Draining:       co.draining.Load(),
+	}
+	for i := range co.stats {
+		s := &co.stats[i]
+		resp.Shards = append(resp.Shards, ShardStat{
+			Replicas:  append([]string(nil), co.groups[i]...),
+			Queries:   s.Queries.Load(),
+			Rows:      s.Rows.Load(),
+			Retries:   s.Retries.Load(),
+			Hedges:    s.Hedges.Load(),
+			Failovers: s.Failovers.Load(),
+		})
+	}
+	return resp
+}
+
+func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.Stats())
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if co.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"role":   "coordinator",
+		"shards": len(co.groups),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// strategyFor resolves the distribution strategy for a statement
+// through the LRU cache; the cached flag feeds the response header,
+// exactly like the serial server's plan cache.
+func (co *Coordinator) strategyFor(sqlText string) (*strategy, bool, error) {
+	key := sql.Normalize(sqlText)
+	if v, ok := co.strategies.Get(key); ok {
+		return v.(*strategy), true, nil
+	}
+	q, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, false, err
+	}
+	st, err := planStrategy(q, co.man)
+	if err != nil {
+		return nil, false, err
+	}
+	co.strategies.Put(key, st)
+	return st, false, nil
+}
+
+func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, wire.ErrorBody{Error: "use POST"})
+		return
+	}
+	if !co.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorBody{Error: "coordinator is shutting down"})
+		return
+	}
+	defer co.end()
+	co.queries.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	var req wire.QueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorBody{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, wire.ErrorBody{Error: `missing "sql"`})
+		return
+	}
+
+	// replay hands the untouched request to the local full-catalogue
+	// server, which also produces the canonical error responses.
+	replay := func() {
+		co.localFallbacks.Add(1)
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		co.local.ServeHTTP(w, r2)
+	}
+	if req.DB != "" && req.DB != co.man.Catalog {
+		replay()
+		return
+	}
+	st, cached, err := co.strategyFor(req.SQL)
+	if err != nil || st.mode == modeLocal {
+		// Parse errors replay too: the local server reports them with
+		// its canonical message and status.
+		replay()
+		return
+	}
+	co.distributed.Add(1)
+
+	start := time.Now()
+	var snk sink
+	if strings.Contains(r.Header.Get("Accept"), wire.ContentType) {
+		snk = &ndjsonSink{w: w, start: start}
+	} else {
+		snk = &bufferedSink{w: w, start: start, cached: cached}
+	}
+	if err := co.gather(r.Context(), st, co.man.Catalog, cached, snk); err != nil {
+		// Failed before the header: the status line is still ours.
+		status := http.StatusBadGateway
+		var qe *queryError
+		if errors.As(err, &qe) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, wire.ErrorBody{Error: err.Error()})
+	}
+}
+
+// ndjsonSink streams the stitched rows with the serial server's framing:
+// header, raw rows flushed every flushEvery, trailer.
+type ndjsonSink struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	enc     *json.Encoder
+	start   time.Time
+	buf     []byte
+	n       int
+}
+
+const flushEvery = 64
+
+func (s *ndjsonSink) flush() {
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}
+
+func (s *ndjsonSink) header(cols []string, cached bool) error {
+	s.w.Header().Set("Content-Type", wire.ContentType)
+	s.w.WriteHeader(http.StatusOK)
+	s.enc = json.NewEncoder(s.w)
+	s.flusher, _ = s.w.(http.Flusher)
+	if err := s.enc.Encode(wire.Header{Columns: cols, Cached: cached}); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *ndjsonSink) row(cols []json.RawMessage) error {
+	s.buf = wire.AppendRow(s.buf[:0], cols)
+	if _, err := s.w.Write(s.buf); err != nil {
+		return err
+	}
+	s.n++
+	if s.n%flushEvery == 0 {
+		s.flush()
+	}
+	return nil
+}
+
+func (s *ndjsonSink) done(rowCount int, truncated bool, errMsg string) {
+	_ = s.enc.Encode(wire.Trailer{
+		RowCount:      rowCount,
+		Truncated:     truncated,
+		ElapsedMillis: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Error:         errMsg,
+	})
+	s.flush()
+}
+
+// bufferedSink accumulates the stitched rows into the serial server's
+// buffered JSON response shape. Nothing is written until done, so a
+// merge failure can still use an HTTP error status.
+type bufferedSink struct {
+	w      http.ResponseWriter
+	start  time.Time
+	cached bool
+	cols   []string
+	rows   [][]json.RawMessage
+}
+
+// queryResponse mirrors the serial server's QueryResponse JSON shape;
+// rows stay raw so forwarded bytes survive re-encoding.
+type queryResponse struct {
+	Columns       []string            `json:"columns"`
+	Rows          [][]json.RawMessage `json:"rows"`
+	RowCount      int                 `json:"rowCount"`
+	Truncated     bool                `json:"truncated,omitempty"`
+	Cached        bool                `json:"cached"`
+	ElapsedMillis float64             `json:"elapsedMillis"`
+}
+
+func (s *bufferedSink) header(cols []string, cached bool) error {
+	s.cols = cols
+	s.cached = cached
+	s.rows = make([][]json.RawMessage, 0, 16)
+	return nil
+}
+
+func (s *bufferedSink) row(cols []json.RawMessage) error {
+	s.rows = append(s.rows, append([]json.RawMessage(nil), cols...))
+	return nil
+}
+
+func (s *bufferedSink) done(rowCount int, truncated bool, errMsg string) {
+	if errMsg != "" {
+		writeJSON(s.w, http.StatusBadRequest, wire.ErrorBody{Error: errMsg})
+		return
+	}
+	writeJSON(s.w, http.StatusOK, queryResponse{
+		Columns:       s.cols,
+		Rows:          s.rows,
+		RowCount:      rowCount,
+		Truncated:     truncated,
+		Cached:        s.cached,
+		ElapsedMillis: float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}

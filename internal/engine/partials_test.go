@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/relation"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// TestMergePartialAggRow: the distributed merge must agree with serial
+// evaluation for every mergeable aggregate, starting from Nulls.
+func TestMergePartialAggRow(t *testing.T) {
+	aggs := []query.Aggregate{
+		{Fn: query.Count},
+		{Fn: query.Sum, Arg: "price"},
+		{Fn: query.Min, Arg: "price"},
+		{Fn: query.Max, Arg: "price"},
+	}
+	fields, err := PartialFields(aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]values.Value, 4) // all Null: the merge identity
+	shards := [][]values.Value{
+		{values.NewInt(3), values.NewInt(30), values.NewInt(2), values.NewInt(17)},
+		{values.NewInt(2), values.NewInt(12), values.NewInt(5), values.NewInt(9)},
+		{values.NewInt(1), values.NewInt(7), values.NewInt(7), values.NewInt(7)},
+	}
+	for _, src := range shards {
+		MergePartialAggRow(fields, dst, src)
+	}
+	want := []values.Value{values.NewInt(6), values.NewInt(49), values.NewInt(2), values.NewInt(17)}
+	for i := range want {
+		if !values.Equal(dst[i], want[i]) {
+			t.Fatalf("field %d merged to %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+// TestPartialFieldsAvgRejected: Avg must be rewritten before shard rows
+// can merge.
+func TestPartialFieldsAvgRejected(t *testing.T) {
+	if _, err := PartialFields([]query.Aggregate{{Fn: query.Avg, Arg: "price"}}); err == nil {
+		t.Fatal("PartialFields accepted avg")
+	}
+}
+
+// TestFinalizeAvgMatchesEngine: reconstructing avg from sum and count
+// partials equals the engine's own composite finalisation on a real
+// query.
+func TestFinalizeAvgMatchesEngine(t *testing.T) {
+	db := DB{"R": relation.MustNew("R", []string{"k", "v"}, []relation.Tuple{
+		{iv(1), iv(10)}, {iv(1), iv(15)}, {iv(2), iv(7)},
+	})}
+	q := &query.Query{
+		Relations:  []string{"R"},
+		GroupBy:    []string{"k"},
+		Aggregates: []query.Aggregate{{Fn: query.Avg, Arg: "v", As: "m"}},
+	}
+	res, err := New().Run(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	out, err := res.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group k=1: sum 25 over 2 rows; k=2: sum 7 over 1 row.
+	want := map[int64]values.Value{
+		1: FinalizeAvg(values.NewInt(25), values.NewInt(2)),
+		2: FinalizeAvg(values.NewInt(7), values.NewInt(1)),
+	}
+	if len(out.Tuples) != 2 {
+		t.Fatalf("got %d groups, want 2", len(out.Tuples))
+	}
+	for _, tup := range out.Tuples {
+		k := tup[0].Int()
+		if !values.Equal(tup[1], want[k]) {
+			t.Fatalf("group %d: engine avg %v, FinalizeAvg %v", k, tup[1], want[k])
+		}
+	}
+}

@@ -104,6 +104,13 @@ func PartialFields(required []ftree.AggField, subtreeAttrs map[string]bool) []ft
 	return out
 }
 
+// GroupOutputOrder returns the lexicographic base order of a grouped
+// query's output: the attribute sequence the engine sorts grouped rows
+// by ascending before ORDER BY applies as a stable sort on top. The
+// distributed coordinator relies on this to stitch shard streams back
+// into serial output order.
+func GroupOutputOrder(q *query.Query) []string { return groupAttrsOrderFirst(q) }
+
 // groupAttrsOrderFirst returns the group-by attributes with those also in
 // the order-by list first (in list order).
 func groupAttrsOrderFirst(q *query.Query) []string {

@@ -28,6 +28,9 @@
 //	POST /compact   fold a mutable database's WAL into a fresh snapshot
 //	POST /snapshot  persist catalogues atomically to their configured
 //	                snapshot paths (Config.Snapshots)
+//	POST /shard/install  accept a catalogue snapshot (raw .fdbcat bytes)
+//	                and hot-swap it into the served set (Config.ShardDir;
+//	                how a coordinator ships shards to workers)
 //	GET  /healthz   liveness probe (503 once draining)
 //	GET  /stats     query counters, latency percentiles, cache hit rates,
 //	                write and WAL/compaction gauges
@@ -57,7 +60,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +73,7 @@ import (
 	"github.com/factordb/fdb/internal/server/cache"
 	"github.com/factordb/fdb/internal/sql"
 	"github.com/factordb/fdb/internal/values"
+	"github.com/factordb/fdb/internal/wire"
 )
 
 // Config configures a Server.
@@ -106,14 +113,26 @@ type Config struct {
 	// Databases. The server does not close the catalogues; the caller
 	// owns their lifecycle (close after Drain).
 	Mutables map[string]*fdb.MutableCatalog
+	// ShardDir enables the POST /shard/install endpoint: a coordinator
+	// ships a catalogue snapshot (shard) as the request body, the server
+	// persists it atomically under this directory, mmaps it, and
+	// hot-swaps it into the served database set without interrupting
+	// in-flight queries. Empty disables the endpoint. With ShardDir set
+	// the server may start with no databases at all (a bare worker
+	// awaiting its shard); snapshots persisted by a previous run are
+	// reloaded at startup, so a worker restarts warm without a re-ship.
+	ShardDir string
 }
 
 // database is one served database with its private plan cache. Exactly
-// one of db (static, immutable) and mut (writable) is set.
+// one of db (static, immutable) and mut (writable) is set; cat is
+// additionally set when the data is an installed shard snapshot the
+// server owns (and must eventually close).
 type database struct {
 	name  string
 	db    fdb.Database
 	mut   *fdb.MutableCatalog
+	cat   *fdb.Catalog
 	plans *cache.LRU
 }
 
@@ -130,18 +149,29 @@ func (d *database) data() fdb.Database {
 // http.Handler.
 type Server struct {
 	eng       *fdb.Engine
-	dbs       map[string]*database
-	defaultDB string
 	sem       chan struct{}
 	maxRows   int
+	cacheSize int
 	snapshots map[string]string
+	shardDir  string
 	met       *metrics
 	mux       *http.ServeMux
+
+	// dbMu guards the served database set and the default name: shard
+	// installs hot-swap entries while queries resolve names under the
+	// read lock. retired holds snapshots superseded by an install; they
+	// stay mapped until the server drains, because in-flight queries
+	// (and cached plans) may still alias their bytes.
+	dbMu      sync.RWMutex
+	dbs       map[string]*database
+	defaultDB string
+	retired   []*fdb.Catalog
 
 	// Write-path counters (mutable databases only).
 	execs       atomic.Uint64
 	execErrors  atomic.Uint64
 	rowsWritten atomic.Int64
+	installs    atomic.Uint64
 
 	// draining refuses new work once StartDrain/Drain has been called;
 	// inflight counts requests (including streaming responses and
@@ -161,7 +191,7 @@ type Server struct {
 // New builds a Server from the configuration.
 func New(cfg Config) (*Server, error) {
 	total := len(cfg.Databases) + len(cfg.Mutables)
-	if total == 0 {
+	if total == 0 && cfg.ShardDir == "" {
 		return nil, errors.New("server: no databases configured")
 	}
 	for name := range cfg.Mutables {
@@ -181,9 +211,11 @@ func New(cfg Config) (*Server, error) {
 			defaultDB = name
 		}
 	}
-	if _, ok := cfg.Databases[defaultDB]; !ok {
-		if _, ok := cfg.Mutables[defaultDB]; !ok {
-			return nil, fmt.Errorf("server: default database %q not configured", defaultDB)
+	if defaultDB != "" {
+		if _, ok := cfg.Databases[defaultDB]; !ok {
+			if _, ok := cfg.Mutables[defaultDB]; !ok {
+				return nil, fmt.Errorf("server: default database %q not configured", defaultDB)
+			}
 		}
 	}
 	workers := cfg.Workers
@@ -202,7 +234,9 @@ func New(cfg Config) (*Server, error) {
 		defaultDB: defaultDB,
 		sem:       make(chan struct{}, workers),
 		maxRows:   cfg.MaxRows,
+		cacheSize: cacheSize,
 		snapshots: cfg.Snapshots,
+		shardDir:  cfg.ShardDir,
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
 	}
@@ -221,13 +255,53 @@ func New(cfg Config) (*Server, error) {
 	for name, mut := range cfg.Mutables {
 		s.dbs[name] = &database{name: name, mut: mut, plans: cache.New(cacheSize)}
 	}
+	if cfg.ShardDir != "" {
+		// Warm restart: shards installed in a previous run were
+		// persisted under ShardDir by /shard/install; reload them so a
+		// worker comes back serving without a re-ship. Sorted glob so
+		// the implicit default database is deterministic.
+		paths, err := filepath.Glob(filepath.Join(cfg.ShardDir, "*.fdbcat"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			name := strings.TrimSuffix(filepath.Base(p), ".fdbcat")
+			if _, taken := s.dbs[name]; taken {
+				continue // explicit -data/-mutable config wins
+			}
+			cat, err := fdb.LoadCatalogFile(p, true)
+			if err != nil {
+				s.closeOwned()
+				return nil, fmt.Errorf("server: reloading shard %s: %w", p, err)
+			}
+			s.dbs[name] = &database{name: name, db: cat.DB, cat: cat, plans: cache.New(cacheSize)}
+			if s.defaultDB == "" {
+				s.defaultDB = name
+			}
+		}
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/exec", s.handleExec)
 	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/shard/install", s.handleShardInstall)
 	return s, nil
+}
+
+// lookup resolves a request's database name (empty selects the default)
+// to its served entry under the read lock, so resolution is stable
+// against a concurrent shard install.
+func (s *Server) lookup(name string) (*database, string, bool) {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	if name == "" {
+		name = s.defaultDB
+	}
+	d, ok := s.dbs[name]
+	return d, name, ok
 }
 
 // begin registers one unit of in-flight work unless the server is
@@ -271,6 +345,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	if s.inflight == 0 {
 		s.drainMu.Unlock()
+		s.closeOwned()
 		return nil
 	}
 	if s.idle == nil {
@@ -280,9 +355,29 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Unlock()
 	select {
 	case <-idle:
+		s.closeOwned()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// closeOwned releases the mmap'd snapshots the server owns — installed
+// shards and snapshots retired by later installs. Only safe once the
+// server has drained: no in-flight query may still alias their bytes.
+func (s *Server) closeOwned() {
+	s.dbMu.Lock()
+	cats := s.retired
+	s.retired = nil
+	for _, d := range s.dbs {
+		if d.cat != nil {
+			cats = append(cats, d.cat)
+			d.cat = nil
+		}
+	}
+	s.dbMu.Unlock()
+	for _, c := range cats {
+		_ = c.Close()
 	}
 }
 
@@ -294,13 +389,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// QueryRequest is the POST /query body.
-type QueryRequest struct {
-	// SQL is the SELECT statement to execute.
-	SQL string `json:"sql"`
-	// DB names the target database; empty selects the default.
-	DB string `json:"db,omitempty"`
-}
+// QueryRequest is the POST /query body (a wire.QueryRequest; the NDJSON
+// protocol frames live in internal/wire, specified in docs/PROTOCOL.md).
+type QueryRequest = wire.QueryRequest
 
 // QueryResponse is the POST /query success body.
 type QueryResponse struct {
@@ -312,9 +403,8 @@ type QueryResponse struct {
 	ElapsedMillis float64  `json:"elapsedMillis"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// errorResponse is the JSON body of every non-200 response.
+type errorResponse = wire.ErrorBody
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -342,11 +432,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
 		return
 	}
-	name := req.DB
-	if name == "" {
-		name = s.defaultDB
-	}
-	d, ok := s.dbs[name]
+	d, name, ok := s.lookup(req.DB)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
 		return
@@ -423,11 +509,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
 		return
 	}
-	name := req.DB
-	if name == "" {
-		name = s.defaultDB
-	}
-	d, ok := s.dbs[name]
+	d, name, ok := s.lookup(req.DB)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
 		return
@@ -495,11 +577,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
 		return
 	}
-	name := req.DB
-	if name == "" {
-		name = s.defaultDB
-	}
-	d, ok := s.dbs[name]
+	d, name, ok := s.lookup(req.DB)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
 		return
@@ -527,23 +605,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // wantsNDJSON reports whether the client asked for a streaming
 // newline-delimited JSON response.
 func wantsNDJSON(r *http.Request) bool {
-	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
-}
-
-// ndjsonHeader is the first line of a streaming response.
-type ndjsonHeader struct {
-	Columns []string `json:"columns"`
-	Cached  bool     `json:"cached"`
-}
-
-// ndjsonTrailer is the last line of a streaming response. An error
-// after streaming began cannot change the HTTP status any more, so it
-// travels in the trailer's Error field.
-type ndjsonTrailer struct {
-	RowCount      int     `json:"rowCount"`
-	Truncated     bool    `json:"truncated,omitempty"`
-	ElapsedMillis float64 `json:"elapsedMillis"`
-	Error         string  `json:"error,omitempty"`
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
 }
 
 // flushEvery bounds how many rows may sit in HTTP buffers before the
@@ -583,7 +645,7 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 	}
 	defer rows.Close()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w) // Encode terminates every value with \n
 	flusher, _ := w.(http.Flusher)
@@ -592,13 +654,13 @@ func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, d *database
 			flusher.Flush()
 		}
 	}
-	if err := enc.Encode(ndjsonHeader{Columns: rows.Columns(), Cached: cached}); err != nil {
+	if err := enc.Encode(wire.Header{Columns: rows.Columns(), Cached: cached}); err != nil {
 		s.met.record(time.Since(start), true)
 		return
 	}
 	flush() // first bytes (and shortly after, the first row) leave now
 
-	trailer := ndjsonTrailer{}
+	trailer := wire.Trailer{}
 	wroteErr := false
 	row := make([]any, 0, len(rows.Columns()))
 	for rows.Next() {
@@ -705,16 +767,19 @@ func (s *Server) prepared(d *database, sqlText string) (*fdb.PreparedQuery, bool
 func valueJSON(v values.Value) any { return fdb.GoValue(v) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.dbMu.RLock()
+	n := len(s.dbs)
+	s.dbMu.RUnlock()
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":    "draining",
-			"databases": len(s.dbs),
+			"databases": n,
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"databases": len(s.dbs),
+		"databases": n,
 	})
 }
 
@@ -774,7 +839,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp := SnapshotResponse{Snapshots: make(map[string]string, len(targets))}
 	for name, path := range targets {
-		if err := fdb.SaveCatalogFile(path, name, s.dbs[name].data()); err != nil {
+		d, _, ok := s.lookup(name)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown database %q", name)})
+			return
+		}
+		if err := fdb.SaveCatalogFile(path, name, d.data()); err != nil {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
@@ -782,6 +852,123 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ShardInstallResponse is the POST /shard/install success body.
+type ShardInstallResponse struct {
+	// DB is the database name the shard now serves under.
+	DB string `json:"db"`
+	// Relations and Rows describe the installed snapshot.
+	Relations int `json:"relations"`
+	Rows      int `json:"rows"`
+	// Path is where the snapshot was persisted.
+	Path          string  `json:"path"`
+	ElapsedMillis float64 `json:"elapsedMillis"`
+}
+
+// handleShardInstall accepts a catalogue snapshot (the raw .fdbcat
+// container) as the request body, persists it atomically under
+// Config.ShardDir, mmaps it and hot-swaps it into the served set under
+// the name given by the "db" query parameter (default: the catalogue's
+// own name). In-flight queries keep reading the superseded snapshot —
+// it is retired, not closed, until the server drains — while new
+// queries see the new data and a fresh plan cache. This is how a
+// coordinator ships shards to workers and how a warm standby is
+// populated before failover.
+func (s *Server) handleShardInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if s.shardDir == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "shard installs not enabled (no shard directory configured)"})
+		return
+	}
+	if !s.begin() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.end()
+	start := time.Now()
+
+	// Spool the snapshot to a temp file in the shard directory, fsync,
+	// validate by loading, and only then rename over the final name —
+	// a torn upload or corrupt payload never clobbers a good shard, and
+	// the mmap stays valid across the rename (same inode).
+	tmp, err := os.CreateTemp(s.shardDir, "install.tmp*")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	tmpName := tmp.Name()
+	removeTmp := true
+	defer func() {
+		if removeTmp {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := io.Copy(tmp, http.MaxBytesReader(w, r.Body, 1<<31)); err != nil {
+		tmp.Close()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading snapshot body: " + err.Error()})
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	cat, err := fdb.LoadCatalogFile(tmpName, true)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid snapshot: " + err.Error()})
+		return
+	}
+	name := r.URL.Query().Get("db")
+	if name == "" {
+		name = cat.Name
+	}
+	if name == "" {
+		cat.Close()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "snapshot has no name; pass ?db="})
+		return
+	}
+	final := filepath.Join(s.shardDir, name+".fdbcat")
+	if err := os.Rename(tmpName, final); err != nil {
+		cat.Close()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	removeTmp = false
+
+	rows := 0
+	for _, rel := range cat.DB {
+		rows += len(rel.Tuples)
+	}
+	s.dbMu.Lock()
+	if old, ok := s.dbs[name]; ok && old.mut != nil {
+		s.dbMu.Unlock()
+		cat.Close()
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("database %q is mutable; refusing to overwrite it with a shard", name)})
+		return
+	} else if ok && old.cat != nil {
+		s.retired = append(s.retired, old.cat)
+	}
+	s.dbs[name] = &database{name: name, db: cat.DB, cat: cat, plans: cache.New(s.cacheSize)}
+	if s.defaultDB == "" {
+		s.defaultDB = name
+	}
+	s.dbMu.Unlock()
+	s.installs.Add(1)
+	writeJSON(w, http.StatusOK, ShardInstallResponse{
+		DB:            name,
+		Relations:     len(cat.DB),
+		Rows:          rows,
+		Path:          final,
+		ElapsedMillis: float64(time.Since(start)) / float64(time.Millisecond),
+	})
 }
 
 // DBStats describes one database in the /stats response.
@@ -808,25 +995,35 @@ type StatsResponse struct {
 	Offsets fdb.OffsetStats `json:"offsets"`
 	// Execs / ExecErrors / RowsWritten count POST /exec statements and
 	// the rows they affected across all mutable databases.
-	Execs       uint64             `json:"execs"`
-	ExecErrors  uint64             `json:"execErrors"`
-	RowsWritten int64              `json:"rowsWritten"`
-	Databases   map[string]DBStats `json:"databases"`
+	Execs       uint64 `json:"execs"`
+	ExecErrors  uint64 `json:"execErrors"`
+	RowsWritten int64  `json:"rowsWritten"`
+	// ShardInstalls counts snapshots accepted through /shard/install.
+	ShardInstalls uint64             `json:"shardInstalls,omitempty"`
+	Databases     map[string]DBStats `json:"databases"`
 }
 
 // Stats returns the server's current metrics (also served at /stats).
 func (s *Server) Stats() StatsResponse {
 	out := StatsResponse{
-		Snapshot:    s.met.snapshot(),
-		Workers:     cap(s.sem),
-		Parallel:    fdb.ParallelStats(),
-		Offsets:     fdb.SeekSkipStats(),
-		Execs:       s.execs.Load(),
-		ExecErrors:  s.execErrors.Load(),
-		RowsWritten: s.rowsWritten.Load(),
-		Databases:   make(map[string]DBStats, len(s.dbs)),
+		Snapshot:      s.met.snapshot(),
+		Workers:       cap(s.sem),
+		Parallel:      fdb.ParallelStats(),
+		Offsets:       fdb.SeekSkipStats(),
+		Execs:         s.execs.Load(),
+		ExecErrors:    s.execErrors.Load(),
+		RowsWritten:   s.rowsWritten.Load(),
+		ShardInstalls: s.installs.Load(),
+		Databases:     make(map[string]DBStats, len(s.dbs)),
 	}
-	for name, d := range s.dbs {
+	s.dbMu.RLock()
+	served := make([]*database, 0, len(s.dbs))
+	for _, d := range s.dbs {
+		served = append(served, d)
+	}
+	s.dbMu.RUnlock()
+	for _, d := range served {
+		name := d.name
 		cs := d.plans.Stats()
 		ds := DBStats{
 			Relations:        len(d.data()),

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/factordb/fdb"
+)
+
+// catalogBytes serialises db as a catalogue snapshot named name.
+func catalogBytes(t *testing.T, name string, db fdb.Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := fdb.SaveCatalog(&buf, name, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postInstall(t *testing.T, s *Server, path string, body []byte) (*ShardInstallResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return nil, rec
+	}
+	var resp ShardInstallResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding install response: %v\n%s", err, rec.Body)
+	}
+	return &resp, rec
+}
+
+// TestShardInstallBareWorker: a server started with no databases at all
+// accepts a shipped snapshot, serves it as the default database, and
+// hot-swaps to a replacement.
+func TestShardInstallBareWorker(t *testing.T) {
+	s, err := New(Config{ShardDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No databases yet: queries cannot resolve.
+	if _, rec := postQuery(t, s, QueryRequest{SQL: "SELECT * FROM Orders"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("bare worker query: %d, want 404", rec.Code)
+	}
+
+	resp, rec := postInstall(t, s, "/shard/install", catalogBytes(t, "pizzeria", pizzeria(t)))
+	if resp == nil {
+		t.Fatalf("install: %d %s", rec.Code, rec.Body)
+	}
+	if resp.DB != "pizzeria" || resp.Relations != 3 {
+		t.Fatalf("install response %+v", resp)
+	}
+	q, rec := postQuery(t, s, QueryRequest{SQL: "SELECT COUNT(*) AS n FROM Orders"})
+	if q == nil {
+		t.Fatalf("query after install: %d %s", rec.Code, rec.Body)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0] != float64(5) {
+		t.Fatalf("rows %v", q.Rows)
+	}
+
+	// Replace with a smaller shard of the same database: new queries see
+	// the new data and the plan cache was reset.
+	shard := fdb.Database{"Orders": pizzeria(t)["Orders"]}
+	sub := fdb.Database{}
+	rel := shard["Orders"]
+	sub["Orders"], err = fdb.NewRelation("Orders", rel.Attrs, rel.Tuples[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, rec = postInstall(t, s, "/shard/install?db=pizzeria", catalogBytes(t, "pizzeria", sub)); resp == nil {
+		t.Fatalf("reinstall: %d %s", rec.Code, rec.Body)
+	}
+	q, rec = postQuery(t, s, QueryRequest{SQL: "SELECT COUNT(*) AS n FROM Orders"})
+	if q == nil {
+		t.Fatalf("query after reinstall: %d %s", rec.Code, rec.Body)
+	}
+	if q.Rows[0][0] != float64(2) {
+		t.Fatalf("after reinstall rows %v, want 2", q.Rows)
+	}
+	if got := s.Stats().ShardInstalls; got != 2 {
+		t.Fatalf("ShardInstalls = %d, want 2", got)
+	}
+	// Drain releases the retired and current snapshots.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardInstallRejects: disabled endpoint, corrupt payloads and
+// mutable-name collisions are refused without clobbering served data.
+func TestShardInstallRejects(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, rec := postInstall(t, s, "/shard/install", catalogBytes(t, "x", pizzeria(t))); rec.Code != http.StatusNotFound {
+		t.Fatalf("install without ShardDir: %d, want 404", rec.Code)
+	}
+
+	s, err := New(Config{ShardDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rec := postInstall(t, s, "/shard/install", []byte("not a catalogue")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt install: %d, want 400", rec.Code)
+	}
+	// Valid install, then a corrupt one: the good data must survive.
+	if resp, rec := postInstall(t, s, "/shard/install", catalogBytes(t, "pizzeria", pizzeria(t))); resp == nil {
+		t.Fatalf("install: %d %s", rec.Code, rec.Body)
+	}
+	if _, rec := postInstall(t, s, "/shard/install?db=pizzeria", []byte{0xde, 0xad}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt reinstall: %d, want 400", rec.Code)
+	}
+	q, rec := postQuery(t, s, QueryRequest{SQL: "SELECT COUNT(*) AS n FROM Orders"})
+	if q == nil {
+		t.Fatalf("query after corrupt reinstall: %d %s", rec.Code, rec.Body)
+	}
+	if q.Rows[0][0] != float64(5) {
+		t.Fatalf("rows %v, want 5", q.Rows)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardWarmRestart: a worker restarted with the same shard
+// directory reloads the snapshots a previous run installed — no re-ship
+// needed — and explicit config takes precedence over a persisted shard
+// of the same name.
+func TestShardWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{ShardDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, rec := postInstall(t, s1, "/shard/install", catalogBytes(t, "pizzeria", pizzeria(t))); resp == nil {
+		t.Fatalf("install: %d %s", rec.Code, rec.Body)
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same directory serves the
+	// persisted shard as its default database immediately.
+	s2, err := New(Config{ShardDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rec := postQuery(t, s2, QueryRequest{SQL: "SELECT COUNT(*) AS n FROM Orders"})
+	if q == nil {
+		t.Fatalf("query after warm restart: %d %s", rec.Code, rec.Body)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0] != float64(5) {
+		t.Fatalf("rows %v, want [[5]]", q.Rows)
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit configuration under the same name wins over the
+	// persisted shard file.
+	rel, err := fdb.NewRelation("Solo", []string{"a"}, []fdb.Tuple{{fdb.NewInt(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(Config{
+		Databases: map[string]fdb.Database{"pizzeria": {"Solo": rel}},
+		ShardDir:  dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rec = postQuery(t, s3, QueryRequest{SQL: "SELECT COUNT(*) AS n FROM Solo"})
+	if q == nil {
+		t.Fatalf("query against explicit config: %d %s", rec.Code, rec.Body)
+	}
+	if q.Rows[0][0] != float64(1) {
+		t.Fatalf("rows %v, want [[1]]", q.Rows)
+	}
+	if err := s3.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,11 +13,12 @@ import (
 	"time"
 
 	"github.com/factordb/fdb"
+	"github.com/factordb/fdb/internal/wire"
 )
 
 // postNDJSON sends a streaming query and splits the NDJSON response
 // into header, row lines and trailer.
-func postNDJSON(t *testing.T, h http.Handler, req QueryRequest) (ndjsonHeader, [][]any, ndjsonTrailer, *httptest.ResponseRecorder) {
+func postNDJSON(t *testing.T, h http.Handler, req QueryRequest) (wire.Header, [][]any, wire.Trailer, *httptest.ResponseRecorder) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -28,7 +29,7 @@ func postNDJSON(t *testing.T, h http.Handler, req QueryRequest) (ndjsonHeader, [
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, r)
 	if rec.Code != http.StatusOK {
-		return ndjsonHeader{}, nil, ndjsonTrailer{}, rec
+		return wire.Header{}, nil, wire.Trailer{}, rec
 	}
 	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
@@ -37,11 +38,11 @@ func postNDJSON(t *testing.T, h http.Handler, req QueryRequest) (ndjsonHeader, [
 	if len(lines) < 2 {
 		t.Fatalf("NDJSON response has %d lines, want >= 2:\n%s", len(lines), rec.Body)
 	}
-	var hdr ndjsonHeader
+	var hdr wire.Header
 	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
 		t.Fatalf("decoding header line %q: %v", lines[0], err)
 	}
-	var trailer ndjsonTrailer
+	var trailer wire.Trailer
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
 		t.Fatalf("decoding trailer line %q: %v", lines[len(lines)-1], err)
 	}

@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/factordb/fdb/internal/fops"
+	"github.com/factordb/fdb/internal/query"
+	"github.com/factordb/fdb/internal/values"
+)
+
+// TestRenderRoundTrip: Parse(Render(q)) must be structurally identical
+// to q across the query surface the coordinator rewrites.
+func TestRenderRoundTrip(t *testing.T) {
+	qs := []*query.Query{
+		{Relations: []string{"R1"}, Projection: []string{"a", "b"}},
+		{Relations: []string{"R2"}}, // SELECT *
+		{
+			Relations:  []string{"R1"},
+			GroupBy:    []string{"package", "date", "customer"},
+			Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "total"}},
+		},
+		{
+			Relations:  []string{"R1"},
+			Aggregates: []query.Aggregate{{Fn: query.Count}, {Fn: query.Min, Arg: "price", As: "lo"}},
+		},
+		{
+			Relations:  []string{"R1"},
+			GroupBy:    []string{"customer"},
+			Aggregates: []query.Aggregate{{Fn: query.Sum, Arg: "price", As: "revenue"}},
+			OrderBy:    []query.OrderItem{{Attr: "revenue", Desc: true}, {Attr: "customer"}},
+			Having:     []query.Filter{{Attr: "revenue", Op: fops.GT, Const: values.NewInt(10)}},
+			Limit:      5,
+			Offset:     20,
+		},
+		{
+			Relations:  []string{"Orders", "Packages", "Items"},
+			Equalities: []query.Equality{{A: "package", B: "package2"}, {A: "item", B: "item2"}},
+			Filters: []query.Filter{
+				{Attr: "price", Op: fops.LE, Const: values.NewInt(12)},
+				{Attr: "city", Op: fops.NE, Const: values.NewString("O'Hare")},
+				{Attr: "score", Op: fops.GE, Const: values.NewFloat(2.5)},
+				{Attr: "ratio", Op: fops.LT, Const: values.NewFloat(3)},
+			},
+			GroupBy:    []string{"customer"},
+			Aggregates: []query.Aggregate{{Fn: query.Avg, Arg: "price", As: "m"}},
+		},
+		{
+			Relations: []string{"R3"},
+			OrderBy:   []query.OrderItem{{Attr: "customer"}, {Attr: "date"}, {Attr: "package"}},
+			Limit:     10,
+		},
+	}
+	for _, q := range qs {
+		text := Render(q)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(Render(%s)) = %v\nrendered: %s", q, err, text)
+		}
+		if !reflect.DeepEqual(got, q) {
+			t.Fatalf("round trip changed the query\nrendered: %s\n got: %#v\nwant: %#v", text, got, q)
+		}
+	}
+}
+
+// TestRenderCanonical: equal queries render to equal strings and the
+// rendering is stable under re-parse (fixed point).
+func TestRenderCanonical(t *testing.T) {
+	text := `select customer , SUM(price) as revenue from R1 group by customer order by revenue desc limit 3 offset 6`
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := Render(q)
+	q2, err := Parse(r1)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", r1, err)
+	}
+	if r2 := Render(q2); r2 != r1 {
+		t.Fatalf("render not a fixed point: %q then %q", r1, r2)
+	}
+	want := "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer ORDER BY revenue DESC LIMIT 3 OFFSET 6"
+	if r1 != want {
+		t.Fatalf("Render = %q, want %q", r1, want)
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestHeaderRoundTrip pins the header frame encoding and its decode.
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Columns: []string{"customer", "revenue"}, Cached: true}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"columns":["customer","revenue"],"cached":true}`
+	if string(b) != want {
+		t.Fatalf("header encoding = %s, want %s", b, want)
+	}
+	k, err := Classify(b)
+	if err != nil || k != KindHeader {
+		t.Fatalf("Classify(header) = %v, %v", k, err)
+	}
+	got, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached != h.Cached || len(got.Columns) != 2 || got.Columns[0] != "customer" {
+		t.Fatalf("decoded header %+v, want %+v", got, h)
+	}
+}
+
+// TestRowRoundTrip pins the row frame: decode keeps raw column bytes and
+// AppendRow re-emits them unchanged.
+func TestRowRoundTrip(t *testing.T) {
+	line := []byte(`[1,"x <y>",2.5,null,true]`)
+	k, err := Classify(line)
+	if err != nil || k != KindRow {
+		t.Fatalf("Classify(row) = %v, %v", k, err)
+	}
+	r, err := DecodeRow(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 5 {
+		t.Fatalf("row has %d columns, want 5", len(r))
+	}
+	out := AppendRow(nil, r)
+	if want := append(append([]byte{}, line...), '\n'); !bytes.Equal(out, want) {
+		t.Fatalf("AppendRow = %q, want %q", out, want)
+	}
+	// An empty row is legal ("SELECT" of zero columns never happens, but
+	// the framing must not depend on arity).
+	if got := AppendRow(nil, nil); string(got) != "[]\n" {
+		t.Fatalf("AppendRow(nil) = %q", got)
+	}
+}
+
+// TestTrailerRoundTrip pins the trailer frame including the mid-stream
+// error field and omitempty behaviour.
+func TestTrailerRoundTrip(t *testing.T) {
+	tr := Trailer{RowCount: 7, ElapsedMillis: 1.5}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"rowCount":7,"elapsedMillis":1.5}`
+	if string(b) != want {
+		t.Fatalf("trailer encoding = %s, want %s", b, want)
+	}
+	k, err := Classify(b)
+	if err != nil || k != KindTrailer {
+		t.Fatalf("Classify(trailer) = %v, %v", k, err)
+	}
+	got, err := DecodeTrailer(b)
+	if err != nil || got.RowCount != 7 || got.ElapsedMillis != 1.5 {
+		t.Fatalf("decoded trailer %+v, err %v", got, err)
+	}
+
+	tr2 := Trailer{RowCount: 1, Truncated: true, Error: "boom"}
+	b2, _ := json.Marshal(tr2)
+	got2, err := DecodeTrailer(b2)
+	if err != nil || !got2.Truncated || got2.Error != "boom" {
+		t.Fatalf("decoded trailer %+v, err %v", got2, err)
+	}
+}
+
+// TestErrorBodyRoundTrip pins the non-200 error body.
+func TestErrorBodyRoundTrip(t *testing.T) {
+	b, err := json.Marshal(ErrorBody{Error: `unknown database "x"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeError(b)
+	if err != nil || e.Error != `unknown database "x"` {
+		t.Fatalf("decoded error %+v, err %v", e, err)
+	}
+}
+
+// TestClassifyHostileLines: classification is structural and defensive —
+// a row containing the text "columns" is still a row, garbage errors.
+func TestClassifyHostileLines(t *testing.T) {
+	if k, err := Classify([]byte(`["columns", "contains \"columns\" text"]`)); err != nil || k != KindRow {
+		t.Fatalf("row with columns text: %v, %v", k, err)
+	}
+	// A trailer-shaped object mentioning "columns" in a string value is
+	// still a trailer: the probe is verified by a structural decode.
+	if k, err := Classify([]byte(`{"rowCount":1,"error":"missing \"columns\" key"}`)); err != nil || k != KindTrailer {
+		t.Fatalf("trailer with columns text: %v, %v", k, err)
+	}
+	for _, bad := range []string{"", "   ", "x", `"just a string"`, "42"} {
+		if _, err := Classify([]byte(bad)); err == nil {
+			t.Fatalf("Classify(%q) accepted", bad)
+		}
+	}
+	if _, err := DecodeHeader([]byte(`{"cached":true}`)); err == nil {
+		t.Fatal("DecodeHeader accepted a header with no columns")
+	}
+	if _, err := DecodeRow([]byte(`{"not":"a row"}`)); err == nil {
+		t.Fatal("DecodeRow accepted an object")
+	}
+}
+
+// TestQueryRequestRoundTrip pins the request body frame.
+func TestQueryRequestRoundTrip(t *testing.T) {
+	b, err := json.Marshal(QueryRequest{SQL: "SELECT 1", DB: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"sql":"SELECT 1","db":"shop"}`
+	if string(b) != want {
+		t.Fatalf("request encoding = %s, want %s", b, want)
+	}
+	var q QueryRequest
+	if err := json.Unmarshal(b, &q); err != nil || q.SQL != "SELECT 1" || q.DB != "shop" {
+		t.Fatalf("decoded request %+v, err %v", q, err)
+	}
+	// db is omitted when empty — the default-database form.
+	b2, _ := json.Marshal(QueryRequest{SQL: "SELECT 1"})
+	if string(b2) != `{"sql":"SELECT 1"}` {
+		t.Fatalf("request encoding = %s", b2)
+	}
+}
